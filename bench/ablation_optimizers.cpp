@@ -1,0 +1,109 @@
+// Ablation: PSO vs simulated annealing vs genetic algorithm, and PSO with /
+// without baseline seeding.  Sec. III motivates PSO as "computationally less
+// expensive with faster convergence compared to ... GA or SA"; this harness
+// backs the claim on our workloads: best cut found, wall time, and fitness
+// evaluations for each optimizer.
+#include <chrono>
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/annealing.hpp"
+#include "core/cost.hpp"
+#include "core/genetic.hpp"
+#include "core/pso.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace snnmap;
+  const bool quick = bench::quick_mode();
+
+  std::vector<std::string> workloads = {"2x200", "1x600", "HW"};
+  if (quick) workloads = {"1x200"};
+
+  util::Table table({"workload", "optimizer", "best cost (AER packets)",
+                     "evaluations", "wall time (s)"});
+
+  for (const auto& name : workloads) {
+    const snn::SnnGraph graph = apps::build_app(name, /*seed=*/42);
+    const hw::Architecture arch = bench::scaled_cxquad(graph);
+    const core::CostModel cost(graph);
+
+    // PSO (seeded, paper setup).
+    {
+      core::PsoConfig config = bench::default_pso();
+      config.seed = 42;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result =
+          core::PsoPartitioner(graph, arch, config).optimize();
+      table.begin_row();
+      table.cell(name);
+      table.cell(std::string("PSO (seeded)"));
+      table.cell(static_cast<std::size_t>(result.best_cost));
+      table.cell(static_cast<std::size_t>(result.fitness_evaluations));
+      table.cell(seconds_since(start), 2);
+    }
+    // PSO without seeding (pure swarm).
+    {
+      core::PsoConfig config = bench::default_pso();
+      config.seed = 42;
+      config.seed_with_baselines = false;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result =
+          core::PsoPartitioner(graph, arch, config).optimize();
+      table.begin_row();
+      table.cell(name);
+      table.cell(std::string("PSO (unseeded)"));
+      table.cell(static_cast<std::size_t>(result.best_cost));
+      table.cell(static_cast<std::size_t>(result.fitness_evaluations));
+      table.cell(seconds_since(start), 2);
+    }
+    // Simulated annealing with a comparable move budget.
+    {
+      core::AnnealingConfig config;
+      config.moves = quick ? 20000 : 300000;
+      config.seed = 42;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = core::annealing_partition(graph, arch, config);
+      table.begin_row();
+      table.cell(name);
+      table.cell(std::string("Simulated annealing"));
+      table.cell(static_cast<std::size_t>(result.best_cost));
+      table.cell(static_cast<std::size_t>(result.moves_proposed));
+      table.cell(seconds_since(start), 2);
+    }
+    // Genetic algorithm with the same population x generation budget as PSO.
+    {
+      core::GeneticConfig config;
+      config.population = bench::default_pso().swarm_size;
+      config.generations = bench::default_pso().iterations;
+      config.seed = 42;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = core::genetic_partition(graph, arch, config);
+      table.begin_row();
+      table.cell(name);
+      table.cell(std::string("Genetic algorithm"));
+      table.cell(static_cast<std::size_t>(result.best_cost));
+      table.cell(static_cast<std::size_t>(result.fitness_evaluations));
+      table.cell(seconds_since(start), 2);
+    }
+  }
+
+  std::cout << "=== Ablation: optimizer comparison (objective: AER packets; "
+               "lower is better) ===\n"
+            << table.to_ascii() << '\n';
+  std::cout << "Claim under test (Sec. III): PSO reaches costs comparable "
+               "to SA/GA at similar budgets; seeding guarantees PSO is never "
+               "worse than the baselines from iteration 0.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: identity vs communication-aware crossbar placement.  The paper
+// maps crossbar k to tile k; our greedy pairwise-swap placement
+// (src/core/placement.cpp) minimizes sum(traffic x hops) on top of any
+// partition.  On a tree all leaf pairs are equidistant, so the interesting
+// comparison is on a mesh, where placement can co-locate chatty crossbars.
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace snnmap;
+  const bool quick = bench::quick_mode();
+
+  std::vector<std::string> workloads = {"3x200", "HD"};
+  if (quick) workloads = {"2x50"};
+
+  util::Table table({"workload", "partitioner", "placement",
+                     "global E (uJ)", "avg latency (cycles)",
+                     "max latency"});
+
+  for (const auto& name : workloads) {
+    const snn::SnnGraph graph = apps::build_app(name, /*seed=*/42);
+    const std::uint32_t crossbar =
+        bench::crossbar_size_for(graph.neuron_count(), 9);
+    for (const auto partitioner :
+         {core::PartitionerKind::kPacman, core::PartitionerKind::kPso}) {
+      for (const bool comm_aware : {false, true}) {
+        core::MappingFlowConfig flow;
+        flow.arch = hw::Architecture::sized_for(
+            graph.neuron_count(), crossbar, hw::InterconnectKind::kMesh);
+        flow.partitioner = partitioner;
+        flow.pso = bench::default_pso();
+        flow.comm_aware_placement = comm_aware;
+        const auto report = core::run_mapping_flow(graph, flow);
+        table.begin_row();
+        table.cell(name);
+        table.cell(std::string(core::to_string(partitioner)));
+        table.cell(std::string(comm_aware ? "greedy comm-aware" : "identity"));
+        table.cell(report.global_energy_pj * 1e-6, 3);
+        table.cell(report.noc_stats.latency_cycles.mean(), 1);
+        table.cell(
+            static_cast<std::size_t>(report.noc_stats.max_latency_cycles));
+      }
+    }
+  }
+
+  std::cout << "=== Ablation: crossbar placement on a NoC-mesh ===\n"
+            << table.to_ascii() << '\n';
+  std::cout << "Expected: comm-aware placement never increases energy; its "
+               "headroom is largest for traffic-oblivious partitions and "
+               "shrinks once PSO has already localized the heavy synapses.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: mesh routing algorithms x selection strategies under hotspot
+// traffic.  Noxim exposes both as configuration ("routing algorithm,
+// selection strategy, among others", Sec. IV); this harness shows where the
+// partially adaptive turn models (West-first, North-last) with buffer-level
+// selection pay off: column hotspots that deterministic XY funnels through
+// one link.
+#include <iostream>
+
+#include "noc/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace snnmap;
+
+  // Hotspot trace on a 4x4 mesh: every tile streams packets to the two
+  // right-column sinks, so XY funnels everything through the east column.
+  const auto make_traffic = [] {
+    util::Rng rng(7);
+    std::vector<noc::SpikePacketEvent> traffic;
+    for (int i = 0; i < 3000; ++i) {
+      noc::SpikePacketEvent ev;
+      ev.emit_cycle = static_cast<std::uint64_t>(i / 6);
+      ev.emit_step = ev.emit_cycle;
+      ev.source_neuron = static_cast<std::uint32_t>(rng.below(256));
+      ev.source_tile = static_cast<noc::TileId>(rng.below(12));  // left 3 cols
+      ev.dest_tiles = {static_cast<noc::TileId>(rng.chance(0.5) ? 3 : 15)};
+      if (ev.dest_tiles[0] == ev.source_tile) continue;
+      traffic.push_back(std::move(ev));
+    }
+    return traffic;
+  };
+
+  util::Table table({"routing", "selection", "avg latency (cycles)",
+                     "max latency", "drain time (cycles)",
+                     "link hotspot (max/mean)", "energy (uJ)"});
+  for (const auto routing :
+       {noc::MeshRouting::kXY, noc::MeshRouting::kYX,
+        noc::MeshRouting::kWestFirst, noc::MeshRouting::kNorthLast}) {
+    for (const auto selection :
+         {noc::SelectionStrategy::kFirstCandidate,
+          noc::SelectionStrategy::kBufferLevel}) {
+      auto topo = noc::Topology::mesh(4, 4);
+      topo.set_mesh_routing(routing);
+      noc::NocConfig config;
+      config.buffer_depth = 2;
+      config.selection = selection;
+      noc::NocSimulator sim(std::move(topo), config);
+      const auto result = sim.run(make_traffic());
+      table.begin_row();
+      table.cell(std::string(to_string(routing)));
+      table.cell(std::string(to_string(selection)));
+      table.cell(result.stats.latency_cycles.mean(), 1);
+      table.cell(static_cast<std::size_t>(result.stats.max_latency_cycles));
+      table.cell(static_cast<std::size_t>(result.stats.duration_cycles));
+      table.cell(result.stats.link_hotspot_factor(), 2);
+      table.cell(result.stats.global_energy_pj * 1e-6, 3);
+    }
+  }
+  std::cout << "=== Ablation: mesh routing algorithm x selection strategy "
+               "(right-column hotspot) ===\n"
+            << table.to_ascii() << '\n';
+  std::cout << "Expected: adaptive turn models with buffer-level selection "
+               "spread the hotspot over multiple columns, cutting average "
+               "and tail latency vs deterministic XY; energy is nearly "
+               "constant (minimal routes everywhere).\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Google-benchmark microbenchmarks for the framework's hot paths: fitness
+// evaluation (Eq. 8), incremental move deltas, PSO iterations, SNN
+// simulation steps, NoC cycle throughput, and AER codec round-trips.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/cost.hpp"
+#include "core/pacman.hpp"
+#include "core/pso.hpp"
+#include "noc/aer.hpp"
+#include "noc/simulator.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace snnmap;
+
+const snn::SnnGraph& synthetic_graph(std::uint32_t layers,
+                                     std::uint32_t width) {
+  static std::map<std::pair<std::uint32_t, std::uint32_t>, snn::SnnGraph>
+      cache;
+  const auto key = std::make_pair(layers, width);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    apps::SyntheticConfig config;
+    config.layers = layers;
+    config.neurons_per_layer = width;
+    config.duration_ms = 200.0;
+    it = cache.emplace(key, apps::build_synthetic(config)).first;
+  }
+  return it->second;
+}
+
+hw::Architecture arch_for(const snn::SnnGraph& graph) {
+  return hw::Architecture::sized_for(
+      graph.neuron_count(), (graph.neuron_count() + 3) / 4,
+      hw::InterconnectKind::kTree);
+}
+
+void BM_FitnessEvaluation(benchmark::State& state) {
+  const auto& graph =
+      synthetic_graph(static_cast<std::uint32_t>(state.range(0)), 200);
+  const core::CostModel cost(graph);
+  const auto partition = core::pacman_partition(graph, arch_for(graph));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.global_spike_count(partition));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.edge_count()));
+}
+BENCHMARK(BM_FitnessEvaluation)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MoveDelta(benchmark::State& state) {
+  const auto& graph = synthetic_graph(2, 200);
+  const core::CostModel cost(graph);
+  const auto arch = arch_for(graph);
+  const auto partition = core::pacman_partition(graph, arch);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto neuron =
+        static_cast<std::uint32_t>(rng.below(graph.neuron_count()));
+    const auto to =
+        static_cast<core::CrossbarId>(rng.below(arch.crossbar_count));
+    benchmark::DoNotOptimize(cost.move_delta(partition, neuron, to));
+  }
+}
+BENCHMARK(BM_MoveDelta);
+
+void BM_PsoIteration(benchmark::State& state) {
+  const auto& graph = synthetic_graph(1, 200);
+  const auto arch = arch_for(graph);
+  for (auto _ : state) {
+    core::PsoConfig config;
+    config.swarm_size = static_cast<std::uint32_t>(state.range(0));
+    config.iterations = 5;
+    benchmark::DoNotOptimize(
+        core::PsoPartitioner(graph, arch, config).optimize().best_cost);
+  }
+}
+BENCHMARK(BM_PsoIteration)->Arg(10)->Arg(50);
+
+void BM_SnnSimulationStep(benchmark::State& state) {
+  snn::Network net;
+  util::Rng rng(1);
+  const auto in = net.add_poisson_group("in", 10, 50.0);
+  const auto layer = net.add_lif_group(
+      "layer", static_cast<std::uint32_t>(state.range(0)));
+  net.connect_full(in, layer, snn::WeightSpec::fixed(12.0), rng);
+  snn::SimulationConfig config;
+  snn::Simulator sim(net, config);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnnSimulationStep)->Arg(200)->Arg(1000);
+
+void BM_NocCycleThroughput(benchmark::State& state) {
+  // Steady random traffic on a 4x4 mesh; measures delivered copies/sec.
+  util::Rng rng(7);
+  std::vector<noc::SpikePacketEvent> traffic;
+  for (int i = 0; i < 5000; ++i) {
+    noc::SpikePacketEvent ev;
+    ev.emit_cycle = static_cast<std::uint64_t>(i / 4);
+    ev.source_neuron = static_cast<std::uint32_t>(rng.below(256));
+    ev.source_tile = static_cast<noc::TileId>(rng.below(16));
+    noc::TileId dest;
+    do {
+      dest = static_cast<noc::TileId>(rng.below(16));
+    } while (dest == ev.source_tile);
+    ev.dest_tiles = {dest};
+    traffic.push_back(std::move(ev));
+  }
+  for (auto _ : state) {
+    noc::NocSimulator sim(noc::Topology::mesh(4, 4), noc::NocConfig{});
+    const auto result = sim.run(traffic);
+    benchmark::DoNotOptimize(result.stats.copies_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          5000);
+}
+BENCHMARK(BM_NocCycleThroughput);
+
+void BM_AerCodec(benchmark::State& state) {
+  util::Rng rng(11);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    noc::AerEvent event;
+    event.source_neuron = i++ & noc::kAerMaxNeuron;
+    event.source_crossbar = i & noc::kAerMaxCrossbar;
+    event.timestamp = i * 7;
+    benchmark::DoNotOptimize(noc::aer_decode(noc::aer_encode(event)));
+  }
+}
+BENCHMARK(BM_AerCodec);
+
+void BM_GraphExtraction(benchmark::State& state) {
+  snn::Network net;
+  util::Rng rng(1);
+  const auto in = net.add_poisson_group("in", 10, 60.0);
+  const auto layer = net.add_lif_group("layer", 200);
+  net.connect_full(in, layer, snn::WeightSpec::fixed(12.0), rng);
+  snn::SimulationConfig config;
+  config.duration_ms = 100.0;
+  snn::Simulator sim(net, config);
+  const auto result = sim.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        snn::SnnGraph::from_simulation(net, result).edge_count());
+  }
+}
+BENCHMARK(BM_GraphExtraction);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Domain example 2: temporal coding end-to-end — the heartbeat-estimation
+// LSM ("HE").  Shows why the paper's ISI-distortion metric matters: the
+// heart rate is read out of inter-spike intervals, so interconnect
+// congestion translates directly into estimation error (Sec. V-B: "20%
+// reduction of ISI distortion improves estimation accuracy by over 5%").
+//
+//   ./build/examples/heartbeat_temporal
+#include <algorithm>
+#include <iostream>
+
+#include "apps/heartbeat.hpp"
+#include "core/framework.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace snnmap;
+
+  apps::HeartbeatConfig app;
+  app.seed = 3;
+  apps::HeartbeatGroundTruth truth;
+  const snn::SnnGraph graph = apps::build_heartbeat(app, &truth);
+  std::cout << "ECG ground truth: " << truth.r_peak_times_ms.size()
+            << " beats, mean RR " << truth.mean_rr_ms << " ms ("
+            << 60000.0 / truth.mean_rr_ms << " bpm)\n";
+
+  // Reference estimate from the undistorted readout trains.
+  snn::SpikeTrain merged;
+  for (std::uint32_t i = 0; i < truth.readout_count; ++i) {
+    merged = snn::merge_trains(merged, graph.spike_train(truth.readout_first + i));
+  }
+  const double clean_rr = apps::estimate_mean_rr_ms(merged);
+  std::cout << "Readout estimate (no interconnect): " << clean_rr << " ms, "
+            << "error "
+            << apps::heart_rate_error_percent(clean_rr, truth.mean_rr_ms)
+            << " %\n\n";
+
+  util::Table table({"mapper", "avg ISI distortion (cycles)",
+                     "max ISI distortion", "disorder (%)",
+                     "max latency (cycles)"});
+  for (const auto kind :
+       {core::PartitionerKind::kPacman, core::PartitionerKind::kPso}) {
+    core::MappingFlowConfig flow;
+    flow.arch = hw::Architecture::cxquad();
+    flow.arch.neurons_per_crossbar = 32;  // stress the interconnect
+    flow.arch.crossbar_count = 4;
+    flow.partitioner = kind;
+    flow.pso.swarm_size = 60;
+    flow.pso.iterations = 60;
+    const core::MappingReport report = core::run_mapping_flow(graph, flow);
+    table.begin_row();
+    table.cell(std::string(core::to_string(kind)));
+    table.cell(report.snn_metrics.isi_distortion_avg_cycles, 2);
+    table.cell(report.snn_metrics.isi_distortion_max_cycles, 1);
+    table.cell(report.snn_metrics.disorder_percent(), 3);
+    table.cell(static_cast<std::size_t>(report.noc_stats.max_latency_cycles));
+  }
+  std::cout << table.to_ascii();
+  std::cout << "\nLower ISI distortion preserves the temporal code the "
+               "readout depends on.\n";
+  return 0;
+}

@@ -1,0 +1,191 @@
+// snnmap_cli — full command-line driver for the mapping framework.
+//
+//   snnmap_cli <app> [--config file.yaml] [--partitioner pso|pacman|...]
+//              [--crossbar-size N] [--interconnect tree|mesh|ring]
+//              [--seed S] [--csv out.csv] [--verbose]
+//
+// <app> is a Table I name (HW, IS, HD, HE, or the full names) or a synthetic
+// topology "MxN".  The effective configuration is echoed so any run can be
+// reproduced from a config file alone.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/analysis.hpp"
+#include "core/config_io.hpp"
+#include "core/framework.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: snnmap_cli <app> [options]\n"
+         "  <app>                 HW | IS | HD | HE | MxN (e.g. 2x200)\n"
+         "  --config FILE         load a YAML-subset flow configuration\n"
+         "  --partitioner NAME    pso | pacman | neutrams | annealing | "
+         "genetic\n"
+         "  --crossbar-size N     neurons per crossbar (architecture sized "
+         "to fit)\n"
+         "  --interconnect KIND   tree | mesh | ring\n"
+         "  --seed S              workload + optimizer seed\n"
+         "  --csv FILE            also write the report row as CSV\n"
+         "  --analyze             print per-crossbar load / traffic "
+         "analysis\n"
+         "  --dump-config         print the effective configuration and "
+         "exit\n"
+         "  --verbose             info-level logging\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snnmap;
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string app = argv[1];
+  if (!apps::is_known_app(app)) {
+    std::cerr << "error: unknown app '" << app << "'\n";
+    usage();
+    return 1;
+  }
+
+  util::Config file_config;
+  std::string csv_path;
+  std::uint64_t seed = 42;
+  std::uint32_t crossbar_size = 0;
+  std::string partitioner_override;
+  std::string interconnect_override;
+  bool dump_config = false;
+  bool analyze = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      try {
+        file_config = util::Config::load_file(need_value("--config"));
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+      }
+    } else if (arg == "--partitioner") {
+      partitioner_override = need_value("--partitioner");
+    } else if (arg == "--crossbar-size") {
+      crossbar_size = static_cast<std::uint32_t>(
+          std::stoul(need_value("--crossbar-size")));
+    } else if (arg == "--interconnect") {
+      interconnect_override = need_value("--interconnect");
+    } else if (arg == "--seed") {
+      seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--csv") {
+      csv_path = need_value("--csv");
+    } else if (arg == "--dump-config") {
+      dump_config = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--verbose") {
+      util::set_log_level(util::LogLevel::Info);
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      usage();
+      return 1;
+    }
+  }
+
+  try {
+    core::MappingFlowConfig flow = core::mapping_flow_from_config(file_config);
+    flow.seed = seed;
+    if (!partitioner_override.empty()) {
+      flow.partitioner = core::partitioner_from_string(partitioner_override);
+    }
+    if (!interconnect_override.empty()) {
+      flow.arch.interconnect =
+          hw::interconnect_from_string(interconnect_override);
+    }
+
+    std::cout << "building workload '" << app << "' (seed " << seed
+              << ")...\n";
+    const snn::SnnGraph graph = apps::build_app(app, seed);
+    if (crossbar_size != 0 || !flow.arch.fits(graph.neuron_count())) {
+      const std::uint32_t size =
+          crossbar_size != 0
+              ? crossbar_size
+              : std::max<std::uint32_t>(16, (graph.neuron_count() + 3) / 4);
+      const auto kind = flow.arch.interconnect;
+      const auto cycles = flow.arch.cycles_per_ms;
+      flow.arch = hw::Architecture::sized_for(graph.neuron_count(), size,
+                                              kind);
+      flow.arch.cycles_per_ms = cycles;
+    }
+
+    if (dump_config) {
+      util::Config effective;
+      core::mapping_flow_to_config(flow, effective);
+      std::cout << effective.dump();
+      return 0;
+    }
+
+    std::cout << "workload: " << graph.neuron_count() << " neurons, "
+              << graph.edge_count() << " synapses, " << graph.total_spikes()
+              << " spikes over " << graph.duration_ms() << " ms\n";
+    std::cout << "target:   " << flow.arch.describe() << "\n";
+    std::cout << "mapper:   " << core::to_string(flow.partitioner) << "\n\n";
+
+    const core::MappingReport report = core::run_mapping_flow(graph, flow);
+
+    util::Table table({"metric", "value"});
+    table.add_row({"AER packets (objective F)",
+                   std::to_string(report.aer_packets)});
+    table.add_row({"edge-cut spikes (Eq. 8 literal)",
+                   std::to_string(report.global_spikes)});
+    table.add_row({"local synaptic events",
+                   std::to_string(report.local_events)});
+    table.add_row({"global energy (uJ)",
+                   util::format_double(report.global_energy_pj * 1e-6, 4)});
+    table.add_row({"local energy (uJ)",
+                   util::format_double(report.local_energy_pj * 1e-6, 4)});
+    table.add_row({"total energy (uJ)",
+                   util::format_double(report.total_energy_uj(), 4)});
+    table.add_row({"avg latency (cycles)",
+                   util::format_double(
+                       report.noc_stats.latency_cycles.mean(), 2)});
+    table.add_row({"max latency (cycles)",
+                   std::to_string(report.noc_stats.max_latency_cycles)});
+    table.add_row({"throughput (AER/ms)",
+                   util::format_double(report.noc_stats.throughput_aer_per_ms(
+                                           flow.arch.cycles_per_ms), 2)});
+    table.add_row({"disorder (% of delivered)",
+                   util::format_double(
+                       report.snn_metrics.disorder_percent(), 4)});
+    table.add_row({"avg ISI distortion (cycles)",
+                   util::format_double(
+                       report.snn_metrics.isi_distortion_avg_cycles, 3)});
+    table.add_row({"max ISI distortion (cycles)",
+                   util::format_double(
+                       report.snn_metrics.isi_distortion_max_cycles, 1)});
+    std::cout << table.to_ascii();
+    if (analyze) {
+      std::cout << '\n'
+                << core::analyze_mapping(graph, report.partition).render();
+    }
+    if (!csv_path.empty()) {
+      table.write_csv(csv_path);
+      std::cout << "wrote " << csv_path << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,148 @@
+#include "apps/digit_recognition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+
+namespace snnmap::apps {
+namespace {
+
+constexpr std::uint32_t kSide = 28;
+
+void draw_line(std::vector<double>& img, double x0, double y0, double x1,
+               double y1) {
+  const int steps = 48;
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const double x = x0 + t * (x1 - x0);
+    const double y = y0 + t * (y1 - y0);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int px = static_cast<int>(x) + dx;
+        const int py = static_cast<int>(y) + dy;
+        if (px < 0 || py < 0 || px >= static_cast<int>(kSide) ||
+            py >= static_cast<int>(kSide)) {
+          continue;
+        }
+        const double d = std::hypot(x - px, y - py);
+        auto& cell = img[static_cast<std::size_t>(py) * kSide + px];
+        cell = std::max(cell, std::exp(-d * d));
+      }
+    }
+  }
+}
+
+void draw_arc(std::vector<double>& img, double cx, double cy, double r,
+              double a0, double a1) {
+  const int steps = 64;
+  double px = cx + r * std::cos(a0);
+  double py = cy + r * std::sin(a0);
+  for (int s = 1; s <= steps; ++s) {
+    const double a = a0 + (a1 - a0) * s / steps;
+    const double x = cx + r * std::cos(a);
+    const double y = cy + r * std::sin(a);
+    draw_line(img, px, py, x, y);
+    px = x;
+    py = y;
+  }
+}
+
+}  // namespace
+
+std::vector<double> make_digit_image(int digit, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> img(kSide * kSide, 0.0);
+  const double jx = rng.uniform(-1.5, 1.5);  // small translation jitter
+  const double jy = rng.uniform(-1.5, 1.5);
+  const double cx = 14.0 + jx;
+  const double cy = 14.0 + jy;
+  switch (((digit % 10) + 10) % 10) {
+    case 0: draw_arc(img, cx, cy, 8.0, 0.0, 6.283); break;
+    case 1: draw_line(img, cx, cy - 9, cx, cy + 9); break;
+    case 2:
+      draw_arc(img, cx, cy - 4, 5.0, 3.6, 6.8);
+      draw_line(img, cx + 4, cy - 1, cx - 5, cy + 8);
+      draw_line(img, cx - 5, cy + 8, cx + 6, cy + 8);
+      break;
+    case 3:
+      draw_arc(img, cx, cy - 4, 4.5, 3.8, 7.8);
+      draw_arc(img, cx, cy + 4, 4.5, 4.6, 8.6);
+      break;
+    case 4:
+      draw_line(img, cx + 2, cy - 9, cx - 6, cy + 2);
+      draw_line(img, cx - 6, cy + 2, cx + 6, cy + 2);
+      draw_line(img, cx + 2, cy - 4, cx + 2, cy + 9);
+      break;
+    case 5:
+      draw_line(img, cx + 5, cy - 8, cx - 5, cy - 8);
+      draw_line(img, cx - 5, cy - 8, cx - 5, cy - 1);
+      draw_arc(img, cx - 1, cy + 3, 5.0, 4.4, 8.9);
+      break;
+    case 6:
+      draw_arc(img, cx, cy + 3, 5.0, 0.0, 6.283);
+      draw_line(img, cx - 4, cy + 1, cx + 1, cy - 9);
+      break;
+    case 7:
+      draw_line(img, cx - 6, cy - 8, cx + 6, cy - 8);
+      draw_line(img, cx + 6, cy - 8, cx - 2, cy + 9);
+      break;
+    case 8:
+      draw_arc(img, cx, cy - 4, 4.0, 0.0, 6.283);
+      draw_arc(img, cx, cy + 4, 4.5, 0.0, 6.283);
+      break;
+    case 9:
+      draw_arc(img, cx, cy - 3, 5.0, 0.0, 6.283);
+      draw_line(img, cx + 4, cy - 1, cx - 1, cy + 9);
+      break;
+    default: break;
+  }
+  // Light sensor noise.
+  for (auto& v : img) {
+    if (rng.chance(0.02)) v = std::min(1.0, v + rng.uniform(0.2, 0.5));
+  }
+  return img;
+}
+
+snn::SnnGraph build_digit_recognition(const DigitRecognitionConfig& config) {
+  util::Rng rng(config.seed);
+  snn::Network net;
+
+  const auto image = make_digit_image(config.digit, config.seed ^ 0x5A5A);
+  const auto input =
+      net.add_poisson_group("input", kSide * kSide, 0.0);
+  const double max_rate = config.max_rate_hz;
+  net.set_rate_function(input, [image, max_rate](std::uint32_t local, double) {
+    return image[local] * max_rate;
+  });
+
+  const auto exc = net.add_izhikevich_group(
+      "exc", config.excitatory, snn::IzhikevichParams::regular_spiking());
+  const auto inh = net.add_izhikevich_group(
+      "inh", config.inhibitory, snn::IzhikevichParams::fast_spiking());
+
+  // Plastic afferents (STDP), initialized weak and random.
+  net.connect_random(input, exc, config.input_connectivity,
+                     snn::WeightSpec::uniform(1.0, 4.0), rng,
+                     /*delay=*/1, /*plastic=*/true);
+  // Exc -> paired Inh, strong one-to-one (sizes must match; Diehl & Cook
+  // pair the populations).
+  if (config.excitatory == config.inhibitory) {
+    net.connect_one_to_one(exc, inh, snn::WeightSpec::fixed(16.0), rng);
+  } else {
+    net.connect_random(exc, inh, 0.1, snn::WeightSpec::fixed(8.0), rng);
+  }
+  // Lateral inhibition back onto all excitatory neurons (winner-take-all).
+  net.connect_random(inh, exc, 0.9, snn::WeightSpec::fixed(-3.0), rng);
+
+  snn::SimulationConfig sim_config;
+  sim_config.seed = config.seed;
+  sim_config.duration_ms = config.duration_ms;
+  sim_config.enable_stdp = config.train_stdp;
+  sim_config.stdp.w_max = 8.0;
+  snn::Simulator sim(net, sim_config);
+  return snn::SnnGraph::from_simulation(net, sim.run());
+}
+
+}  // namespace snnmap::apps

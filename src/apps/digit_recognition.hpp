@@ -1,0 +1,39 @@
+// "handwritten digit" (HD) — Table I: unsupervised, recurrent (250, 250),
+// after Diehl & Cook 2015.  A 28x28 synthetic digit image is rate-coded by
+// 784 Poisson inputs; 250 excitatory Izhikevich neurons learn with STDP;
+// each excitatory neuron drives a paired inhibitory neuron one-to-one, and
+// the inhibitory population projects lateral inhibition back onto all other
+// excitatory neurons (winner-take-all dynamics).
+//
+// Substitution note (see DESIGN.md): MNIST is replaced by procedural digit
+// stroke images — same dimensionality and coding, no dataset dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/graph.hpp"
+
+namespace snnmap::apps {
+
+struct DigitRecognitionConfig {
+  std::uint64_t seed = 1;
+  double duration_ms = 350.0;  ///< presentation of one digit image
+  std::uint32_t excitatory = 250;
+  std::uint32_t inhibitory = 250;
+  /// Input->excitatory connection probability (Diehl & Cook use full
+  /// connectivity; 0.5 keeps the edge count tractable at equal topology
+  /// character — documented substitution).
+  double input_connectivity = 0.5;
+  bool train_stdp = true;
+  int digit = 3;  ///< which synthetic digit (0-9) is presented
+  double max_rate_hz = 63.75;  ///< Diehl & Cook's peak pixel rate
+};
+
+/// Procedural 28x28 "digit" — a few strokes characteristic of the class,
+/// intensity in [0,1].
+std::vector<double> make_digit_image(int digit, std::uint64_t seed);
+
+snn::SnnGraph build_digit_recognition(const DigitRecognitionConfig& config = {});
+
+}  // namespace snnmap::apps

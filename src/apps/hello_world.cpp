@@ -1,0 +1,38 @@
+#include "apps/hello_world.hpp"
+
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+
+namespace snnmap::apps {
+
+snn::SnnGraph build_hello_world(const HelloWorldConfig& config) {
+  util::Rng rng(config.seed);
+  snn::Network net;
+
+  const auto input = net.add_poisson_group("input", 117, 20.0);
+  // Spread rates over 10..50 Hz by grid position (rate coding).
+  net.set_rate_function(input, [](std::uint32_t local, double) {
+    return 10.0 + 40.0 * static_cast<double>(local) / 116.0;
+  });
+
+  const auto grid = net.add_izhikevich_group(
+      "grid", 117, snn::IzhikevichParams::regular_spiking());
+  const auto out = net.add_izhikevich_group(
+      "out", 9, snn::IzhikevichParams::regular_spiking());
+
+  // One-to-one drive strong enough that a single input spike fires the
+  // grid neuron (the Izhikevich quadratic needs ~30 units in one step to
+  // escape rest), so the grid mirrors the input rates; convergent weights
+  // into the 9 detectors sized for sustained multi-unit drive.
+  net.connect_one_to_one(input, grid, snn::WeightSpec::uniform(28.0, 34.0),
+                         rng);
+  net.connect_full(grid, out, snn::WeightSpec::uniform(1.5, 2.5), rng);
+
+  snn::SimulationConfig sim_config;
+  sim_config.seed = config.seed;
+  sim_config.duration_ms = config.duration_ms;
+  snn::Simulator sim(net, sim_config);
+  return snn::SnnGraph::from_simulation(net, sim.run());
+}
+
+}  // namespace snnmap::apps

@@ -1,0 +1,22 @@
+// "hello world" (HW) — CARLsim's introductory network, Table I:
+// feedforward (117, 9).  117 Izhikevich regular-spiking neurons, each driven
+// one-to-one by a Poisson source (rates spread over 10-50 Hz), feeding a
+// fully connected 9-neuron output layer — a 13x9 "pixel grid to detectors"
+// toy, rate coded.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/graph.hpp"
+
+namespace snnmap::apps {
+
+struct HelloWorldConfig {
+  std::uint64_t seed = 1;
+  double duration_ms = 500.0;
+};
+
+/// Builds, simulates and extracts the spike graph.
+snn::SnnGraph build_hello_world(const HelloWorldConfig& config = {});
+
+}  // namespace snnmap::apps

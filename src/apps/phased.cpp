@@ -1,0 +1,86 @@
+#include "apps/phased.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "snn/poisson.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::apps {
+
+snn::SnnGraph build_phased_clusters(const PhasedConfig& config,
+                                    std::uint32_t phase) {
+  if (config.clusters < 2 || config.cluster_size == 0) {
+    throw std::invalid_argument("build_phased_clusters: degenerate config");
+  }
+  const std::uint32_t cluster_neurons =
+      config.clusters * config.cluster_size;
+  const std::uint32_t n = config.neuron_count();
+
+  // Topology is a pure function of (config, seed) — NOT of the phase — so a
+  // partition computed in one phase is structurally valid in all others.
+  util::Rng topo_rng(config.seed);
+  std::vector<snn::GraphEdge> edges;
+  for (std::uint32_t k = 0; k < config.clusters; ++k) {
+    const std::uint32_t base = k * config.cluster_size;
+    for (std::uint32_t a = 0; a < config.cluster_size; ++a) {
+      for (std::uint32_t b = 0; b < config.cluster_size; ++b) {
+        if (a != b && topo_rng.chance(config.intra_probability)) {
+          edges.push_back({base + a, base + b, 1.0F});
+        }
+      }
+    }
+    // Sparse bridges to the next cluster on the ring.
+    const std::uint32_t next_base =
+        ((k + 1) % config.clusters) * config.cluster_size;
+    for (std::uint32_t br = 0; br < config.bridges_per_pair; ++br) {
+      const auto src = static_cast<std::uint32_t>(
+          topo_rng.below(config.cluster_size));
+      const auto dst = static_cast<std::uint32_t>(
+          topo_rng.below(config.cluster_size));
+      edges.push_back({base + src, next_base + dst, 0.5F});
+    }
+  }
+  // Relays: neuron ids [cluster_neurons, n), grouped by home cluster; each
+  // projects relay_fanout synapses into random members of its cluster.
+  for (std::uint32_t k = 0; k < config.clusters; ++k) {
+    for (std::uint32_t r = 0; r < config.relays_per_cluster; ++r) {
+      const std::uint32_t relay =
+          cluster_neurons + k * config.relays_per_cluster + r;
+      for (std::uint32_t f = 0; f < config.relay_fanout; ++f) {
+        const auto member = static_cast<std::uint32_t>(
+            topo_rng.below(config.cluster_size));
+        edges.push_back(
+            {relay, k * config.cluster_size + member, 1.0F});
+      }
+    }
+  }
+
+  // Phase-dependent spike trains: a rotating window of hot clusters.
+  const auto hot_count = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             static_cast<double>(config.clusters) * config.hot_fraction));
+  // Phases are periodic in the cluster count, including their noise streams.
+  util::Rng rate_rng(config.seed ^
+                     (0xF1A5E000ULL + phase % config.clusters));
+  std::vector<snn::SpikeTrain> trains(n);
+  for (std::uint32_t k = 0; k < config.clusters; ++k) {
+    const bool hot =
+        ((k + config.clusters - phase % config.clusters) % config.clusters) <
+        hot_count;
+    const double rate = hot ? config.hot_rate_hz : config.cold_rate_hz;
+    for (std::uint32_t i = 0; i < config.cluster_size; ++i) {
+      trains[k * config.cluster_size + i] =
+          snn::generate_poisson_train(rate, config.duration_ms, rate_rng);
+    }
+    // Relays inherit their home cluster's thermal state.
+    for (std::uint32_t r = 0; r < config.relays_per_cluster; ++r) {
+      trains[cluster_neurons + k * config.relays_per_cluster + r] =
+          snn::generate_poisson_train(rate, config.duration_ms, rate_rng);
+    }
+  }
+  return snn::SnnGraph::from_parts(n, std::move(edges), std::move(trains),
+                                   config.duration_ms);
+}
+
+}  // namespace snnmap::apps

@@ -1,0 +1,51 @@
+// Phased cluster workload — the drive for run-time remapping.
+//
+// The paper closes with "Run-time SNN mapping will be addressed in future"
+// (Sec. VI).  To exercise that extension (src/core/runtime_remap.*) we need
+// workloads whose *traffic* shifts over time while the topology stays fixed:
+// K neuron clusters (dense intra-cluster connectivity, a sparse ring of
+// inter-cluster bridges), where each phase makes a different subset of
+// clusters "hot" (high firing rate).  A partition tuned for phase 0 keeps
+// the wrong clusters co-resident once the hot set rotates.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/graph.hpp"
+
+namespace snnmap::apps {
+
+struct PhasedConfig {
+  std::uint32_t clusters = 8;
+  std::uint32_t cluster_size = 16;
+  /// Intra-cluster connection probability (dense).
+  double intra_probability = 0.6;
+  /// Inter-cluster bridges per adjacent cluster pair (sparse ring).
+  std::uint32_t bridges_per_pair = 2;
+  /// Relay neurons attached to each cluster (0 = none).  A relay projects
+  /// `relay_fanout` synapses into its home cluster and fires hot exactly
+  /// when that cluster is hot.  Relays are laid out *after* all clusters,
+  /// so capacity pressure decides which relays get to live beside their
+  /// cluster — the decision that must be revisited every phase, making
+  /// relays the neuron-granularity remapping opportunity.
+  std::uint32_t relays_per_cluster = 0;
+  std::uint32_t relay_fanout = 2;
+  double hot_rate_hz = 100.0;
+  double cold_rate_hz = 5.0;
+  /// Fraction of clusters hot in any phase.
+  double hot_fraction = 0.25;
+  double duration_ms = 500.0;
+  std::uint64_t seed = 1;
+
+  std::uint32_t neuron_count() const noexcept {
+    return clusters * (cluster_size + relays_per_cluster);
+  }
+};
+
+/// Builds the spike graph for one phase.  The topology (edges) is identical
+/// for every phase of the same config/seed; only the spike trains change —
+/// phase p heats clusters {p, p+1, ...} (mod clusters) in a rotating window.
+snn::SnnGraph build_phased_clusters(const PhasedConfig& config,
+                                    std::uint32_t phase);
+
+}  // namespace snnmap::apps

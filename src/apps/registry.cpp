@@ -1,0 +1,89 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "apps/digit_recognition.hpp"
+#include "apps/edge_detection.hpp"
+#include "apps/heartbeat.hpp"
+#include "apps/hello_world.hpp"
+#include "apps/image_smoothing.hpp"
+#include "apps/synthetic.hpp"
+
+namespace snnmap::apps {
+
+const std::vector<AppInfo>& realistic_apps() {
+  static const std::vector<AppInfo> kApps = {
+      {"HW", "hello world", "Feedforward (117, 9)",
+       [](std::uint64_t seed) {
+         HelloWorldConfig c;
+         c.seed = seed;
+         return build_hello_world(c);
+       }},
+      {"IS", "image smoothing", "Feedforward (1024, 1024)",
+       [](std::uint64_t seed) {
+         ImageSmoothingConfig c;
+         c.seed = seed;
+         return build_image_smoothing(c);
+       }},
+      {"HD", "handwritten digit", "Unsupervised, recurrent (250, 250)",
+       [](std::uint64_t seed) {
+         DigitRecognitionConfig c;
+         c.seed = seed;
+         return build_digit_recognition(c);
+       }},
+      {"HE", "heartbeat estimation", "Unsupervised, LSM (64, 16)",
+       [](std::uint64_t seed) {
+         HeartbeatConfig c;
+         c.seed = seed;
+         return build_heartbeat(c);
+       }},
+  };
+  return kApps;
+}
+
+namespace {
+
+/// Extra (non-Table-I) applications reachable by name.
+const std::vector<AppInfo>& extra_apps() {
+  static const std::vector<AppInfo> kApps = {
+      {"ED", "edge detection", "Feedforward DoG (1024, 1024)",
+       [](std::uint64_t seed) {
+         EdgeDetectionConfig c;
+         c.seed = seed;
+         return build_edge_detection(c);
+       }},
+  };
+  return kApps;
+}
+
+}  // namespace
+
+snn::SnnGraph build_app(const std::string& name, std::uint64_t seed) {
+  for (const auto& app : realistic_apps()) {
+    if (name == app.name || name == app.full_name) return app.build(seed);
+  }
+  for (const auto& app : extra_apps()) {
+    if (name == app.name || name == app.full_name) return app.build(seed);
+  }
+  // Fall through to synthetic MxN names.
+  SyntheticConfig config = parse_synthetic_name(name);  // throws if unknown
+  config.seed = seed;
+  return build_synthetic(config);
+}
+
+bool is_known_app(const std::string& name) {
+  for (const auto& app : realistic_apps()) {
+    if (name == app.name || name == app.full_name) return true;
+  }
+  for (const auto& app : extra_apps()) {
+    if (name == app.name || name == app.full_name) return true;
+  }
+  try {
+    parse_synthetic_name(name);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+}  // namespace snnmap::apps

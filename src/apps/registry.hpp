@@ -1,0 +1,33 @@
+// Application registry — maps the workload names used throughout the paper's
+// evaluation ("HW", "IS", "HD", "HE", "synth_MxN" / "MxN") to builders, so
+// every bench harness and example can construct workloads by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snn/graph.hpp"
+
+namespace snnmap::apps {
+
+struct AppInfo {
+  std::string name;         ///< canonical short name (e.g. "HW")
+  std::string full_name;    ///< paper name (e.g. "hello world")
+  std::string topology;     ///< Table I topology string
+  std::function<snn::SnnGraph(std::uint64_t seed)> build;
+};
+
+/// The four realistic applications of Table I, in paper order.
+const std::vector<AppInfo>& realistic_apps();
+
+/// Builds any workload by name: one of the Table I short/full names, or a
+/// synthetic "MxN" / "synth_MxN" topology.  Throws std::invalid_argument on
+/// unknown names.
+snn::SnnGraph build_app(const std::string& name, std::uint64_t seed);
+
+/// True if `name` resolves (realistic or synthetic).
+bool is_known_app(const std::string& name);
+
+}  // namespace snnmap::apps

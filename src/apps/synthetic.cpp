@@ -1,0 +1,81 @@
+#include "apps/synthetic.hpp"
+
+#include <stdexcept>
+
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+
+namespace snnmap::apps {
+
+snn::SnnGraph build_synthetic(const SyntheticConfig& config) {
+  if (config.layers == 0 || config.neurons_per_layer == 0) {
+    throw std::invalid_argument("build_synthetic: empty topology");
+  }
+  util::Rng rng(config.seed);
+  snn::Network net;
+
+  const auto input =
+      net.add_poisson_group("input", config.input_neurons, 0.0);
+  const double lo = config.min_rate_hz;
+  const double hi = config.max_rate_hz;
+  const std::uint32_t inputs = config.input_neurons;
+  net.set_rate_function(input, [lo, hi, inputs](std::uint32_t local, double) {
+    // Mean firing rates spread evenly over [lo, hi] Hz.
+    return lo + (hi - lo) * static_cast<double>(local) /
+                    static_cast<double>(inputs > 1 ? inputs - 1 : 1);
+  });
+
+  // LIF layers; weights scale with 1/fan_in so that every layer stays in a
+  // biologically plausible firing regime (validated by the property tests).
+  snn::LifParams lif;
+  lif.tau_m_ms = 16.0;
+  std::vector<snn::Network::GroupId> layers;
+  for (std::uint32_t l = 0; l < config.layers; ++l) {
+    layers.push_back(net.add_lif_group("layer" + std::to_string(l),
+                                       config.neurons_per_layer, lif));
+  }
+  const double input_fan = static_cast<double>(config.input_neurons);
+  net.connect_full(input, layers.front(),
+                   snn::WeightSpec::uniform(100.0 / input_fan,
+                                            150.0 / input_fan),
+                   rng);
+  const double layer_fan = static_cast<double>(config.neurons_per_layer);
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    net.connect_full(layers[l - 1], layers[l],
+                     snn::WeightSpec::uniform(90.0 / layer_fan,
+                                              140.0 / layer_fan),
+                     rng);
+  }
+
+  snn::SimulationConfig sim_config;
+  sim_config.seed = config.seed;
+  sim_config.duration_ms = config.duration_ms;
+  snn::Simulator sim(net, sim_config);
+  return snn::SnnGraph::from_simulation(net, sim.run());
+}
+
+SyntheticConfig parse_synthetic_name(const std::string& name) {
+  std::string body = name;
+  if (body.rfind("synth_", 0) == 0) body = body.substr(6);
+  const auto x = body.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= body.size()) {
+    throw std::invalid_argument("parse_synthetic_name: expected MxN, got '" +
+                                name + "'");
+  }
+  SyntheticConfig config;
+  try {
+    config.layers = static_cast<std::uint32_t>(std::stoul(body.substr(0, x)));
+    config.neurons_per_layer =
+        static_cast<std::uint32_t>(std::stoul(body.substr(x + 1)));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_synthetic_name: expected MxN, got '" +
+                                name + "'");
+  }
+  if (config.layers == 0 || config.neurons_per_layer == 0) {
+    throw std::invalid_argument("parse_synthetic_name: zero-sized topology '" +
+                                name + "'");
+  }
+  return config;
+}
+
+}  // namespace snnmap::apps

@@ -1,0 +1,32 @@
+// Synthetic m x n workloads — Sec. V: "synthetic applications with different
+// number of neural network layers and number of neurons per layer ... Neurons
+// of the first layer in each of these topologies receive their input from 10
+// neurons creating spike trains, whose inter-spike interval follows a Poisson
+// process with mean firing rates between 10 Hz and 100 Hz.  Additionally,
+// these synthetic SNNs implement fully connected feedforward topologies."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "snn/graph.hpp"
+
+namespace snnmap::apps {
+
+struct SyntheticConfig {
+  std::uint32_t layers = 1;            ///< m
+  std::uint32_t neurons_per_layer = 200;  ///< n
+  std::uint32_t input_neurons = 10;
+  double min_rate_hz = 10.0;
+  double max_rate_hz = 100.0;
+  std::uint64_t seed = 1;
+  double duration_ms = 500.0;
+};
+
+snn::SnnGraph build_synthetic(const SyntheticConfig& config);
+
+/// Parses "synth_MxN" / "MxN" (e.g. "synth_3x200", "1x600"); throws
+/// std::invalid_argument on malformed names.
+SyntheticConfig parse_synthetic_name(const std::string& name);
+
+}  // namespace snnmap::apps

@@ -1,0 +1,141 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace snnmap::core {
+
+MappingAnalysis analyze_mapping(const snn::SnnGraph& graph,
+                                const Partition& partition,
+                                std::size_t top_pairs) {
+  if (!partition.is_complete()) {
+    throw std::invalid_argument("analyze_mapping: incomplete partition");
+  }
+  const std::uint32_t c = partition.crossbar_count();
+  MappingAnalysis analysis;
+  analysis.loads.resize(c);
+  for (CrossbarId k = 0; k < c; ++k) analysis.loads[k].crossbar = k;
+
+  const auto occupancy = partition.occupancy();
+  for (CrossbarId k = 0; k < c; ++k) {
+    analysis.loads[k].neurons = occupancy[k];
+  }
+
+  const CostModel cost(graph);
+  // Local events per crossbar + packet traffic per crossbar pair.
+  const auto& part = partition.assignment();
+  const auto& offsets = graph.fanout_offsets();
+  const auto& targets = graph.fanout_targets();
+  std::vector<std::uint64_t> pair_spikes(static_cast<std::size_t>(c) * c, 0);
+  std::unordered_set<CrossbarId> remote;
+  for (std::uint32_t i = 0; i < graph.neuron_count(); ++i) {
+    const std::uint64_t spikes = graph.spike_count(i);
+    if (spikes == 0) continue;
+    const CrossbarId own = part[i];
+    remote.clear();
+    for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const CrossbarId dest = part[targets[k]];
+      if (dest == own) continue;
+      remote.insert(dest);
+    }
+    for (const CrossbarId dest : remote) {
+      pair_spikes[static_cast<std::size_t>(own) * c + dest] += spikes;
+      analysis.loads[own].spikes_out += spikes;
+      analysis.loads[dest].spikes_in += spikes;
+      analysis.total_aer_packets += spikes;
+    }
+  }
+  // Local events: charge the pre neuron's crossbar.
+  for (const auto& e : graph.edges()) {
+    if (part[e.pre] == part[e.post]) {
+      const std::uint64_t spikes = graph.spike_count(e.pre);
+      analysis.loads[part[e.pre]].local_events += spikes;
+      analysis.total_local_events += spikes;
+    }
+  }
+
+  // Heaviest pairs.
+  for (CrossbarId a = 0; a < c; ++a) {
+    for (CrossbarId b = 0; b < c; ++b) {
+      const std::uint64_t spikes =
+          pair_spikes[static_cast<std::size_t>(a) * c + b];
+      if (spikes > 0) analysis.heaviest_pairs.push_back({a, b, spikes});
+    }
+  }
+  std::sort(analysis.heaviest_pairs.begin(), analysis.heaviest_pairs.end(),
+            [](const TrafficPair& x, const TrafficPair& y) {
+              if (x.spikes != y.spikes) return x.spikes > y.spikes;
+              if (x.from != y.from) return x.from < y.from;
+              return x.to < y.to;
+            });
+  if (analysis.heaviest_pairs.size() > top_pairs) {
+    analysis.heaviest_pairs.resize(top_pairs);
+  }
+
+  // Locality fraction over all synaptic events.
+  const std::uint64_t global_events = cost.global_spike_count(partition);
+  const std::uint64_t total_events = cost.total_event_count();
+  analysis.locality_fraction =
+      total_events == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(global_events) /
+                      static_cast<double>(total_events);
+
+  // Source imbalance: max outgoing packets / mean outgoing packets.
+  if (analysis.total_aer_packets > 0) {
+    std::uint64_t max_out = 0;
+    for (const auto& load : analysis.loads) {
+      max_out = std::max(max_out, load.spikes_out);
+    }
+    const double mean_out = static_cast<double>(analysis.total_aer_packets) /
+                            static_cast<double>(c);
+    analysis.source_imbalance =
+        mean_out > 0.0 ? static_cast<double>(max_out) / mean_out : 0.0;
+  }
+
+  // Gini over occupancy (mean absolute difference / (2 * mean)).
+  double mean_occ = 0.0;
+  for (const auto occ : occupancy) mean_occ += occ;
+  mean_occ /= static_cast<double>(c);
+  if (mean_occ > 0.0) {
+    double mad = 0.0;
+    for (const auto a : occupancy) {
+      for (const auto b : occupancy) {
+        mad += std::abs(static_cast<double>(a) - static_cast<double>(b));
+      }
+    }
+    mad /= static_cast<double>(c) * static_cast<double>(c);
+    analysis.occupancy_gini = mad / (2.0 * mean_occ);
+  }
+  return analysis;
+}
+
+std::string MappingAnalysis::render(std::size_t max_pairs) const {
+  std::ostringstream out;
+  out << "mapping analysis\n";
+  out << "  locality: " << locality_fraction * 100.0
+      << "% of synaptic events served inside crossbars\n";
+  out << "  AER packets on interconnect: " << total_aer_packets << "\n";
+  out << "  source imbalance (max/mean outgoing): " << source_imbalance
+      << "\n";
+  out << "  occupancy gini: " << occupancy_gini << "\n";
+  out << "  per-crossbar [neurons | local events | out | in]:\n";
+  for (const auto& load : loads) {
+    out << "    xb" << load.crossbar << ": " << load.neurons << " | "
+        << load.local_events << " | " << load.spikes_out << " | "
+        << load.spikes_in << "\n";
+  }
+  if (!heaviest_pairs.empty()) {
+    out << "  heaviest crossbar pairs (spikes):\n";
+    for (std::size_t i = 0; i < heaviest_pairs.size() && i < max_pairs; ++i) {
+      out << "    xb" << heaviest_pairs[i].from << " -> xb"
+          << heaviest_pairs[i].to << ": " << heaviest_pairs[i].spikes << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace snnmap::core

@@ -1,0 +1,57 @@
+// Mapping quality analysis — the diagnostic layer a user runs *after* the
+// flow to understand where a partition spends its interconnect budget:
+// per-crossbar occupancy and spike load, the crossbar-pair traffic matrix,
+// load-balance indices, and the heaviest source->destination streams
+// ("critical pairs" — the candidates for placement or remapping attention).
+// Rendered by examples/snnmap_cli via --analyze.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/partition.hpp"
+#include "snn/graph.hpp"
+
+namespace snnmap::core {
+
+struct CrossbarLoad {
+  CrossbarId crossbar = 0;
+  std::uint32_t neurons = 0;         ///< occupancy
+  std::uint64_t local_events = 0;    ///< synaptic events served locally
+  std::uint64_t spikes_out = 0;      ///< AER packets emitted
+  std::uint64_t spikes_in = 0;       ///< AER packet copies received
+};
+
+struct TrafficPair {
+  CrossbarId from = 0;
+  CrossbarId to = 0;
+  std::uint64_t spikes = 0;
+};
+
+struct MappingAnalysis {
+  std::vector<CrossbarLoad> loads;            ///< per crossbar
+  std::vector<TrafficPair> heaviest_pairs;    ///< descending, top-k
+  std::uint64_t total_local_events = 0;
+  std::uint64_t total_aer_packets = 0;
+  /// Fraction of all synaptic events served locally (the partitioning
+  /// quality headline: 1.0 = everything local).
+  double locality_fraction = 0.0;
+  /// Ratio of the most-loaded crossbar's outgoing packets to the mean
+  /// (1.0 = perfectly balanced sources).
+  double source_imbalance = 0.0;
+  /// Gini coefficient of per-crossbar neuron occupancy in [0, 1).
+  double occupancy_gini = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string render(std::size_t max_pairs = 8) const;
+};
+
+/// Analyzes a complete partition of `graph`; `top_pairs` bounds
+/// heaviest_pairs.  Throws if the partition is incomplete.
+MappingAnalysis analyze_mapping(const snn::SnnGraph& graph,
+                                const Partition& partition,
+                                std::size_t top_pairs = 16);
+
+}  // namespace snnmap::core

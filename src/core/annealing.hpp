@@ -1,0 +1,48 @@
+// Simulated-annealing partitioner (ablation comparator).
+//
+// Sec. III motivates PSO as "computationally less expensive with faster
+// convergence compared to its counterparts such as genetic algorithm (GA) or
+// simulated annealing (SA)".  This SA implementation backs that claim
+// empirically in bench/ablation_optimizers: single-neuron moves and
+// neuron-pair swaps evaluated incrementally via CostModel::move_delta under
+// a geometric cooling schedule.
+//
+// Both objectives are supported with incremental move deltas: kCutSpikes
+// via CostModel::move_delta, kAerPackets via IncrementalAerCost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/partition.hpp"
+#include "hw/architecture.hpp"
+#include "snn/graph.hpp"
+
+namespace snnmap::core {
+
+struct AnnealingConfig {
+  std::uint64_t moves = 200'000;    ///< proposed moves
+  double initial_temp = 0.0;        ///< 0 = auto-calibrate from move deltas
+  double cooling = 0.999;           ///< geometric factor per accepted batch
+  double swap_probability = 0.3;    ///< swap two neurons vs single move
+  Objective objective = Objective::kAerPackets;
+  std::uint64_t seed = 42;
+  bool track_history = false;       ///< record best cost every `moves`/100
+};
+
+struct AnnealingResult {
+  Partition best;
+  std::uint64_t best_cost = 0;
+  std::uint64_t moves_accepted = 0;
+  std::uint64_t moves_proposed = 0;
+  std::vector<std::uint64_t> history;
+};
+
+/// Starts from the PACMAN solution and anneals; always returns a feasible
+/// partition at least as good as the start.
+AnnealingResult annealing_partition(const snn::SnnGraph& graph,
+                                    const hw::Architecture& arch,
+                                    const AnnealingConfig& config);
+
+}  // namespace snnmap::core

@@ -1,0 +1,162 @@
+#include "core/config_io.hpp"
+
+#include <stdexcept>
+
+namespace snnmap::core {
+
+PartitionerKind partitioner_from_string(const std::string& name) {
+  if (name == "pso") return PartitionerKind::kPso;
+  if (name == "pacman") return PartitionerKind::kPacman;
+  if (name == "neutrams") return PartitionerKind::kNeutrams;
+  if (name == "annealing") return PartitionerKind::kAnnealing;
+  if (name == "genetic") return PartitionerKind::kGenetic;
+  throw std::invalid_argument("unknown partitioner: '" + name + "'");
+}
+
+Objective objective_from_string(const std::string& name) {
+  if (name == "aer-packets") return Objective::kAerPackets;
+  if (name == "cut-spikes") return Objective::kCutSpikes;
+  throw std::invalid_argument("unknown objective: '" + name + "'");
+}
+
+MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
+  MappingFlowConfig flow;
+
+  // -- architecture
+  flow.arch.crossbar_count = static_cast<std::uint32_t>(
+      config.int_or("arch.crossbars", flow.arch.crossbar_count));
+  flow.arch.neurons_per_crossbar = static_cast<std::uint32_t>(
+      config.int_or("arch.neurons_per_crossbar",
+                    flow.arch.neurons_per_crossbar));
+  if (const auto kind = config.get_string("arch.interconnect")) {
+    flow.arch.interconnect = hw::interconnect_from_string(*kind);
+  }
+  flow.arch.tree_arity = static_cast<std::uint32_t>(
+      config.int_or("arch.tree_arity", flow.arch.tree_arity));
+  flow.arch.cycles_per_ms = static_cast<std::uint32_t>(
+      config.int_or("arch.cycles_per_ms", flow.arch.cycles_per_ms));
+
+  // -- NoC
+  flow.noc.buffer_depth = static_cast<std::uint32_t>(
+      config.int_or("noc.buffer_depth", flow.noc.buffer_depth));
+  flow.noc.multicast = config.bool_or("noc.multicast", flow.noc.multicast);
+  if (const auto selection = config.get_string("noc.selection")) {
+    if (*selection == "first-candidate") {
+      flow.noc.selection = noc::SelectionStrategy::kFirstCandidate;
+    } else if (*selection == "buffer-level") {
+      flow.noc.selection = noc::SelectionStrategy::kBufferLevel;
+    } else {
+      throw std::invalid_argument("unknown selection strategy: '" +
+                                  *selection + "'");
+    }
+  }
+  if (const auto routing = config.get_string("noc.mesh_routing")) {
+    flow.mesh_routing = noc::mesh_routing_from_string(*routing);
+  }
+  flow.noc.max_cycles = static_cast<std::uint64_t>(
+      config.int_or("noc.max_cycles",
+                    static_cast<std::int64_t>(flow.noc.max_cycles)));
+
+  // -- energy (shared with the NoC config)
+  flow.energy = hw::EnergyModel::from_config(config);
+  flow.noc.energy = flow.energy;
+
+  // -- PSO
+  flow.pso.swarm_size = static_cast<std::uint32_t>(
+      config.int_or("pso.swarm_size", flow.pso.swarm_size));
+  flow.pso.iterations = static_cast<std::uint32_t>(
+      config.int_or("pso.iterations", flow.pso.iterations));
+  flow.pso.inertia = config.double_or("pso.inertia", flow.pso.inertia);
+  flow.pso.phi1 = config.double_or("pso.phi1", flow.pso.phi1);
+  flow.pso.phi2 = config.double_or("pso.phi2", flow.pso.phi2);
+  flow.pso.v_max = config.double_or("pso.v_max", flow.pso.v_max);
+  flow.pso.seed_with_baselines = config.bool_or(
+      "pso.seed_with_baselines", flow.pso.seed_with_baselines);
+  if (const auto objective = config.get_string("pso.objective")) {
+    flow.pso.objective = objective_from_string(*objective);
+  }
+  flow.pso.refine_sweeps = static_cast<std::uint32_t>(
+      config.int_or("pso.refine_sweeps", flow.pso.refine_sweeps));
+  flow.pso.refine_swap_factor = static_cast<std::uint32_t>(
+      config.int_or("pso.refine_swap_factor", flow.pso.refine_swap_factor));
+  flow.pso.patience = static_cast<std::uint32_t>(
+      config.int_or("pso.patience", flow.pso.patience));
+
+  // -- annealing / genetic (ablation partitioners)
+  flow.annealing.moves = static_cast<std::uint64_t>(config.int_or(
+      "annealing.moves", static_cast<std::int64_t>(flow.annealing.moves)));
+  flow.annealing.cooling =
+      config.double_or("annealing.cooling", flow.annealing.cooling);
+  flow.annealing.swap_probability = config.double_or(
+      "annealing.swap_probability", flow.annealing.swap_probability);
+  flow.genetic.population = static_cast<std::uint32_t>(
+      config.int_or("genetic.population", flow.genetic.population));
+  flow.genetic.generations = static_cast<std::uint32_t>(
+      config.int_or("genetic.generations", flow.genetic.generations));
+  flow.genetic.mutation_rate =
+      config.double_or("genetic.mutation_rate", flow.genetic.mutation_rate);
+
+  // -- flow-level switches
+  if (const auto partitioner = config.get_string("flow.partitioner")) {
+    flow.partitioner = partitioner_from_string(*partitioner);
+  }
+  flow.comm_aware_placement = config.bool_or("flow.comm_aware_placement",
+                                             flow.comm_aware_placement);
+  flow.injection_jitter_cycles = static_cast<std::uint32_t>(
+      config.int_or("flow.injection_jitter_cycles",
+                    flow.injection_jitter_cycles));
+  flow.seed = static_cast<std::uint64_t>(
+      config.int_or("flow.seed", static_cast<std::int64_t>(flow.seed)));
+  return flow;
+}
+
+void mapping_flow_to_config(const MappingFlowConfig& flow,
+                            util::Config& config) {
+  config.set("arch.crossbars", std::to_string(flow.arch.crossbar_count));
+  config.set("arch.neurons_per_crossbar",
+             std::to_string(flow.arch.neurons_per_crossbar));
+  config.set("arch.interconnect", hw::to_string(flow.arch.interconnect));
+  config.set("arch.tree_arity", std::to_string(flow.arch.tree_arity));
+  config.set("arch.cycles_per_ms", std::to_string(flow.arch.cycles_per_ms));
+
+  config.set("noc.buffer_depth", std::to_string(flow.noc.buffer_depth));
+  config.set("noc.multicast", flow.noc.multicast ? "true" : "false");
+  config.set("noc.selection", noc::to_string(flow.noc.selection));
+  config.set("noc.mesh_routing", noc::to_string(flow.mesh_routing));
+  config.set("noc.max_cycles", std::to_string(flow.noc.max_cycles));
+
+  flow.energy.to_config(config);
+
+  config.set("pso.swarm_size", std::to_string(flow.pso.swarm_size));
+  config.set("pso.iterations", std::to_string(flow.pso.iterations));
+  config.set("pso.inertia", std::to_string(flow.pso.inertia));
+  config.set("pso.phi1", std::to_string(flow.pso.phi1));
+  config.set("pso.phi2", std::to_string(flow.pso.phi2));
+  config.set("pso.v_max", std::to_string(flow.pso.v_max));
+  config.set("pso.seed_with_baselines",
+             flow.pso.seed_with_baselines ? "true" : "false");
+  config.set("pso.objective", to_string(flow.pso.objective));
+  config.set("pso.refine_sweeps", std::to_string(flow.pso.refine_sweeps));
+  config.set("pso.refine_swap_factor",
+             std::to_string(flow.pso.refine_swap_factor));
+  config.set("pso.patience", std::to_string(flow.pso.patience));
+
+  config.set("annealing.moves", std::to_string(flow.annealing.moves));
+  config.set("annealing.cooling", std::to_string(flow.annealing.cooling));
+  config.set("annealing.swap_probability",
+             std::to_string(flow.annealing.swap_probability));
+  config.set("genetic.population", std::to_string(flow.genetic.population));
+  config.set("genetic.generations",
+             std::to_string(flow.genetic.generations));
+  config.set("genetic.mutation_rate",
+             std::to_string(flow.genetic.mutation_rate));
+
+  config.set("flow.partitioner", to_string(flow.partitioner));
+  config.set("flow.comm_aware_placement",
+             flow.comm_aware_placement ? "true" : "false");
+  config.set("flow.injection_jitter_cycles",
+             std::to_string(flow.injection_jitter_cycles));
+  config.set("flow.seed", std::to_string(flow.seed));
+}
+
+}  // namespace snnmap::core

@@ -1,0 +1,55 @@
+// Config-file binding for the mapping flow.
+//
+// Noxim drives its simulations from a YAML file; Noxim++ keeps that and the
+// paper's framework wraps it.  This module binds the whole MappingFlowConfig
+// to the util::Config YAML-subset, so experiments are reproducible from a
+// single text file (see examples/snnmap_cli.cpp):
+//
+//   arch:
+//     crossbars: 4
+//     neurons_per_crossbar: 256
+//     interconnect: tree        # tree | mesh | ring
+//     tree_arity: 4
+//     cycles_per_ms: 1000
+//   noc:
+//     buffer_depth: 4
+//     multicast: true
+//   energy:
+//     crossbar_event_pj: 2.2
+//     link_hop_pj: 10.5
+//     router_flit_pj: 6.0
+//     aer_codec_pj: 1.8
+//   pso:
+//     swarm_size: 100
+//     iterations: 100
+//   flow:
+//     partitioner: pso          # pso | pacman | neutrams | annealing | genetic
+//     comm_aware_placement: false
+//     injection_jitter_cycles: 32
+//     seed: 42
+//
+// Unknown keys are ignored; absent keys keep their defaults.
+#pragma once
+
+#include <string>
+
+#include "core/framework.hpp"
+#include "util/config.hpp"
+
+namespace snnmap::core {
+
+/// Parses "pso" / "pacman" / "neutrams" / "annealing" / "genetic";
+/// throws std::invalid_argument on unknown names.
+PartitionerKind partitioner_from_string(const std::string& name);
+
+/// Parses "aer-packets" / "cut-spikes"; throws on unknown names.
+Objective objective_from_string(const std::string& name);
+
+/// Builds a flow config from a parsed file, starting from defaults.
+MappingFlowConfig mapping_flow_from_config(const util::Config& config);
+
+/// Serializes the effective configuration (round-trips via the parser).
+void mapping_flow_to_config(const MappingFlowConfig& flow,
+                            util::Config& config);
+
+}  // namespace snnmap::core

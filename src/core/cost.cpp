@@ -1,0 +1,237 @@
+#include "core/cost.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace snnmap::core {
+
+CostModel::CostModel(const snn::SnnGraph& graph) : graph_(graph) {
+  edges_.reserve(graph.edge_count());
+  for (const auto& e : graph.edges()) {
+    const std::uint64_t spikes = graph.spike_count(e.pre);
+    edges_.push_back({e.pre, e.post, spikes});
+    total_events_ += spikes;
+  }
+  // Undirected incidence CSR for O(degree) move deltas.
+  const std::uint32_t n = graph.neuron_count();
+  adj_offsets_.assign(n + 1, 0);
+  for (const auto& e : edges_) {
+    if (e.pre == e.post) continue;  // self-loops never cross a boundary
+    ++adj_offsets_[e.pre + 1];
+    ++adj_offsets_[e.post + 1];
+  }
+  for (std::size_t i = 1; i < adj_offsets_.size(); ++i) {
+    adj_offsets_[i] += adj_offsets_[i - 1];
+  }
+  adj_other_.resize(adj_offsets_.back());
+  adj_spikes_.resize(adj_offsets_.back());
+  std::vector<std::uint32_t> cursor(adj_offsets_.begin(),
+                                    adj_offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    if (e.pre == e.post) continue;
+    adj_other_[cursor[e.pre]] = e.post;
+    adj_spikes_[cursor[e.pre]++] = e.spikes;
+    adj_other_[cursor[e.post]] = e.pre;
+    adj_spikes_[cursor[e.post]++] = e.spikes;
+  }
+}
+
+std::uint64_t CostModel::global_spike_count(const Partition& partition) const {
+  return global_spike_count(partition.assignment());
+}
+
+std::uint64_t CostModel::global_spike_count(
+    const std::vector<CrossbarId>& assignment) const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) {
+    if (assignment[e.pre] != assignment[e.post]) total += e.spikes;
+  }
+  return total;
+}
+
+std::uint64_t CostModel::incident_cut(
+    const std::vector<CrossbarId>& assignment, std::uint32_t neuron,
+    CrossbarId candidate) const {
+  std::uint64_t cut = 0;
+  for (std::uint32_t k = adj_offsets_[neuron]; k < adj_offsets_[neuron + 1];
+       ++k) {
+    const CrossbarId other = assignment[adj_other_[k]];
+    if (other != kUnassigned && other != candidate) cut += adj_spikes_[k];
+  }
+  return cut;
+}
+
+std::uint64_t CostModel::spikes_between(const Partition& partition,
+                                        CrossbarId k1, CrossbarId k2) const {
+  if (k1 == k2) return 0;  // Eq. 7: zero for k1 == k2
+  const auto& part = partition.assignment();
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) {
+    if (part[e.pre] == k1 && part[e.post] == k2) total += e.spikes;
+  }
+  return total;
+}
+
+std::uint64_t CostModel::multicast_packet_count(
+    const Partition& partition) const {
+  return multicast_packet_count(partition.assignment());
+}
+
+std::uint64_t CostModel::multicast_packet_count(
+    const std::vector<CrossbarId>& assignment) const {
+  const auto& offsets = graph_.fanout_offsets();
+  const auto& targets = graph_.fanout_targets();
+  // Size the stamp scratch to the largest crossbar id in use (+1).
+  CrossbarId max_c = 0;
+  for (const CrossbarId c : assignment) {
+    if (c != kUnassigned && c > max_c) max_c = c;
+  }
+  if (crossbar_stamp_.size() <= max_c) {
+    crossbar_stamp_.assign(static_cast<std::size_t>(max_c) + 1, 0);
+  }
+  std::uint64_t packets = 0;
+  for (std::uint32_t i = 0; i < graph_.neuron_count(); ++i) {
+    const std::uint64_t spikes = graph_.spike_count(i);
+    if (spikes == 0) continue;
+    ++stamp_;
+    std::uint64_t remotes = 0;
+    const CrossbarId own = assignment[i];
+    for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const CrossbarId c = assignment[targets[k]];
+      if (c == own || c == kUnassigned) continue;
+      if (crossbar_stamp_[c] != stamp_) {
+        crossbar_stamp_[c] = stamp_;
+        ++remotes;
+      }
+    }
+    packets += spikes * remotes;
+  }
+  return packets;
+}
+
+std::uint64_t CostModel::objective_cost(
+    const std::vector<CrossbarId>& assignment, Objective objective) const {
+  switch (objective) {
+    case Objective::kAerPackets: return multicast_packet_count(assignment);
+    case Objective::kCutSpikes: return global_spike_count(assignment);
+  }
+  return 0;
+}
+
+const char* to_string(Objective objective) noexcept {
+  switch (objective) {
+    case Objective::kAerPackets: return "aer-packets";
+    case Objective::kCutSpikes: return "cut-spikes";
+  }
+  return "?";
+}
+
+std::uint64_t CostModel::local_event_count(const Partition& partition) const {
+  const auto& part = partition.assignment();
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) {
+    if (part[e.pre] == part[e.post]) total += e.spikes;
+  }
+  return total;
+}
+
+double CostModel::analytic_global_energy_pj(
+    const Partition& partition, const noc::Topology& topology,
+    const std::vector<noc::TileId>& placement, const hw::EnergyModel& energy,
+    bool multicast) const {
+  if (placement.size() != partition.crossbar_count()) {
+    throw std::invalid_argument("CostModel: placement size mismatch");
+  }
+  const auto& part = partition.assignment();
+  const auto& offsets = graph_.fanout_offsets();
+  const auto& targets = graph_.fanout_targets();
+  double total_pj = 0.0;
+  std::unordered_set<CrossbarId> remote;
+  for (std::uint32_t i = 0; i < graph_.neuron_count(); ++i) {
+    const std::uint64_t spikes = graph_.spike_count(i);
+    if (spikes == 0) continue;
+    remote.clear();
+    for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const CrossbarId c = part[targets[k]];
+      if (c != part[i]) remote.insert(c);
+    }
+    if (remote.empty()) continue;
+    const noc::TileId src_tile = placement[part[i]];
+    if (multicast) {
+      // A multicast packet shares path prefixes; conservatively estimate by
+      // charging the union of routed links per destination branch: walk each
+      // path and count links not yet charged for this packet.
+      std::unordered_set<std::uint64_t> charged_links;
+      std::unordered_set<std::uint32_t> charged_routers;
+      double per_spike = energy.aer_codec_pj;  // encode at source
+      for (const CrossbarId c : remote) {
+        const noc::TileId dst_tile = placement[c];
+        noc::RouterId r = topology.router_of_tile(src_tile);
+        const noc::RouterId dst_router = topology.router_of_tile(dst_tile);
+        charged_routers.insert(r);
+        while (r != dst_router) {
+          const noc::PortId p = topology.next_port(r, dst_router);
+          const noc::RouterId nb = topology.neighbor(r, p);
+          const std::uint64_t link =
+              (static_cast<std::uint64_t>(r) << 32) | nb;
+          if (charged_links.insert(link).second) {
+            per_spike += energy.link_hop_pj;
+          }
+          r = nb;
+          charged_routers.insert(r);
+        }
+        per_spike += energy.aer_codec_pj;  // decode at each destination
+      }
+      per_spike +=
+          static_cast<double>(charged_routers.size()) * energy.router_flit_pj;
+      total_pj += per_spike * static_cast<double>(spikes);
+    } else {
+      for (const CrossbarId c : remote) {
+        const std::uint32_t hops =
+            topology.hop_distance(src_tile, placement[c]);
+        total_pj += (energy.packet_energy_pj(hops) + energy.aer_codec_pj) *
+                    static_cast<double>(spikes);
+      }
+    }
+  }
+  return total_pj;
+}
+
+double CostModel::local_energy_pj(const Partition& partition,
+                                  const hw::EnergyModel& energy) const {
+  return static_cast<double>(local_event_count(partition)) *
+         energy.crossbar_event_pj;
+}
+
+std::int64_t CostModel::move_delta(const Partition& partition,
+                                   std::uint32_t neuron, CrossbarId to) const {
+  const auto& part = partition.assignment();
+  const CrossbarId from = part[neuron];
+  if (from == to) return 0;
+  std::int64_t delta = 0;
+  for (std::uint32_t k = adj_offsets_[neuron]; k < adj_offsets_[neuron + 1];
+       ++k) {
+    const CrossbarId other = part[adj_other_[k]];
+    const auto spikes = static_cast<std::int64_t>(adj_spikes_[k]);
+    const bool cut_before = other != from;
+    const bool cut_after = other != to;
+    if (cut_before && !cut_after) delta -= spikes;
+    if (!cut_before && cut_after) delta += spikes;
+  }
+  return delta;
+}
+
+std::vector<std::uint64_t> CostModel::traffic_matrix(
+    const Partition& partition) const {
+  const std::uint32_t c = partition.crossbar_count();
+  std::vector<std::uint64_t> matrix(static_cast<std::size_t>(c) * c, 0);
+  const auto& part = partition.assignment();
+  for (const auto& e : edges_) {
+    const CrossbarId a = part[e.pre];
+    const CrossbarId b = part[e.post];
+    if (a != b) matrix[static_cast<std::size_t>(a) * c + b] += e.spikes;
+  }
+  return matrix;
+}
+
+}  // namespace snnmap::core

@@ -1,0 +1,41 @@
+// Genetic-algorithm partitioner (ablation comparator; see annealing.hpp for
+// why these exist).  Chromosome = assignment vector; tournament selection,
+// uniform crossover, random-reassignment mutation, capacity repair after
+// every variation, elitism of 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/partition.hpp"
+#include "hw/architecture.hpp"
+#include "snn/graph.hpp"
+
+namespace snnmap::core {
+
+struct GeneticConfig {
+  std::uint32_t population = 100;
+  std::uint32_t generations = 100;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.02;   ///< per-gene reassignment probability
+  std::uint32_t tournament = 3;
+  bool seed_with_baselines = true;
+  Objective objective = Objective::kAerPackets;
+  std::uint64_t seed = 42;
+  bool track_history = false;
+};
+
+struct GeneticResult {
+  Partition best;
+  std::uint64_t best_cost = 0;
+  std::uint32_t generations_run = 0;
+  std::uint64_t fitness_evaluations = 0;
+  std::vector<std::uint64_t> history;
+};
+
+GeneticResult genetic_partition(const snn::SnnGraph& graph,
+                                const hw::Architecture& arch,
+                                const GeneticConfig& config);
+
+}  // namespace snnmap::core

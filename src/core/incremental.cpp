@@ -1,0 +1,183 @@
+#include "core/incremental.hpp"
+
+#include <stdexcept>
+
+namespace snnmap::core {
+
+IncrementalAerCost::IncrementalAerCost(const snn::SnnGraph& graph,
+                                       std::vector<CrossbarId> assignment,
+                                       std::uint32_t crossbar_count)
+    : graph_(graph),
+      assignment_(std::move(assignment)),
+      crossbar_count_(crossbar_count) {
+  const std::uint32_t n = graph_.neuron_count();
+  if (assignment_.size() != n) {
+    throw std::invalid_argument("IncrementalAerCost: assignment size");
+  }
+  for (const CrossbarId c : assignment_) {
+    if (c == kUnassigned || c >= crossbar_count_) {
+      throw std::invalid_argument(
+          "IncrementalAerCost: incomplete or out-of-range assignment");
+    }
+  }
+  const auto& offsets = graph_.fanout_offsets();
+  const auto& targets = graph_.fanout_targets();
+
+  target_count_.assign(static_cast<std::size_t>(n) * crossbar_count_, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      ++target_count_[static_cast<std::size_t>(u) * crossbar_count_ +
+                      assignment_[targets[k]]];
+    }
+  }
+
+  // In-adjacency over the same distinct pairs (invert the fanout CSR).
+  in_offsets_.assign(n + 1, 0);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      ++in_offsets_[targets[k] + 1];
+    }
+  }
+  for (std::size_t i = 1; i < in_offsets_.size(); ++i) {
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  in_sources_.resize(in_offsets_.back());
+  std::vector<std::uint32_t> cursor(in_offsets_.begin(),
+                                    in_offsets_.end() - 1);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+      in_sources_[cursor[targets[k]]++] = u;
+    }
+  }
+
+  remotes_.resize(n);
+  occupancy_.assign(crossbar_count_, 0);
+  cost_ = 0;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    remotes_[u] = remotes_with_own(u, assignment_[u]);
+    cost_ += graph_.spike_count(u) * remotes_[u];
+    ++occupancy_[assignment_[u]];
+  }
+}
+
+std::uint32_t IncrementalAerCost::remotes_with_own(
+    std::uint32_t neuron, CrossbarId own) const noexcept {
+  std::uint32_t count = 0;
+  const std::size_t base =
+      static_cast<std::size_t>(neuron) * crossbar_count_;
+  for (CrossbarId c = 0; c < crossbar_count_; ++c) {
+    if (c != own && target_count_[base + c] > 0) ++count;
+  }
+  return count;
+}
+
+std::int64_t IncrementalAerCost::move_delta(std::uint32_t neuron,
+                                            CrossbarId to) const {
+  const CrossbarId from = assignment_[neuron];
+  if (to == from) return 0;
+  std::int64_t delta = 0;
+
+  // 1. The neuron's own packet term: which crossbar counts as local flips.
+  const std::size_t base =
+      static_cast<std::size_t>(neuron) * crossbar_count_;
+  std::int64_t own_change = 0;
+  if (target_count_[base + from] > 0) ++own_change;  // 'from' becomes remote
+  if (target_count_[base + to] > 0) --own_change;    // 'to' becomes local
+  delta += static_cast<std::int64_t>(graph_.spike_count(neuron)) * own_change;
+
+  // 2. Every in-neighbor u sees one target leave 'from' and enter 'to'.
+  for (std::uint32_t k = in_offsets_[neuron]; k < in_offsets_[neuron + 1];
+       ++k) {
+    const std::uint32_t u = in_sources_[k];
+    if (u == neuron) continue;  // self-loop handled by the own term
+    const CrossbarId own_u = assignment_[u];
+    const std::size_t ubase =
+        static_cast<std::size_t>(u) * crossbar_count_;
+    std::int64_t change = 0;
+    if (target_count_[ubase + from] == 1 && from != own_u) --change;
+    if (target_count_[ubase + to] == 0 && to != own_u) ++change;
+    delta += static_cast<std::int64_t>(graph_.spike_count(u)) * change;
+  }
+  return delta;
+}
+
+void IncrementalAerCost::apply_move(std::uint32_t neuron, CrossbarId to) {
+  const CrossbarId from = assignment_[neuron];
+  if (to == from) return;
+  cost_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(cost_) +
+                                     move_delta(neuron, to));
+
+  // Update in-neighbors' target counts and remote tallies.
+  for (std::uint32_t k = in_offsets_[neuron]; k < in_offsets_[neuron + 1];
+       ++k) {
+    const std::uint32_t u = in_sources_[k];
+    const std::size_t ubase =
+        static_cast<std::size_t>(u) * crossbar_count_;
+    const CrossbarId own_u = u == neuron ? to : assignment_[u];
+    if (--target_count_[ubase + from] == 0 && from != own_u &&
+        u != neuron) {
+      --remotes_[u];
+    }
+    if (target_count_[ubase + to]++ == 0 && to != own_u && u != neuron) {
+      ++remotes_[u];
+    }
+  }
+  --occupancy_[from];
+  ++occupancy_[to];
+  assignment_[neuron] = to;
+  remotes_[neuron] = remotes_with_own(neuron, to);
+}
+
+std::uint64_t IncrementalAerCost::swap_refine(std::uint64_t attempts,
+                                              util::Rng& rng) {
+  const std::uint32_t n = graph_.neuron_count();
+  if (n < 2 || crossbar_count_ < 2) return 0;
+  std::uint64_t kept = 0;
+  for (std::uint64_t t = 0; t < attempts; ++t) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = static_cast<std::uint32_t>(rng.below(n));
+    const CrossbarId ca = assignment_[a];
+    const CrossbarId cb = assignment_[b];
+    if (ca == cb) continue;
+    const std::int64_t d1 = move_delta(a, cb);
+    apply_move(a, cb);
+    const std::int64_t d2 = move_delta(b, ca);
+    if (d1 + d2 < 0) {
+      apply_move(b, ca);
+      ++kept;
+    } else {
+      apply_move(a, ca);  // revert
+    }
+  }
+  return kept;
+}
+
+std::uint64_t IncrementalAerCost::greedy_refine(std::uint32_t capacity,
+                                                std::uint32_t max_sweeps) {
+  std::uint64_t applied = 0;
+  for (std::uint32_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool changed = false;
+    for (std::uint32_t n = 0; n < graph_.neuron_count(); ++n) {
+      const CrossbarId from = assignment_[n];
+      CrossbarId best = from;
+      std::int64_t best_delta = 0;
+      for (CrossbarId c = 0; c < crossbar_count_; ++c) {
+        if (c == from || occupancy_[c] >= capacity) continue;
+        const std::int64_t d = move_delta(n, c);
+        if (d < best_delta) {
+          best_delta = d;
+          best = c;
+        }
+      }
+      if (best != from) {
+        apply_move(n, best);
+        ++applied;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return applied;
+}
+
+}  // namespace snnmap::core

@@ -1,0 +1,40 @@
+#include "core/neutrams.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace snnmap::core {
+
+Partition neutrams_partition(const snn::SnnGraph& graph,
+                             const hw::Architecture& arch,
+                             std::uint64_t seed) {
+  if (!arch.fits(graph.neuron_count())) {
+    throw std::invalid_argument("neutrams_partition: network does not fit (" +
+                                std::to_string(graph.neuron_count()) + " > " +
+                                std::to_string(arch.capacity()) + " neurons)");
+  }
+  util::Rng rng(seed);
+  Partition p(graph.neuron_count(), arch.crossbar_count);
+  std::vector<std::uint32_t> occ(arch.crossbar_count, 0);
+  // Deal neurons in a random order to a uniformly random crossbar with free
+  // capacity (reservoir choice over the non-full crossbars).
+  std::vector<std::uint32_t> order(graph.neuron_count());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (const std::uint32_t neuron : order) {
+    CrossbarId pick = kUnassigned;
+    std::uint32_t seen = 0;
+    for (CrossbarId k = 0; k < arch.crossbar_count; ++k) {
+      if (occ[k] >= arch.neurons_per_crossbar) continue;
+      ++seen;
+      if (rng.below(seen) == 0) pick = k;
+    }
+    p.assign(neuron, pick);
+    ++occ[pick];
+  }
+  return p;
+}
+
+}  // namespace snnmap::core

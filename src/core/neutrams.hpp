@@ -1,0 +1,28 @@
+// NEUTRAMS-style baseline mapper.
+//
+// The paper characterizes NEUTRAMS (Ji et al., MICRO 2016) as "the ad-hoc
+// mapping technique ... which uses a Network-on-Chip simulator to determine
+// energy consumption on a neuromorphic architecture, without solving the
+// local and global synapse partitioning problem" (Sec. V).  Our analogue is
+// a topology-oblivious *random feasible assignment* (deterministically
+// seeded): neurons are dealt to crossbars uniformly at random subject only
+// to the capacity constraint.  It ignores every form of locality —
+// population structure, kernels, recurrence — which is why it anchors the
+// normalization (= 1.0) in Fig. 5.
+#pragma once
+
+#include <cstdint>
+
+#include "core/partition.hpp"
+#include "hw/architecture.hpp"
+#include "snn/graph.hpp"
+
+namespace snnmap::core {
+
+/// Random feasible assignment; throws std::invalid_argument when the network
+/// does not fit the architecture.  Deterministic for a given seed.
+Partition neutrams_partition(const snn::SnnGraph& graph,
+                             const hw::Architecture& arch,
+                             std::uint64_t seed = 0x4E55ULL);
+
+}  // namespace snnmap::core

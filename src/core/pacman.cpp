@@ -1,0 +1,21 @@
+#include "core/pacman.hpp"
+
+#include <stdexcept>
+
+namespace snnmap::core {
+
+Partition pacman_partition(const snn::SnnGraph& graph,
+                           const hw::Architecture& arch) {
+  if (!arch.fits(graph.neuron_count())) {
+    throw std::invalid_argument("pacman_partition: network does not fit (" +
+                                std::to_string(graph.neuron_count()) + " > " +
+                                std::to_string(arch.capacity()) + " neurons)");
+  }
+  Partition p(graph.neuron_count(), arch.crossbar_count);
+  for (std::uint32_t i = 0; i < graph.neuron_count(); ++i) {
+    p.assign(i, i / arch.neurons_per_crossbar);
+  }
+  return p;
+}
+
+}  // namespace snnmap::core

@@ -1,0 +1,24 @@
+// PACMAN-style baseline partitioner.
+//
+// PACMAN (Galluppi et al., Computing Frontiers 2012) is SpiNNaker's
+// hierarchical configuration system: populations are *sliced in declaration
+// order* and slices are placed onto cores sequentially — there is no
+// spike-traffic objective ("PACMAN determines neuron mapping without
+// considering spike latency related performance distortions and interconnect
+// energy consumption", Sec. I).  The faithful analogue for a crossbar
+// architecture is contiguous fill: neuron i (ids follow group declaration
+// order) goes to crossbar floor(i / Nc).
+#pragma once
+
+#include "core/partition.hpp"
+#include "hw/architecture.hpp"
+#include "snn/graph.hpp"
+
+namespace snnmap::core {
+
+/// Contiguous split-and-fill assignment; throws std::invalid_argument when
+/// the network does not fit the architecture.
+Partition pacman_partition(const snn::SnnGraph& graph,
+                           const hw::Architecture& arch);
+
+}  // namespace snnmap::core

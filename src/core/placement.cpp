@@ -1,0 +1,64 @@
+#include "core/placement.hpp"
+
+#include <stdexcept>
+
+namespace snnmap::core {
+
+Placement identity_placement(std::uint32_t crossbar_count,
+                             const noc::Topology& topology) {
+  if (topology.tile_count() < crossbar_count) {
+    throw std::invalid_argument("identity_placement: topology has " +
+                                std::to_string(topology.tile_count()) +
+                                " tiles for " +
+                                std::to_string(crossbar_count) + " crossbars");
+  }
+  Placement p(crossbar_count);
+  for (std::uint32_t k = 0; k < crossbar_count; ++k) p[k] = k;
+  return p;
+}
+
+std::uint64_t placement_cost(const Placement& placement,
+                             const std::vector<std::uint64_t>& traffic_matrix,
+                             const noc::Topology& topology) {
+  const std::size_t c = placement.size();
+  if (traffic_matrix.size() != c * c) {
+    throw std::invalid_argument("placement_cost: traffic matrix size mismatch");
+  }
+  std::uint64_t cost = 0;
+  for (std::size_t k1 = 0; k1 < c; ++k1) {
+    for (std::size_t k2 = 0; k2 < c; ++k2) {
+      const std::uint64_t t = traffic_matrix[k1 * c + k2];
+      if (t == 0 || k1 == k2) continue;
+      cost += t * topology.hop_distance(placement[k1], placement[k2]);
+    }
+  }
+  return cost;
+}
+
+Placement greedy_placement(const std::vector<std::uint64_t>& traffic_matrix,
+                           std::uint32_t crossbar_count,
+                           const noc::Topology& topology,
+                           std::uint32_t max_passes) {
+  Placement placement = identity_placement(crossbar_count, topology);
+  std::uint64_t cost = placement_cost(placement, traffic_matrix, topology);
+  for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::uint32_t a = 0; a < crossbar_count; ++a) {
+      for (std::uint32_t b = a + 1; b < crossbar_count; ++b) {
+        std::swap(placement[a], placement[b]);
+        const std::uint64_t trial =
+            placement_cost(placement, traffic_matrix, topology);
+        if (trial < cost) {
+          cost = trial;
+          improved = true;
+        } else {
+          std::swap(placement[a], placement[b]);  // revert
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return placement;
+}
+
+}  // namespace snnmap::core

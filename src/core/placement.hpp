@@ -1,0 +1,39 @@
+// Crossbar-to-tile placement.
+//
+// After partitioning decides *which* neurons share a crossbar, placement
+// decides *where* each crossbar sits on the interconnect.  The identity
+// placement matches the paper's setup (crossbar k on tile k); the
+// communication-aware variant greedily swaps tile assignments to reduce
+// sum(traffic * hop_distance) and is exercised by the placement ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "noc/topology.hpp"
+
+namespace snnmap::core {
+
+/// placement[k] = tile hosting crossbar k.
+using Placement = std::vector<noc::TileId>;
+
+/// Crossbar k on tile k.  Throws if the topology has too few tiles.
+Placement identity_placement(std::uint32_t crossbar_count,
+                             const noc::Topology& topology);
+
+/// Weighted communication cost of a placement:
+/// sum over crossbar pairs of traffic[k1][k2] * hop_distance(tile_k1, tile_k2).
+std::uint64_t placement_cost(const Placement& placement,
+                             const std::vector<std::uint64_t>& traffic_matrix,
+                             const noc::Topology& topology);
+
+/// Greedy pairwise-swap improvement from the identity placement: repeatedly
+/// applies the best crossbar-tile swap until no swap helps or `max_passes`
+/// sweeps complete.  Deterministic.
+Placement greedy_placement(const std::vector<std::uint64_t>& traffic_matrix,
+                           std::uint32_t crossbar_count,
+                           const noc::Topology& topology,
+                           std::uint32_t max_passes = 8);
+
+}  // namespace snnmap::core

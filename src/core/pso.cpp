@@ -1,0 +1,256 @@
+#include "core/pso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/incremental.hpp"
+#include "core/neutrams.hpp"
+#include "core/pacman.hpp"
+#include "util/log.hpp"
+
+namespace snnmap::core {
+namespace {
+
+double sigmoid(double v) noexcept { return 1.0 / (1.0 + std::exp(-v)); }
+
+}  // namespace
+
+PsoPartitioner::PsoPartitioner(const snn::SnnGraph& graph,
+                               const hw::Architecture& arch, PsoConfig config)
+    : graph_(graph),
+      arch_(arch),
+      config_(config),
+      cost_(graph),
+      scratch_(graph.neuron_count(), arch.crossbar_count) {
+  if (!arch.fits(graph.neuron_count())) {
+    throw std::invalid_argument("PsoPartitioner: network does not fit (" +
+                                std::to_string(graph.neuron_count()) + " > " +
+                                std::to_string(arch.capacity()) + " neurons)");
+  }
+  if (config_.swarm_size == 0) {
+    throw std::invalid_argument("PsoPartitioner: swarm size must be >= 1");
+  }
+}
+
+std::uint64_t PsoPartitioner::fitness(
+    const std::vector<CrossbarId>& assignment) {
+  ++evaluations_;
+  return cost_.objective_cost(assignment, config_.objective);
+}
+
+std::vector<CrossbarId> PsoPartitioner::random_assignment(util::Rng& rng) {
+  // Random feasible assignment: shuffle neurons, deal them into crossbars
+  // round-robin with capacity tracking.
+  const std::uint32_t n = graph_.neuron_count();
+  const std::uint32_t c = arch_.crossbar_count;
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<CrossbarId> assignment(n, kUnassigned);
+  std::vector<std::uint32_t> occ(c, 0);
+  for (const std::uint32_t neuron : order) {
+    // Uniform among crossbars with free capacity.
+    CrossbarId pick = kUnassigned;
+    std::uint32_t seen = 0;
+    for (CrossbarId k = 0; k < c; ++k) {
+      if (occ[k] >= arch_.neurons_per_crossbar) continue;
+      ++seen;
+      if (rng.below(seen) == 0) pick = k;
+    }
+    assignment[neuron] = pick;
+    ++occ[pick];
+  }
+  return assignment;
+}
+
+void PsoPartitioner::capacity_repair(std::vector<CrossbarId>& assignment,
+                                     util::Rng& rng) {
+  const std::uint32_t c = arch_.crossbar_count;
+  const std::uint32_t cap = arch_.neurons_per_crossbar;
+  std::vector<std::uint32_t> occ(c, 0);
+  for (const CrossbarId k : assignment) {
+    if (k != kUnassigned) ++occ[k];
+  }
+  // Evict random residents of overloaded crossbars into a pool...
+  std::vector<std::uint32_t> pool;
+  std::vector<std::vector<std::uint32_t>> members(c);
+  for (std::uint32_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] != kUnassigned) members[assignment[i]].push_back(i);
+  }
+  for (CrossbarId k = 0; k < c; ++k) {
+    while (occ[k] > cap) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.below(members[k].size()));
+      const std::uint32_t neuron = members[k][pick];
+      members[k][pick] = members[k].back();
+      members[k].pop_back();
+      assignment[neuron] = kUnassigned;
+      pool.push_back(neuron);
+      --occ[k];
+    }
+  }
+  // ...then re-place each pooled neuron on the feasible crossbar that cuts
+  // the fewest incident spikes (greedy, cheapest-first order is the pool's
+  // random order — adequate and cheap).
+  for (const std::uint32_t neuron : pool) {
+    CrossbarId best = kUnassigned;
+    std::uint64_t best_cut = ~0ULL;
+    for (CrossbarId k = 0; k < c; ++k) {
+      if (occ[k] >= cap) continue;
+      const std::uint64_t cut = cost_.incident_cut(assignment, neuron, k);
+      if (cut < best_cut) {
+        best_cut = cut;
+        best = k;
+      }
+    }
+    if (best == kUnassigned) {
+      throw std::logic_error("PsoPartitioner: no capacity left during repair");
+    }
+    assignment[neuron] = best;
+    ++occ[best];
+  }
+}
+
+void PsoPartitioner::binarize_and_repair(Particle& p, util::Rng& rng) {
+  const std::uint32_t n = graph_.neuron_count();
+  const std::uint32_t c = arch_.crossbar_count;
+  // Per-neuron stochastic binarization (Eqs. 2-3) followed by one-hot repair
+  // (Eq. 4): among the sampled set bits keep one uniformly; if none were
+  // sampled, roulette-select a crossbar proportionally to sigmoid(v).
+  std::vector<double> probs(c);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double prob_sum = 0.0;
+    for (std::uint32_t k = 0; k < c; ++k) {
+      probs[k] = sigmoid(static_cast<double>(p.velocity[i * c + k]));
+      prob_sum += probs[k];
+    }
+    CrossbarId chosen = kUnassigned;
+    std::uint32_t set_bits = 0;
+    for (std::uint32_t k = 0; k < c; ++k) {
+      if (rng.uniform() < probs[k]) {
+        ++set_bits;
+        if (rng.below(set_bits) == 0) chosen = k;
+      }
+    }
+    if (chosen == kUnassigned) {
+      double target = rng.uniform() * prob_sum;
+      for (std::uint32_t k = 0; k < c; ++k) {
+        target -= probs[k];
+        if (target <= 0.0 || k == c - 1) {
+          chosen = k;
+          break;
+        }
+      }
+    }
+    p.position[i] = chosen;
+  }
+  capacity_repair(p.position, rng);
+}
+
+PsoResult PsoPartitioner::optimize() {
+  util::Rng rng(config_.seed);
+  const std::uint32_t n = graph_.neuron_count();
+  const std::uint32_t c = arch_.crossbar_count;
+  const std::size_t dims = static_cast<std::size_t>(n) * c;
+
+  std::vector<Particle> swarm(config_.swarm_size);
+  for (auto& p : swarm) {
+    p.velocity.resize(dims);
+    for (auto& v : p.velocity) {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    p.position = random_assignment(rng);
+  }
+  if (config_.seed_with_baselines) {
+    // Memetic seeding: the first particles start from the baselines, so the
+    // swarm optimum can never be worse than either of them.
+    swarm[0].position = pacman_partition(graph_, arch_).assignment();
+    if (swarm.size() > 1) {
+      swarm[1].position = neutrams_partition(graph_, arch_).assignment();
+    }
+  }
+
+  std::vector<CrossbarId> gbest;
+  std::uint64_t gbest_cost = ~0ULL;
+  PsoResult result;
+  std::uint32_t stale = 0;
+
+  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
+    bool improved = false;
+    for (auto& p : swarm) {
+      const std::uint64_t f = fitness(p.position);
+      if (f < p.best_cost) {
+        p.best_cost = f;
+        p.best_position = p.position;
+      }
+      if (f < gbest_cost) {
+        gbest_cost = f;
+        gbest = p.position;
+        improved = true;
+      }
+    }
+    if (improved &&
+        (config_.refine_sweeps > 0 || config_.refine_swap_factor > 0) &&
+        config_.objective == Objective::kAerPackets) {
+      // Memetic step: polish the new swarm best with greedy single-neuron
+      // moves plus stochastic improving swaps.
+      IncrementalAerCost refiner(graph_, gbest, c);
+      refiner.greedy_refine(arch_.neurons_per_crossbar,
+                            config_.refine_sweeps);
+      if (config_.refine_swap_factor > 0) {
+        util::Rng swap_rng(config_.seed ^ (0x53A9'0000ULL + iter));
+        refiner.swap_refine(
+            static_cast<std::uint64_t>(config_.refine_swap_factor) * n,
+            swap_rng);
+        refiner.greedy_refine(arch_.neurons_per_crossbar,
+                              config_.refine_sweeps);
+      }
+      if (refiner.cost() < gbest_cost) {
+        gbest = refiner.assignment();
+        gbest_cost = refiner.cost();
+      }
+    }
+    if (config_.track_history) result.history.push_back(gbest_cost);
+    result.iterations_run = iter + 1;
+
+    stale = improved ? 0 : stale + 1;
+    if (config_.patience != 0 && stale >= config_.patience) break;
+    if (iter + 1 == config_.iterations) break;  // skip final wasted update
+
+    // Velocity + position update (Eq. 1 with inertia and per-component
+    // random scaling), then binarize + repair (Eqs. 2-5).
+    for (auto& p : swarm) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const CrossbarId xi = p.position[i];
+        const CrossbarId pbi =
+            p.best_position.empty() ? xi : p.best_position[i];
+        const CrossbarId gbi = gbest[i];
+        for (std::uint32_t k = 0; k < c; ++k) {
+          const std::size_t d = static_cast<std::size_t>(i) * c + k;
+          const double x = xi == k ? 1.0 : 0.0;
+          const double pb = pbi == k ? 1.0 : 0.0;
+          const double gb = gbi == k ? 1.0 : 0.0;
+          double v = config_.inertia * static_cast<double>(p.velocity[d]) +
+                     config_.phi1 * rng.uniform() * (pb - x) +
+                     config_.phi2 * rng.uniform() * (gb - x);
+          v = std::clamp(v, -config_.v_max, config_.v_max);
+          p.velocity[d] = static_cast<float>(v);
+        }
+      }
+      binarize_and_repair(p, rng);
+    }
+  }
+
+  result.best = Partition(n, c);
+  for (std::uint32_t i = 0; i < n; ++i) result.best.assign(i, gbest[i]);
+  result.best.validate(arch_);
+  result.best_cost = gbest_cost;
+  result.fitness_evaluations = evaluations_;
+  util::log_info("PSO: best cost ", gbest_cost, " after ",
+                 result.iterations_run, " iterations, ", evaluations_,
+                 " evaluations");
+  return result;
+}
+
+}  // namespace snnmap::core

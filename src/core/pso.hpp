@@ -1,0 +1,93 @@
+// Binary particle swarm optimization for SNN partitioning — Sec. III.
+//
+// Dimensions are the paper's x_{i,k} allocation variables (D = N * C).
+// Velocities update per Eq. 1 (with an inertia weight and per-component
+// random scaling of the cognitive/social terms, the standard Eberhart-
+// Kennedy instantiation the paper cites); positions binarize through the
+// sigmoid rule of Eqs. 2-3.  Raw binarized positions rarely satisfy the
+// constraints, so two repair operators run after every update:
+//   1. one-hot repair (Eq. 4): per neuron, keep exactly one set bit —
+//      sampled proportionally to the sigmoid probabilities;
+//   2. capacity repair (Eq. 5): overflow neurons migrate to the crossbar
+//      with free space that least increases the fitness.
+// The swarm can be seeded with the PACMAN/NEUTRAMS baseline solutions
+// (memetic seeding, on by default): the paper reports PSO always at or
+// below both baselines, which seeding guarantees by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/partition.hpp"
+#include "hw/architecture.hpp"
+#include "snn/graph.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::core {
+
+struct PsoConfig {
+  std::uint32_t swarm_size = 100;   ///< np (paper explores 10..1000, Fig. 7)
+  std::uint32_t iterations = 100;   ///< fixed to 100 in the paper
+  double inertia = 0.72;            ///< velocity memory (omega)
+  double phi1 = 1.49;               ///< cognitive constant
+  double phi2 = 1.49;               ///< social constant
+  double v_max = 4.0;               ///< velocity clamp (sigmoid saturation)
+  bool seed_with_baselines = true;  ///< include PACMAN/NEUTRAMS particles
+  /// Fitness definition (see Objective); AER packets by default.
+  Objective objective = Objective::kAerPackets;
+  /// Memetic local search: whenever the swarm best improves, run up to this
+  /// many greedy single-neuron sweeps (incremental AER deltas) on it.  This
+  /// is what lets a laptop-budget swarm reach the optima the paper obtained
+  /// with 1000 particles x 100 iterations x 35 min on a cloud VM.  0
+  /// disables; only applies to the kAerPackets objective.
+  std::uint32_t refine_sweeps = 4;
+  /// Swap-based refinement attempts per improvement, as a multiple of the
+  /// neuron count (swaps escape capacity-blocked local optima; see
+  /// IncrementalAerCost::swap_refine).  0 disables.
+  std::uint32_t refine_swap_factor = 8;
+  std::uint64_t seed = 42;
+  bool track_history = false;       ///< record Gbest cost per iteration
+  /// Stop early after this many iterations without Gbest improvement
+  /// (0 = never stop early; the paper runs a fixed iteration budget).
+  std::uint32_t patience = 0;
+};
+
+struct PsoResult {
+  Partition best;
+  std::uint64_t best_cost = 0;          ///< F at the optimum (see objective)
+  std::uint32_t iterations_run = 0;
+  std::uint64_t fitness_evaluations = 0;
+  std::vector<std::uint64_t> history;   ///< Gbest per iteration (if tracked)
+};
+
+class PsoPartitioner {
+ public:
+  PsoPartitioner(const snn::SnnGraph& graph, const hw::Architecture& arch,
+                 PsoConfig config);
+
+  /// Runs the swarm and returns the best feasible partition found.
+  PsoResult optimize();
+
+ private:
+  struct Particle {
+    std::vector<float> velocity;        // N * C
+    std::vector<CrossbarId> position;   // one-hot as assignment vector
+    std::vector<CrossbarId> best_position;
+    std::uint64_t best_cost = ~0ULL;
+  };
+
+  std::uint64_t fitness(const std::vector<CrossbarId>& assignment);
+  void binarize_and_repair(Particle& p, util::Rng& rng);
+  void capacity_repair(std::vector<CrossbarId>& assignment, util::Rng& rng);
+  std::vector<CrossbarId> random_assignment(util::Rng& rng);
+
+  const snn::SnnGraph& graph_;
+  hw::Architecture arch_;
+  PsoConfig config_;
+  CostModel cost_;
+  Partition scratch_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace snnmap::core

@@ -1,0 +1,77 @@
+#include "hw/architecture.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnmap::hw {
+
+const char* to_string(InterconnectKind kind) noexcept {
+  switch (kind) {
+    case InterconnectKind::kMesh: return "mesh";
+    case InterconnectKind::kTree: return "tree";
+    case InterconnectKind::kRing: return "ring";
+  }
+  return "?";
+}
+
+InterconnectKind interconnect_from_string(const std::string& name) {
+  if (name == "mesh") return InterconnectKind::kMesh;
+  if (name == "tree") return InterconnectKind::kTree;
+  if (name == "ring") return InterconnectKind::kRing;
+  throw std::invalid_argument("unknown interconnect kind: '" + name + "'");
+}
+
+std::uint32_t Architecture::mesh_width() const noexcept {
+  // Squarest mesh that holds crossbar_count tiles.
+  std::uint32_t h = static_cast<std::uint32_t>(
+      std::floor(std::sqrt(static_cast<double>(crossbar_count))));
+  if (h == 0) h = 1;
+  std::uint32_t w = (crossbar_count + h - 1) / h;
+  return w;
+}
+
+std::uint32_t Architecture::mesh_height() const noexcept {
+  const std::uint32_t w = mesh_width();
+  return (crossbar_count + w - 1) / w;
+}
+
+Architecture Architecture::cxquad() noexcept {
+  Architecture a;
+  a.crossbar_count = 4;
+  a.neurons_per_crossbar = 256;
+  a.interconnect = InterconnectKind::kTree;
+  a.tree_arity = 4;
+  a.cycles_per_ms = 1000;
+  return a;
+}
+
+Architecture Architecture::sized_for(std::uint64_t neurons,
+                                     std::uint32_t neurons_per_crossbar,
+                                     InterconnectKind kind) {
+  if (neurons_per_crossbar == 0) {
+    throw std::invalid_argument("Architecture: neurons_per_crossbar must be > 0");
+  }
+  Architecture a;
+  a.neurons_per_crossbar = neurons_per_crossbar;
+  a.interconnect = kind;
+  const std::uint64_t count =
+      neurons == 0 ? 1 : (neurons + neurons_per_crossbar - 1) /
+                             neurons_per_crossbar;
+  a.crossbar_count = static_cast<std::uint32_t>(count);
+  return a;
+}
+
+std::string Architecture::describe() const {
+  std::ostringstream out;
+  out << crossbar_count << " crossbars x " << neurons_per_crossbar
+      << " neurons, " << to_string(interconnect) << " interconnect";
+  if (interconnect == InterconnectKind::kMesh) {
+    out << " (" << mesh_width() << "x" << mesh_height() << ")";
+  } else if (interconnect == InterconnectKind::kTree) {
+    out << " (arity " << tree_arity << ")";
+  }
+  return out.str();
+}
+
+}  // namespace snnmap::hw

@@ -1,0 +1,66 @@
+// Neuromorphic hardware architecture description (Fig. 1 of the paper).
+//
+// An architecture is C crossbars of Nc neurons each, joined by a
+// time-multiplexed global-synapse interconnect.  The paper's reference
+// hardware is CxQuad (4 crossbars, NoC-tree); TrueNorth/HiCANN use NoC-mesh.
+// The architecture is a pure value type: the NoC simulator and the
+// partitioners both consume it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snnmap::hw {
+
+/// Global-synapse interconnect families explored in the paper (Sec. II:
+/// "The commonly used ones are NoC-tree (CxQuad) and NoC-mesh (TrueNorth,
+/// HiCANN)").  Ring is included as an extra point for the interconnect
+/// ablation bench.
+enum class InterconnectKind : std::uint8_t { kMesh, kTree, kRing };
+
+const char* to_string(InterconnectKind kind) noexcept;
+
+/// Parse from the names used in config files ("mesh" / "tree" / "ring");
+/// throws std::invalid_argument on unknown names.
+InterconnectKind interconnect_from_string(const std::string& name);
+
+struct Architecture {
+  std::uint32_t crossbar_count = 4;
+  std::uint32_t neurons_per_crossbar = 256;
+  InterconnectKind interconnect = InterconnectKind::kTree;
+  /// Fan-out of internal tree routers (CxQuad joins 4 leaves under one hub).
+  std::uint32_t tree_arity = 4;
+  /// Interconnect cycles per simulated millisecond: the time-multiplexing
+  /// ratio between the SNN step and the NoC clock.
+  std::uint32_t cycles_per_ms = 1000;
+
+  /// Total neuron capacity of the device.
+  std::uint64_t capacity() const noexcept {
+    return static_cast<std::uint64_t>(crossbar_count) * neurons_per_crossbar;
+  }
+
+  /// True when a network of `neurons` fits.
+  bool fits(std::uint64_t neurons) const noexcept {
+    return neurons <= capacity();
+  }
+
+  /// Mesh side lengths (width >= height, width*height >= crossbar_count).
+  std::uint32_t mesh_width() const noexcept;
+  std::uint32_t mesh_height() const noexcept;
+
+  /// The CxQuad reference device: 1024 neurons in 4 crossbars of 256,
+  /// NoC-tree interconnect (Sec. I/II).
+  static Architecture cxquad() noexcept;
+
+  /// Smallest architecture of the given crossbar size and interconnect that
+  /// holds `neurons` neurons (used by the architecture-exploration bench,
+  /// Fig. 6, which sweeps neurons_per_crossbar and derives crossbar_count).
+  static Architecture sized_for(std::uint64_t neurons,
+                                std::uint32_t neurons_per_crossbar,
+                                InterconnectKind kind);
+
+  /// One-line human-readable description.
+  std::string describe() const;
+};
+
+}  // namespace snnmap::hw

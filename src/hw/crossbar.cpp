@@ -1,0 +1,11 @@
+#include "hw/crossbar.hpp"
+
+namespace snnmap::hw {
+
+bool Crossbar::add_neuron(std::uint32_t neuron) {
+  if (full()) return false;
+  neurons_.push_back(neuron);
+  return true;
+}
+
+}  // namespace snnmap::hw

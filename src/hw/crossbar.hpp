@@ -1,0 +1,56 @@
+// Crossbar occupancy and local-synapse energy accounting.
+//
+// A crossbar is an Nc x Nc array of memristive synapses between its resident
+// pre- and post-synaptic neurons.  For mapping purposes what matters is
+// (a) the capacity constraint and (b) the count of *local synaptic events*:
+// each spike of a resident pre neuron activates all its local synapses, and
+// every such activation costs EnergyModel::crossbar_event_pj.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/energy_model.hpp"
+
+namespace snnmap::hw {
+
+class Crossbar {
+ public:
+  Crossbar(std::uint32_t id, std::uint32_t capacity)
+      : id_(id), capacity_(capacity) {}
+
+  std::uint32_t id() const noexcept { return id_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint32_t occupancy() const noexcept {
+    return static_cast<std::uint32_t>(neurons_.size());
+  }
+  bool full() const noexcept { return occupancy() >= capacity_; }
+  double utilization() const noexcept {
+    return capacity_ ? static_cast<double>(occupancy()) / capacity_ : 0.0;
+  }
+
+  /// Registers a resident neuron; returns false (no-op) when full.
+  bool add_neuron(std::uint32_t neuron);
+  const std::vector<std::uint32_t>& neurons() const noexcept {
+    return neurons_;
+  }
+
+  /// Accounts `events` local synaptic activations.
+  void record_local_events(std::uint64_t events) noexcept {
+    local_events_ += events;
+  }
+  std::uint64_t local_events() const noexcept { return local_events_; }
+
+  /// Accumulated local-synapse energy in pJ under the given model.
+  double local_energy_pj(const EnergyModel& model) const noexcept {
+    return static_cast<double>(local_events_) * model.crossbar_event_pj;
+  }
+
+ private:
+  std::uint32_t id_;
+  std::uint32_t capacity_;
+  std::vector<std::uint32_t> neurons_;
+  std::uint64_t local_events_ = 0;
+};
+
+}  // namespace snnmap::hw

@@ -1,0 +1,50 @@
+// Energy model for local (crossbar) and global (interconnect) synapses.
+//
+// The paper uses "power numbers from in-house neuromorphic chips" (CxQuad);
+// those are unreleased, so the defaults here are set in the published
+// neuromorphic range (e.g. TrueNorth's 26 pJ per synaptic event) and, as in
+// Noxim/Noxim++, every value can be overridden from a YAML(-subset) file.
+// Only relative shapes matter for the reproduced figures.
+#pragma once
+
+#include <string>
+
+#include "util/config.hpp"
+
+namespace snnmap::hw {
+
+struct EnergyModel {
+  /// Energy per synaptic event inside a crossbar (one pre spike activating
+  /// one local synapse), in pJ.
+  double crossbar_event_pj = 2.2;
+  /// Energy per flit per inter-router link traversal, in pJ.
+  double link_hop_pj = 10.5;
+  /// Energy per flit per router traversal (buffering + arbitration +
+  /// switching), in pJ.
+  double router_flit_pj = 6.0;
+  /// Energy to encode one spike into an AER packet at the source crossbar
+  /// and decode it at the destination, in pJ (paid once per packet copy).
+  double aer_codec_pj = 1.8;
+
+  /// CxQuad-like defaults (identical to the member initializers; spelled out
+  /// so call sites can be explicit about the provenance of their numbers).
+  static EnergyModel cxquad() noexcept { return {}; }
+
+  /// Loads overrides from a parsed config; recognized keys are
+  ///   energy.crossbar_event_pj, energy.link_hop_pj,
+  ///   energy.router_flit_pj, energy.aer_codec_pj
+  /// Unknown keys are ignored (the file may also configure the NoC).
+  static EnergyModel from_config(const util::Config& config);
+
+  /// Serializes to the same key set.
+  void to_config(util::Config& config) const;
+
+  /// Energy of a unicast packet copy crossing `hops` links and `hops + 1`
+  /// routers, in pJ.
+  double packet_energy_pj(std::uint32_t hops) const noexcept {
+    return aer_codec_pj + static_cast<double>(hops) * link_hop_pj +
+           static_cast<double>(hops + 1) * router_flit_pj;
+  }
+};
+
+}  // namespace snnmap::hw

@@ -1,0 +1,32 @@
+#include "noc/aer.hpp"
+
+#include <stdexcept>
+
+namespace snnmap::noc {
+
+AerWord aer_encode(const AerEvent& event) {
+  if (event.source_neuron > kAerMaxNeuron) {
+    throw std::out_of_range("aer_encode: neuron id exceeds 20-bit field");
+  }
+  if (event.source_crossbar > kAerMaxCrossbar) {
+    throw std::out_of_range("aer_encode: crossbar id exceeds 12-bit field");
+  }
+  AerWord w;
+  w.bits = (static_cast<std::uint64_t>(event.source_neuron)
+            << (kAerCrossbarBits + kAerTimeBits)) |
+           (static_cast<std::uint64_t>(event.source_crossbar) << kAerTimeBits) |
+           static_cast<std::uint64_t>(event.timestamp);
+  return w;
+}
+
+AerEvent aer_decode(AerWord word) noexcept {
+  AerEvent e;
+  e.timestamp = static_cast<std::uint32_t>(word.bits & 0xFFFFFFFFULL);
+  e.source_crossbar = static_cast<std::uint32_t>(
+      (word.bits >> kAerTimeBits) & kAerMaxCrossbar);
+  e.source_neuron = static_cast<std::uint32_t>(
+      (word.bits >> (kAerCrossbarBits + kAerTimeBits)) & kAerMaxNeuron);
+  return e;
+}
+
+}  // namespace snnmap::noc

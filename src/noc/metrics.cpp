@@ -1,0 +1,102 @@
+#include "noc/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace snnmap::noc {
+
+std::uint64_t NocStats::max_link_flits() const noexcept {
+  std::uint64_t max_flits = 0;
+  for (const auto& [link, flits] : link_flits) {
+    max_flits = std::max(max_flits, flits);
+  }
+  return max_flits;
+}
+
+double NocStats::mean_link_flits() const noexcept {
+  if (link_flits.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [link, flits] : link_flits) {
+    sum += static_cast<double>(flits);
+  }
+  return sum / static_cast<double>(link_flits.size());
+}
+
+double NocStats::link_hotspot_factor() const noexcept {
+  const double mean = mean_link_flits();
+  return mean > 0.0 ? static_cast<double>(max_link_flits()) / mean : 0.0;
+}
+
+double NocStats::throughput_aer_per_ms(
+    std::uint32_t cycles_per_ms) const noexcept {
+  if (duration_cycles == 0 || cycles_per_ms == 0) return 0.0;
+  const double ms =
+      static_cast<double>(duration_cycles) / static_cast<double>(cycles_per_ms);
+  return static_cast<double>(copies_delivered) / ms;
+}
+
+SnnMetrics compute_snn_metrics(std::vector<DeliveredSpike> delivered) {
+  SnnMetrics m;
+  m.delivered_spikes = delivered.size();
+  if (delivered.empty()) return m;
+
+  // ---- Spike disorder: per destination, arrival order vs emission order.
+  std::sort(delivered.begin(), delivered.end(),
+            [](const DeliveredSpike& a, const DeliveredSpike& b) {
+              if (a.dest_tile != b.dest_tile) return a.dest_tile < b.dest_tile;
+              if (a.recv_cycle != b.recv_cycle)
+                return a.recv_cycle < b.recv_cycle;
+              return a.emit_cycle < b.emit_cycle;
+            });
+  std::size_t i = 0;
+  while (i < delivered.size()) {
+    std::size_t j = i;
+    std::uint64_t max_step_seen = 0;
+    bool first = true;
+    while (j < delivered.size() &&
+           delivered[j].dest_tile == delivered[i].dest_tile) {
+      if (!first && delivered[j].emit_step < max_step_seen) {
+        ++m.disordered_spikes;  // an earlier-step spike arrived late
+      }
+      max_step_seen = std::max(max_step_seen, delivered[j].emit_step);
+      first = false;
+      ++j;
+    }
+    i = j;
+  }
+  m.disorder_fraction = static_cast<double>(m.disordered_spikes) /
+                        static_cast<double>(m.delivered_spikes);
+
+  // ---- ISI distortion: per (source neuron, destination) stream.
+  std::sort(delivered.begin(), delivered.end(),
+            [](const DeliveredSpike& a, const DeliveredSpike& b) {
+              if (a.source_neuron != b.source_neuron)
+                return a.source_neuron < b.source_neuron;
+              if (a.dest_tile != b.dest_tile) return a.dest_tile < b.dest_tile;
+              return a.sequence < b.sequence;
+            });
+  util::Accumulator isi;
+  double max_distortion = 0.0;
+  for (std::size_t k = 1; k < delivered.size(); ++k) {
+    const DeliveredSpike& prev = delivered[k - 1];
+    const DeliveredSpike& cur = delivered[k];
+    if (prev.source_neuron != cur.source_neuron ||
+        prev.dest_tile != cur.dest_tile) {
+      continue;
+    }
+    const double sent_isi = static_cast<double>(cur.emit_cycle) -
+                            static_cast<double>(prev.emit_cycle);
+    const double recv_isi = static_cast<double>(cur.recv_cycle) -
+                            static_cast<double>(prev.recv_cycle);
+    const double distortion = std::abs(recv_isi - sent_isi);
+    isi.add(distortion);
+    max_distortion = std::max(max_distortion, distortion);
+  }
+  m.isi_pairs = isi.count();
+  m.isi_distortion_avg_cycles = isi.mean();
+  m.isi_distortion_max_cycles = max_distortion;
+  return m;
+}
+
+}  // namespace snnmap::noc

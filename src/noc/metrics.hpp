@@ -1,0 +1,85 @@
+// Interconnect metrics, including the two SNN-specific metrics the paper
+// introduces (Sec. II):
+//
+//  * Spike disorder count — fraction of delivered spikes that arrive at a
+//    destination after a spike that was emitted later ("crossbar with B is
+//    arbitrated to occupy the interconnect prior to crossbar with A").
+//  * Inter-spike-interval (ISI) distortion — per (source neuron, destination)
+//    stream, the difference between consecutive emission intervals and the
+//    corresponding arrival intervals, caused by congestion delaying some
+//    packets more than others.  Table II reports the average; Sec. III also
+//    defines the maximum — both are computed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "util/stats.hpp"
+
+namespace snnmap::noc {
+
+/// One delivered spike copy, as observed by the destination decoder.
+struct DeliveredSpike {
+  std::uint32_t source_neuron = 0;
+  TileId source_tile = 0;
+  TileId dest_tile = 0;
+  std::uint64_t emit_cycle = 0;  ///< cycle the encoder transmitted the packet
+  /// SNN timestep (ms index) of the spike.  Disorder is judged on this, not
+  /// on emit_cycle: spikes of the same 1 ms step have no defined order (the
+  /// encoder serializes them arbitrarily), so only cross-step overtaking is
+  /// information loss.
+  std::uint64_t emit_step = 0;
+  std::uint64_t recv_cycle = 0;  ///< cycle the decoder received it
+  std::uint32_t sequence = 0;    ///< per-source-neuron emission counter
+
+  std::uint64_t latency() const noexcept { return recv_cycle - emit_cycle; }
+};
+
+/// Conventional interconnect statistics (latency/energy/throughput, Sec. II).
+struct NocStats {
+  std::uint64_t packets_injected = 0;   ///< traffic events offered
+  std::uint64_t flits_injected = 0;     ///< flit copies entering the NoC
+  std::uint64_t copies_delivered = 0;   ///< flit copies reaching a decoder
+  std::uint64_t link_hops = 0;          ///< flit-link traversals
+  std::uint64_t router_traversals = 0;  ///< flit-router traversals
+  double global_energy_pj = 0.0;        ///< interconnect (global synapse) energy
+  util::Accumulator latency_cycles;     ///< per delivered copy
+  std::uint64_t max_latency_cycles = 0;
+  std::uint64_t duration_cycles = 0;    ///< cycles until the NoC drained
+  bool drained = true;                  ///< false if max_cycles was hit
+  /// Flit traversals per directed link, keyed (from_router << 32) | to.
+  /// Exposes hotspots; summarized by link_utilization_*() below.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> link_flits;
+
+  /// AER packets per millisecond observed at decoders.
+  double throughput_aer_per_ms(std::uint32_t cycles_per_ms) const noexcept;
+
+  /// Max and mean flits over links that carried traffic (0 when none).
+  std::uint64_t max_link_flits() const noexcept;
+  double mean_link_flits() const noexcept;
+  /// Hotspot factor: max/mean over used links (1.0 = perfectly even).
+  double link_hotspot_factor() const noexcept;
+};
+
+/// The paper's SNN performance metrics.
+struct SnnMetrics {
+  double isi_distortion_avg_cycles = 0.0;
+  double isi_distortion_max_cycles = 0.0;
+  double disorder_fraction = 0.0;  ///< disordered spikes / delivered spikes
+  std::uint64_t disordered_spikes = 0;
+  std::uint64_t delivered_spikes = 0;
+  std::uint64_t isi_pairs = 0;  ///< number of (stream, consecutive-pair) samples
+
+  double disorder_percent() const noexcept { return disorder_fraction * 100.0; }
+};
+
+/// Computes disorder + ISI distortion from the delivery log.
+/// Disorder: per destination tile, scan deliveries in arrival order and count
+/// spikes overtaken by a later-emitted spike.
+/// ISI distortion: per (source neuron, destination tile) stream in emission
+/// order, |(recv_i - recv_{i-1}) - (emit_i - emit_{i-1})|.
+SnnMetrics compute_snn_metrics(std::vector<DeliveredSpike> delivered);
+
+}  // namespace snnmap::noc

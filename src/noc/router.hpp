@@ -1,0 +1,81 @@
+// Input-buffered NoC router with round-robin output arbitration and
+// router-level multicast (the paper's Noxim++ adds a "multicast feature,
+// where spike packets can be communicated to a selected subset of crossbars").
+//
+// Packets are single-flit (an AER word fits one flit), store-and-forward.
+// A multicast flit occupies its input-queue head until every output port its
+// destination set requires has been served; each served port receives an
+// independent copy carrying the subset of destinations routed through it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/aer.hpp"
+#include "noc/topology.hpp"
+
+namespace snnmap::noc {
+
+/// A single-flit packet (or packet copy) in flight.
+struct Flit {
+  AerWord payload;               ///< encoded AER word
+  std::uint32_t source_neuron = 0;
+  TileId source_tile = 0;
+  std::uint64_t emit_cycle = 0;
+  std::uint64_t emit_step = 0;
+  std::uint32_t sequence = 0;    ///< per-source-neuron emission counter
+  std::vector<TileId> dests;     ///< remaining destination tiles of this copy
+  std::uint64_t served_ports = 0;  ///< bitmask of output ports already served
+
+  bool port_served(std::uint32_t port) const noexcept {
+    return (served_ports >> port) & 1ULL;
+  }
+  void mark_served(std::uint32_t port) noexcept {
+    served_ports |= 1ULL << port;
+  }
+};
+
+/// Per-router state: one FIFO per input (inter-router ports in neighbor
+/// order, plus one injection queue at index port_count), and a round-robin
+/// pointer per output port (+ local ejection port at index port_count).
+class Router {
+ public:
+  Router(RouterId id, std::uint32_t port_count, std::uint32_t buffer_depth);
+
+  RouterId id() const noexcept { return id_; }
+  std::uint32_t port_count() const noexcept { return port_count_; }
+  std::uint32_t buffer_depth() const noexcept { return buffer_depth_; }
+
+  /// Input queue `port`, where port == port_count() is the injection queue.
+  std::deque<Flit>& in_queue(std::uint32_t port) { return queues_.at(port); }
+  const std::deque<Flit>& in_queue(std::uint32_t port) const {
+    return queues_.at(port);
+  }
+  std::uint32_t input_count() const noexcept { return port_count_ + 1; }
+
+  /// True if inter-router input `port` can take one more flit, given
+  /// `staged` arrivals already bound for it this cycle.  The injection queue
+  /// is unbounded (the encoder stalls the crossbar, not the NoC).
+  bool can_accept(std::uint32_t port, std::size_t staged) const;
+
+  /// Round-robin pointer for output `out_port` (port_count() = local eject).
+  std::uint32_t rr_pointer(std::uint32_t out_port) const {
+    return rr_.at(out_port);
+  }
+  void advance_rr(std::uint32_t out_port) {
+    rr_.at(out_port) = (rr_.at(out_port) + 1) % input_count();
+  }
+
+  bool all_queues_empty() const noexcept;
+  std::size_t buffered_flits() const noexcept;
+
+ private:
+  RouterId id_;
+  std::uint32_t port_count_;
+  std::uint32_t buffer_depth_;
+  std::vector<std::deque<Flit>> queues_;  // port_count_ + 1 (injection last)
+  std::vector<std::uint32_t> rr_;         // port_count_ + 1 (local last)
+};
+
+}  // namespace snnmap::noc

@@ -1,0 +1,278 @@
+#include "noc/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace snnmap::noc {
+
+NocSimulator::NocSimulator(Topology topology, NocConfig config)
+    : topology_(std::move(topology)), config_(config) {
+  // reverse_port_[r][o] = input-port index at neighbor(r, o) through which
+  // flits sent from r arrive (the neighbor's port back toward r).
+  const std::uint32_t n = topology_.router_count();
+  reverse_port_.resize(n);
+  for (RouterId r = 0; r < n; ++r) {
+    const std::uint32_t ports = topology_.port_count(r);
+    reverse_port_[r].resize(ports);
+    for (PortId o = 0; o < ports; ++o) {
+      const RouterId nb = topology_.neighbor(r, o);
+      std::uint32_t back = static_cast<std::uint32_t>(-1);
+      for (PortId p = 0; p < topology_.port_count(nb); ++p) {
+        if (topology_.neighbor(nb, p) == r) {
+          back = p;
+          break;
+        }
+      }
+      if (back == static_cast<std::uint32_t>(-1)) {
+        throw std::logic_error("NocSimulator: asymmetric topology link");
+      }
+      reverse_port_[r][o] = back;
+    }
+  }
+}
+
+std::vector<TileId> NocSimulator::dests_via_port(
+    const Router& r, const Flit& flit, std::uint32_t out_port,
+    const std::vector<std::vector<std::size_t>>& staged_count,
+    const std::vector<Router>& routers) const {
+  std::vector<TileId> subset;
+  const bool adaptive_single = flit.dests.size() == 1;
+  for (TileId dest : flit.dests) {
+    const RouterId dst_router = topology_.router_of_tile(dest);
+    if (dst_router == r.id()) {
+      if (out_port == r.port_count()) subset.push_back(dest);
+      continue;
+    }
+    PortId candidates[3];
+    const std::uint32_t count =
+        topology_.route_candidates(r.id(), dst_router, candidates);
+    PortId chosen = candidates[0];
+    if (adaptive_single && count > 1) {
+      // Selection strategy: pick among the turn-model's legal candidates.
+      if (config_.selection == SelectionStrategy::kFirstCandidate) {
+        for (std::uint32_t k = 0; k < count; ++k) {
+          const RouterId nb = topology_.neighbor(r.id(), candidates[k]);
+          const std::uint32_t nb_port = reverse_port_[r.id()][candidates[k]];
+          if (routers[nb].can_accept(nb_port, staged_count[nb][nb_port])) {
+            chosen = candidates[k];
+            break;
+          }
+        }
+      } else {  // kBufferLevel: most free downstream slots (ties: first)
+        std::size_t best_free = 0;
+        for (std::uint32_t k = 0; k < count; ++k) {
+          const RouterId nb = topology_.neighbor(r.id(), candidates[k]);
+          const std::uint32_t nb_port = reverse_port_[r.id()][candidates[k]];
+          const std::size_t used = routers[nb].in_queue(nb_port).size() +
+                                   staged_count[nb][nb_port];
+          const std::size_t free =
+              used >= config_.buffer_depth ? 0 : config_.buffer_depth - used;
+          if (free > best_free) {
+            best_free = free;
+            chosen = candidates[k];
+          }
+        }
+      }
+    }
+    if (chosen == out_port) subset.push_back(dest);
+  }
+  return subset;
+}
+
+const char* to_string(SelectionStrategy selection) noexcept {
+  switch (selection) {
+    case SelectionStrategy::kFirstCandidate: return "first-candidate";
+    case SelectionStrategy::kBufferLevel: return "buffer-level";
+  }
+  return "?";
+}
+
+NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
+  NocRunResult result;
+  NocStats& stats = result.stats;
+
+  std::sort(traffic.begin(), traffic.end(),
+            [](const SpikePacketEvent& a, const SpikePacketEvent& b) {
+              if (a.emit_cycle != b.emit_cycle)
+                return a.emit_cycle < b.emit_cycle;
+              if (a.source_tile != b.source_tile)
+                return a.source_tile < b.source_tile;
+              return a.source_neuron < b.source_neuron;
+            });
+
+  std::vector<Router> routers;
+  routers.reserve(topology_.router_count());
+  for (RouterId r = 0; r < topology_.router_count(); ++r) {
+    routers.emplace_back(r, topology_.port_count(r), config_.buffer_depth);
+  }
+
+  std::unordered_map<std::uint32_t, std::uint32_t> sequence_counter;
+  std::map<std::uint64_t, std::uint64_t> link_flits;  // directed link -> count
+  std::size_t next_event = 0;
+  std::uint64_t now = 0;
+  std::size_t in_flight = 0;
+
+  std::vector<StagedMove> staged;
+  // staged_count[r][port] = arrivals already bound for that queue this cycle.
+  std::vector<std::vector<std::size_t>> staged_count(topology_.router_count());
+  for (RouterId r = 0; r < topology_.router_count(); ++r) {
+    staged_count[r].assign(topology_.port_count(r) + 1, 0);
+  }
+
+  const auto make_flit = [&](const SpikePacketEvent& ev,
+                             std::vector<TileId> dests) {
+    Flit f;
+    f.source_neuron = ev.source_neuron;
+    f.source_tile = ev.source_tile;
+    f.emit_cycle = ev.emit_cycle;
+    f.emit_step = ev.emit_step;
+    f.sequence = sequence_counter[ev.source_neuron];
+    f.dests = std::move(dests);
+    f.payload = aer_encode({ev.source_neuron & kAerMaxNeuron,
+                            ev.source_tile & kAerMaxCrossbar,
+                            static_cast<std::uint32_t>(ev.emit_cycle)});
+    return f;
+  };
+
+  while (true) {
+    // ---- 1. Inject all packets emitted this cycle.
+    while (next_event < traffic.size() &&
+           traffic[next_event].emit_cycle <= now) {
+      const SpikePacketEvent& ev = traffic[next_event];
+      if (ev.dest_tiles.empty()) {
+        throw std::invalid_argument(
+            "NocSimulator: packet event with no destinations");
+      }
+      Router& src = routers.at(topology_.router_of_tile(ev.source_tile));
+      ++stats.packets_injected;
+      if (config_.multicast) {
+        src.in_queue(src.port_count()).push_back(make_flit(ev, ev.dest_tiles));
+        ++stats.flits_injected;
+        stats.global_energy_pj += config_.energy.aer_codec_pj;
+        ++in_flight;
+      } else {
+        // Source-replicated unicast: one independent copy per destination.
+        for (TileId dest : ev.dest_tiles) {
+          src.in_queue(src.port_count()).push_back(make_flit(ev, {dest}));
+          ++stats.flits_injected;
+          stats.global_energy_pj += config_.energy.aer_codec_pj;
+          ++in_flight;
+        }
+      }
+      ++sequence_counter[traffic[next_event].source_neuron];
+      ++next_event;
+    }
+
+    if (in_flight == 0) {
+      if (next_event >= traffic.size()) break;  // drained
+      // Fast-forward idle gaps between traffic bursts.
+      now = traffic[next_event].emit_cycle;
+      continue;
+    }
+    if (now >= config_.max_cycles) {
+      stats.drained = false;
+      util::log_warn("NocSimulator: max_cycles reached with ", in_flight,
+                     " flits in flight");
+      break;
+    }
+
+    // ---- 2. Arbitration: each output port of each router moves <= 1 flit.
+    staged.clear();
+    for (auto& counts : staged_count) {
+      std::fill(counts.begin(), counts.end(), 0);
+    }
+
+    for (Router& r : routers) {
+      const std::uint32_t outputs = r.port_count() + 1;  // + local eject
+      for (std::uint32_t out = 0; out < outputs; ++out) {
+        // Round-robin over input queues for this output.
+        const std::uint32_t inputs = r.input_count();
+        const std::uint32_t start = r.rr_pointer(out);
+        for (std::uint32_t k = 0; k < inputs; ++k) {
+          const std::uint32_t in = (start + k) % inputs;
+          auto& queue = r.in_queue(in);
+          if (queue.empty()) continue;
+          Flit& head = queue.front();
+          if (head.dests.empty()) continue;  // fully served, pops below
+          const std::vector<TileId> subset =
+              dests_via_port(r, head, out, staged_count, routers);
+          if (subset.empty()) continue;
+
+          if (out == r.port_count()) {
+            // Local ejection: deliver every destination attached here
+            // (exactly one tile per router).
+            for (TileId dest : subset) {
+              DeliveredSpike d;
+              d.source_neuron = head.source_neuron;
+              d.source_tile = head.source_tile;
+              d.dest_tile = dest;
+              d.emit_cycle = head.emit_cycle;
+              d.emit_step = head.emit_step;
+              d.recv_cycle = now + 1;
+              d.sequence = head.sequence;
+              result.delivered.push_back(d);
+              ++stats.copies_delivered;
+              stats.latency_cycles.add(static_cast<double>(d.latency()));
+              stats.max_latency_cycles =
+                  std::max(stats.max_latency_cycles, d.latency());
+            }
+            ++stats.router_traversals;
+            stats.global_energy_pj +=
+                config_.energy.router_flit_pj + config_.energy.aer_codec_pj;
+          } else {
+            const RouterId nb = topology_.neighbor(r.id(), out);
+            const std::uint32_t nb_port = reverse_port_[r.id()][out];
+            if (!routers[nb].can_accept(nb_port,
+                                        staged_count[nb][nb_port])) {
+              continue;  // backpressure: try another input for this output
+            }
+            Flit copy = head;
+            copy.dests = subset;
+            staged.push_back({nb, nb_port, std::move(copy)});
+            ++staged_count[nb][nb_port];
+            ++in_flight;
+            ++stats.link_hops;
+            ++stats.router_traversals;
+            ++link_flits[(static_cast<std::uint64_t>(r.id()) << 32) | nb];
+            stats.global_energy_pj +=
+                config_.energy.link_hop_pj + config_.energy.router_flit_pj;
+          }
+          // Served destinations leave the head flit; it pops once empty.
+          for (const TileId dest : subset) {
+            head.dests.erase(
+                std::find(head.dests.begin(), head.dests.end(), dest));
+          }
+          r.advance_rr(out);
+          break;  // this output port is used for this cycle
+        }
+      }
+      // Pop head flits whose destinations have all been served.
+      for (std::uint32_t in = 0; in < r.input_count(); ++in) {
+        auto& queue = r.in_queue(in);
+        if (!queue.empty() && queue.front().dests.empty()) {
+          queue.pop_front();
+          --in_flight;
+        }
+      }
+    }
+
+    // ---- 3. Commit staged inter-router moves.
+    for (auto& move : staged) {
+      routers[move.to_router].in_queue(move.to_port).push_back(
+          std::move(move.flit));
+    }
+
+    ++now;
+  }
+
+  stats.duration_cycles = now;
+  stats.link_flits.assign(link_flits.begin(), link_flits.end());
+  result.snn = compute_snn_metrics(result.delivered);
+  return result;
+}
+
+}  // namespace snnmap::noc

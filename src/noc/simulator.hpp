@@ -1,0 +1,95 @@
+// Cycle-accurate simulator of the time-multiplexed global-synapse
+// interconnect (the Noxim++ substitute).
+//
+// The simulator consumes a spike traffic trace (one SpikePacketEvent per
+// source-neuron spike, with the set of destination crossbars computed by the
+// mapping flow), runs the routers cycle by cycle with backpressure and
+// round-robin arbitration, and produces the conventional metrics
+// (latency / energy / throughput) plus the delivery log from which the
+// SNN-specific metrics (disorder, ISI distortion) are computed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/energy_model.hpp"
+#include "noc/metrics.hpp"
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+
+namespace snnmap::noc {
+
+/// One spike offered to the interconnect.
+struct SpikePacketEvent {
+  std::uint64_t emit_cycle = 0;
+  /// SNN timestep (ms index) of the spike; used for disorder accounting
+  /// (see DeliveredSpike::emit_step).
+  std::uint64_t emit_step = 0;
+  std::uint32_t source_neuron = 0;
+  TileId source_tile = 0;
+  /// Remote crossbars holding at least one post-synaptic neuron.  Must not
+  /// contain source_tile (local synapses never enter the NoC).
+  std::vector<TileId> dest_tiles;
+};
+
+/// How a flit with several legal (adaptive) next hops picks one — Noxim's
+/// "selection strategy".  Applies to single-destination flits under the
+/// adaptive mesh routings; multi-destination (multicast) flits always take
+/// each destination's first candidate.
+enum class SelectionStrategy : std::uint8_t {
+  kFirstCandidate,  ///< deterministic: lowest-priority candidate that fits
+  kBufferLevel,     ///< congestion-aware: most free downstream buffer space
+};
+
+const char* to_string(SelectionStrategy selection) noexcept;
+
+struct NocConfig {
+  std::uint32_t buffer_depth = 4;  ///< flits per inter-router input FIFO
+  bool multicast = true;           ///< false = source-replicated unicasts
+  SelectionStrategy selection = SelectionStrategy::kFirstCandidate;
+  hw::EnergyModel energy;
+  /// Safety bound; the run reports drained=false if traffic does not
+  /// complete within this many cycles.
+  std::uint64_t max_cycles = 20'000'000;
+};
+
+struct NocRunResult {
+  NocStats stats;
+  SnnMetrics snn;
+  std::vector<DeliveredSpike> delivered;
+};
+
+class NocSimulator {
+ public:
+  NocSimulator(Topology topology, NocConfig config);
+
+  /// Simulates the trace to completion (or max_cycles).  The trace is sorted
+  /// by emit_cycle internally; sequence numbers are assigned per source
+  /// neuron in emission order.
+  NocRunResult run(std::vector<SpikePacketEvent> traffic);
+
+  const Topology& topology() const noexcept { return topology_; }
+  const NocConfig& config() const noexcept { return config_; }
+
+ private:
+  struct StagedMove {
+    RouterId to_router;
+    std::uint32_t to_port;
+    Flit flit;
+  };
+
+  /// Destinations of `flit` assigned to `out_port` this cycle: local
+  /// ejections when out_port is the local port, otherwise remote dests whose
+  /// chosen next hop (deterministic first candidate, or the selection
+  /// strategy's pick for single-destination flits) is out_port.
+  std::vector<TileId> dests_via_port(
+      const Router& r, const Flit& flit, std::uint32_t out_port,
+      const std::vector<std::vector<std::size_t>>& staged_count,
+      const std::vector<Router>& routers) const;
+
+  Topology topology_;
+  NocConfig config_;
+  std::vector<std::vector<std::uint32_t>> reverse_port_;  // [r][out] -> in at nb
+};
+
+}  // namespace snnmap::noc

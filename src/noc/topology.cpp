@@ -1,0 +1,291 @@
+#include "noc/topology.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace snnmap::noc {
+
+const char* to_string(MeshRouting routing) noexcept {
+  switch (routing) {
+    case MeshRouting::kXY: return "xy";
+    case MeshRouting::kYX: return "yx";
+    case MeshRouting::kWestFirst: return "west-first";
+    case MeshRouting::kNorthLast: return "north-last";
+  }
+  return "?";
+}
+
+MeshRouting mesh_routing_from_string(const std::string& name) {
+  if (name == "xy") return MeshRouting::kXY;
+  if (name == "yx") return MeshRouting::kYX;
+  if (name == "west-first") return MeshRouting::kWestFirst;
+  if (name == "north-last") return MeshRouting::kNorthLast;
+  throw std::invalid_argument("unknown mesh routing: '" + name + "'");
+}
+
+void Topology::set_mesh_routing(MeshRouting routing) {
+  if (kind_ != hw::InterconnectKind::kMesh) {
+    throw std::logic_error("Topology: routing algorithms apply to mesh only");
+  }
+  routing_ = routing;
+}
+
+void Topology::check_router(RouterId router) const {
+  if (router >= router_count()) {
+    throw std::out_of_range("Topology: router id out of range");
+  }
+}
+
+RouterId Topology::router_of_tile(TileId tile) const {
+  if (tile >= tile_router_.size()) {
+    throw std::out_of_range("Topology: tile id out of range");
+  }
+  return tile_router_[tile];
+}
+
+TileId Topology::tile_of_router(RouterId router) const {
+  check_router(router);
+  return router_tile_[router];
+}
+
+std::uint32_t Topology::port_count(RouterId router) const {
+  check_router(router);
+  return static_cast<std::uint32_t>(neighbors_[router].size());
+}
+
+RouterId Topology::neighbor(RouterId router, PortId port) const {
+  check_router(router);
+  if (port >= neighbors_[router].size()) {
+    throw std::out_of_range("Topology: port id out of range");
+  }
+  return neighbors_[router][port];
+}
+
+PortId Topology::next_port(RouterId router, RouterId dst) const {
+  if (router == dst) {
+    check_router(router);
+    return kLocalPort;
+  }
+  PortId candidates[3];
+  const std::uint32_t count = route_candidates(router, dst, candidates);
+  if (count == 0) {
+    throw std::logic_error("Topology: no route candidate");
+  }
+  return candidates[0];
+}
+
+std::uint32_t Topology::route_candidates(RouterId router, RouterId dst,
+                                         PortId out[3]) const {
+  check_router(router);
+  check_router(dst);
+  if (router == dst) {
+    out[0] = kLocalPort;
+    return 1;
+  }
+  if (kind_ != hw::InterconnectKind::kMesh) {
+    out[0] = route_[static_cast<std::size_t>(router) * router_count() + dst];
+    return 1;
+  }
+  const std::uint32_t w = mesh_width_;
+  const auto x = static_cast<std::int32_t>(router % w);
+  const auto y = static_cast<std::int32_t>(router / w);
+  const std::int32_t dx = static_cast<std::int32_t>(dst % w) - x;
+  const std::int32_t dy = static_cast<std::int32_t>(dst / w) - y;
+
+  const auto port_toward = [&](RouterId next) -> PortId {
+    for (PortId p = 0; p < neighbors_[router].size(); ++p) {
+      if (neighbors_[router][p] == next) return p;
+    }
+    throw std::logic_error("Topology: next hop is not a neighbor");
+  };
+  // Productive neighbor routers per direction ("north" = decreasing y).
+  const RouterId east = router + 1;
+  const RouterId west = router - 1;
+  const RouterId south = router + w;
+  const RouterId north = router - w;
+
+  std::uint32_t count = 0;
+  const auto add = [&](RouterId next) { out[count++] = port_toward(next); };
+  switch (routing_) {
+    case MeshRouting::kXY:
+      if (dx != 0) {
+        add(dx > 0 ? east : west);
+      } else {
+        add(dy > 0 ? south : north);
+      }
+      break;
+    case MeshRouting::kYX:
+      if (dy != 0) {
+        add(dy > 0 ? south : north);
+      } else {
+        add(dx > 0 ? east : west);
+      }
+      break;
+    case MeshRouting::kWestFirst:
+      // Westward moves must complete first; otherwise fully adaptive among
+      // the remaining productive directions {E, N, S}.
+      if (dx < 0) {
+        add(west);
+      } else {
+        if (dx > 0) add(east);
+        if (dy < 0) add(north);
+        if (dy > 0) add(south);
+      }
+      break;
+    case MeshRouting::kNorthLast:
+      // Turns out of the north direction are forbidden, so go north only
+      // when it is the sole productive direction.
+      if (dx > 0) add(east);
+      if (dx < 0) add(west);
+      if (dy > 0) add(south);
+      if (count == 0 && dy < 0) add(north);
+      break;
+  }
+  return count;
+}
+
+std::uint32_t Topology::hop_distance(TileId a, TileId b) const {
+  RouterId r = router_of_tile(a);
+  const RouterId dst = router_of_tile(b);
+  std::uint32_t hops = 0;
+  while (r != dst) {
+    const PortId p = next_port(r, dst);
+    r = neighbors_[r][p];
+    ++hops;
+    if (hops > router_count() + 1) {
+      throw std::logic_error("Topology: routing loop detected");
+    }
+  }
+  return hops;
+}
+
+Topology Topology::mesh(std::uint32_t width, std::uint32_t height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Topology: mesh dimensions must be > 0");
+  }
+  Topology t;
+  t.kind_ = hw::InterconnectKind::kMesh;
+  t.mesh_width_ = width;
+  t.mesh_height_ = height;
+  const std::uint32_t n = width * height;
+  t.neighbors_.resize(n);
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const RouterId r = y * width + x;
+      auto& nb = t.neighbors_[r];
+      if (x + 1 < width) nb.push_back(r + 1);
+      if (x > 0) nb.push_back(r - 1);
+      if (y + 1 < height) nb.push_back(r + width);
+      if (y > 0) nb.push_back(r - width);
+    }
+  }
+  t.tile_router_.resize(n);
+  t.router_tile_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.tile_router_[i] = i;
+    t.router_tile_[i] = i;
+  }
+  t.link_count_ = (width - 1) * height + width * (height - 1);
+  // Mesh routes analytically via XY; no table needed.
+  return t;
+}
+
+Topology Topology::tree(std::uint32_t tiles, std::uint32_t arity) {
+  if (tiles == 0) throw std::invalid_argument("Topology: tree needs tiles");
+  if (arity < 2) throw std::invalid_argument("Topology: tree arity must be >= 2");
+  Topology t;
+  t.kind_ = hw::InterconnectKind::kTree;
+  // Level 0: one leaf router per tile; parents group `arity` children until
+  // a single root remains.
+  std::vector<RouterId> level;
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    t.neighbors_.emplace_back();
+    level.push_back(i);
+    t.router_tile_.push_back(i);
+    t.tile_router_.push_back(i);
+  }
+  while (level.size() > 1) {
+    std::vector<RouterId> parents;
+    for (std::size_t i = 0; i < level.size(); i += arity) {
+      const RouterId parent = static_cast<RouterId>(t.neighbors_.size());
+      t.neighbors_.emplace_back();
+      t.router_tile_.push_back(kNoRouter);
+      for (std::size_t j = i; j < std::min(level.size(), i + arity); ++j) {
+        t.neighbors_[parent].push_back(level[j]);
+        t.neighbors_[level[j]].push_back(parent);
+        ++t.link_count_;
+      }
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+  }
+  t.build_routes();
+  return t;
+}
+
+Topology Topology::ring(std::uint32_t tiles) {
+  if (tiles == 0) throw std::invalid_argument("Topology: ring needs tiles");
+  Topology t;
+  t.kind_ = hw::InterconnectKind::kRing;
+  t.neighbors_.resize(tiles);
+  t.tile_router_.resize(tiles);
+  t.router_tile_.resize(tiles);
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    t.tile_router_[i] = i;
+    t.router_tile_[i] = i;
+    if (tiles > 1) {
+      t.neighbors_[i].push_back((i + 1) % tiles);             // clockwise
+      if (tiles > 2) t.neighbors_[i].push_back((i + tiles - 1) % tiles);
+    }
+  }
+  t.link_count_ = tiles > 2 ? tiles : (tiles == 2 ? 1 : 0);
+  t.build_routes();
+  return t;
+}
+
+Topology Topology::for_architecture(const hw::Architecture& arch) {
+  switch (arch.interconnect) {
+    case hw::InterconnectKind::kMesh:
+      return mesh(arch.mesh_width(), arch.mesh_height());
+    case hw::InterconnectKind::kTree:
+      return tree(arch.crossbar_count, arch.tree_arity);
+    case hw::InterconnectKind::kRing:
+      return ring(arch.crossbar_count);
+  }
+  throw std::logic_error("Topology: unknown interconnect kind");
+}
+
+void Topology::build_routes() {
+  const std::uint32_t n = router_count();
+  route_.assign(static_cast<std::size_t>(n) * n, kLocalPort);
+  // BFS from every destination; route_[r][dst] = port on r toward dst.
+  // Lowest-port tie-break comes from BFS visiting neighbors in port order.
+  std::vector<std::uint32_t> dist(n);
+  for (RouterId dst = 0; dst < n; ++dst) {
+    std::fill(dist.begin(), dist.end(), static_cast<std::uint32_t>(-1));
+    dist[dst] = 0;
+    std::deque<RouterId> queue{dst};
+    while (!queue.empty()) {
+      const RouterId cur = queue.front();
+      queue.pop_front();
+      for (PortId p = 0; p < neighbors_[cur].size(); ++p) {
+        const RouterId nb = neighbors_[cur][p];
+        if (dist[nb] != static_cast<std::uint32_t>(-1)) continue;
+        dist[nb] = dist[cur] + 1;
+        queue.push_back(nb);
+      }
+    }
+    for (RouterId r = 0; r < n; ++r) {
+      if (r == dst) continue;
+      // Choose the lowest-index port that decreases distance to dst.
+      for (PortId p = 0; p < neighbors_[r].size(); ++p) {
+        if (dist[neighbors_[r][p]] + 1 == dist[r]) {
+          route_[static_cast<std::size_t>(r) * n + dst] = p;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace snnmap::noc

@@ -1,0 +1,113 @@
+// Interconnect topologies for the global synapse network.
+//
+// Noxim is mesh-only; the paper's Noxim++ adds "different interconnect models
+// for representative neuromorphic hardware" — NoC-tree (CxQuad) and NoC-mesh
+// (TrueNorth, HiCANN).  We implement mesh (XY routing), k-ary tree
+// (deterministic up/down routing) and a bidirectional ring (shortest path),
+// all behind one concrete Topology class with precomputed next-hop tables so
+// the router logic stays topology-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/architecture.hpp"
+
+namespace snnmap::noc {
+
+/// Router/port identifiers.  Each *tile* (crossbar) attaches to exactly one
+/// router through that router's dedicated local port; inter-router ports are
+/// numbered 0..port_count-1.
+using RouterId = std::uint32_t;
+using TileId = std::uint32_t;
+using PortId = std::uint32_t;
+
+inline constexpr RouterId kNoRouter = static_cast<RouterId>(-1);
+/// Sentinel returned by next_port when the packet has arrived and must be
+/// ejected through the local port.
+inline constexpr PortId kLocalPort = static_cast<PortId>(-1);
+
+/// Mesh routing algorithms (Noxim's configurable "routing algorithm").
+/// All four are turn-model deadlock-free; XY/YX are deterministic,
+/// West-first and North-last are partially adaptive (multiple candidate
+/// output ports on some hops, resolved by the simulator's selection
+/// strategy).
+enum class MeshRouting : std::uint8_t { kXY, kYX, kWestFirst, kNorthLast };
+
+const char* to_string(MeshRouting routing) noexcept;
+MeshRouting mesh_routing_from_string(const std::string& name);
+
+class Topology {
+ public:
+  /// width x height mesh; one tile per router, row-major tile ids.
+  static Topology mesh(std::uint32_t width, std::uint32_t height);
+
+  /// k-ary tree with `tiles` leaf routers (one tile each); internal levels
+  /// are built bottom-up until a single root.  CxQuad = tree(4, 4).
+  static Topology tree(std::uint32_t tiles, std::uint32_t arity);
+
+  /// Bidirectional ring of `tiles` routers (one tile each).
+  static Topology ring(std::uint32_t tiles);
+
+  /// Builds the topology matching an architecture description.
+  static Topology for_architecture(const hw::Architecture& arch);
+
+  hw::InterconnectKind kind() const noexcept { return kind_; }
+  std::uint32_t router_count() const noexcept {
+    return static_cast<std::uint32_t>(neighbors_.size());
+  }
+  std::uint32_t tile_count() const noexcept {
+    return static_cast<std::uint32_t>(tile_router_.size());
+  }
+
+  RouterId router_of_tile(TileId tile) const;
+  /// Tile attached to a router, or kNoRouter if none (internal tree router).
+  TileId tile_of_router(RouterId router) const;
+
+  std::uint32_t port_count(RouterId router) const;
+  /// Neighbor router reached through `port`.
+  RouterId neighbor(RouterId router, PortId port) const;
+
+  /// Deterministic next hop from `router` toward `dst` router; kLocalPort
+  /// when router == dst.  Mesh uses the configured routing algorithm's
+  /// first candidate; tree and ring use precomputed shortest paths with
+  /// lowest-port tie-breaks.
+  PortId next_port(RouterId router, RouterId dst) const;
+
+  /// All legal next-hop ports under the configured mesh routing algorithm
+  /// (1 entry for XY/YX, up to 3 for the adaptive turn models; always 1 for
+  /// tree/ring).  Returns the count; `out` must hold 3.  Every candidate is
+  /// productive (strictly decreases distance), so any selection among them
+  /// preserves minimality and the turn model preserves deadlock freedom.
+  std::uint32_t route_candidates(RouterId router, RouterId dst,
+                                 PortId out[3]) const;
+
+  /// Mesh only; throws std::logic_error on other topologies.
+  void set_mesh_routing(MeshRouting routing);
+  MeshRouting mesh_routing() const noexcept { return routing_; }
+
+  /// Number of links on the routing path between two tiles' routers.
+  std::uint32_t hop_distance(TileId a, TileId b) const;
+
+  /// Sum of all inter-router links (each bidirectional link counted once).
+  std::uint32_t link_count() const noexcept { return link_count_; }
+
+ private:
+  Topology() = default;
+  void build_routes();  // BFS-based next-hop tables (tree/ring)
+  void check_router(RouterId router) const;
+
+  hw::InterconnectKind kind_ = hw::InterconnectKind::kMesh;
+  std::uint32_t mesh_width_ = 0;  // mesh only
+  std::uint32_t mesh_height_ = 0; // mesh only
+  MeshRouting routing_ = MeshRouting::kXY;
+  // neighbors_[r] = adjacent routers, port index = position in this list.
+  std::vector<std::vector<RouterId>> neighbors_;
+  std::vector<RouterId> tile_router_;   // tile -> router
+  std::vector<TileId> router_tile_;     // router -> tile or kNoRouter
+  // Routing table: route_[r * router_count + dst] = port (kLocalPort if r==dst).
+  std::vector<PortId> route_;
+  std::uint32_t link_count_ = 0;
+};
+
+}  // namespace snnmap::noc

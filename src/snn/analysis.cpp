@@ -1,0 +1,112 @@
+#include "snn/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace snnmap::snn {
+namespace {
+
+std::vector<double> binned_counts(const SpikeTrain& train, TimeMs duration_ms,
+                                  double bin_ms) {
+  if (bin_ms <= 0.0 || duration_ms <= 0.0) {
+    throw std::invalid_argument("analysis: bins and duration must be > 0");
+  }
+  const auto bins = static_cast<std::size_t>(duration_ms / bin_ms);
+  std::vector<double> counts(std::max<std::size_t>(bins, 1), 0.0);
+  for (const double t : train) {
+    const auto idx = static_cast<std::size_t>(t / bin_ms);
+    if (idx < counts.size()) counts[idx] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> psth(const std::vector<SpikeTrain>& trains,
+                                TimeMs duration_ms, double bin_ms) {
+  if (bin_ms <= 0.0 || duration_ms <= 0.0) {
+    throw std::invalid_argument("psth: bins and duration must be > 0");
+  }
+  const auto bins = static_cast<std::size_t>(duration_ms / bin_ms);
+  std::vector<std::uint64_t> hist(std::max<std::size_t>(bins, 1), 0);
+  for (const auto& train : trains) {
+    for (const double t : train) {
+      const auto idx = static_cast<std::size_t>(t / bin_ms);
+      if (idx < hist.size()) ++hist[idx];
+    }
+  }
+  return hist;
+}
+
+double fano_factor(const SpikeTrain& train, TimeMs duration_ms,
+                   double window_ms) {
+  const auto counts = binned_counts(train, duration_ms, window_ms);
+  if (counts.size() < 2) return 0.0;
+  util::Accumulator acc;
+  for (const double c : counts) acc.add(c);
+  if (acc.mean() <= 0.0) return 0.0;
+  return acc.variance() / acc.mean();
+}
+
+double spike_count_correlation(const SpikeTrain& a, const SpikeTrain& b,
+                               TimeMs duration_ms, double bin_ms) {
+  const auto ca = binned_counts(a, duration_ms, bin_ms);
+  const auto cb = binned_counts(b, duration_ms, bin_ms);
+  const std::size_t n = std::min(ca.size(), cb.size());
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += ca[i];
+    mean_b += cb[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ca[i] - mean_a;
+    const double db = cb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double synchrony_index(const std::vector<SpikeTrain>& trains,
+                       TimeMs duration_ms, double bin_ms) {
+  if (trains.empty()) return 0.0;
+  std::vector<std::vector<double>> all;
+  all.reserve(trains.size());
+  for (const auto& t : trains) {
+    all.push_back(binned_counts(t, duration_ms, bin_ms));
+  }
+  const std::size_t bins = all.front().size();
+  if (bins < 2) return 0.0;
+  // Population rate variance vs sum of individual variances.
+  std::vector<double> population(bins, 0.0);
+  double sum_individual_var = 0.0;
+  for (const auto& counts : all) {
+    util::Accumulator acc;
+    for (std::size_t i = 0; i < bins; ++i) {
+      acc.add(counts[i]);
+      population[i] += counts[i];
+    }
+    sum_individual_var += acc.variance();
+  }
+  util::Accumulator pop;
+  for (const double p : population) pop.add(p);
+  if (sum_individual_var <= 0.0) return 0.0;
+  // Normalized so independent trains give ~1/N... rescale by N for [0,1].
+  const double chi2 = pop.variance() /
+                      (sum_individual_var * static_cast<double>(all.size()));
+  return std::min(1.0, chi2);
+}
+
+}  // namespace snnmap::snn

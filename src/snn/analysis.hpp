@@ -1,0 +1,38 @@
+// Spike-train analysis utilities: PSTH, Fano factor, pairwise spike-time
+// correlation.  Used by the application property tests to validate that the
+// workload generators produce biologically plausible statistics (Poisson
+// inputs, beat-locked bursts, rate-coded images), and available to users
+// examining simulation output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "snn/spike_train.hpp"
+
+namespace snnmap::snn {
+
+/// Peri-stimulus time histogram: spike counts in consecutive `bin_ms` bins
+/// over [0, duration_ms), summed across all given trains.
+std::vector<std::uint64_t> psth(const std::vector<SpikeTrain>& trains,
+                                TimeMs duration_ms, double bin_ms);
+
+/// Fano factor of windowed spike counts (variance / mean over windows of
+/// `window_ms`); ~1 for Poisson firing, <1 regular, >1 bursty.
+/// Returns 0 when undefined (no spikes or a single window).
+double fano_factor(const SpikeTrain& train, TimeMs duration_ms,
+                   double window_ms);
+
+/// Pearson correlation of two trains' binned spike counts; in [-1, 1],
+/// 0 when undefined (constant counts).
+double spike_count_correlation(const SpikeTrain& a, const SpikeTrain& b,
+                               TimeMs duration_ms, double bin_ms);
+
+/// Population synchrony index: variance of the population-summed binned
+/// rate divided by the sum of per-train variances (Golomb's chi^2-like
+/// measure, in [0, ~1]; 1 = perfectly synchronized).
+double synchrony_index(const std::vector<SpikeTrain>& trains,
+                       TimeMs duration_ms, double bin_ms);
+
+}  // namespace snnmap::snn

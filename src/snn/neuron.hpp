@@ -1,0 +1,71 @@
+// Point-neuron dynamics.
+//
+// CARLsim's workhorse is the Izhikevich model; the LIF model is provided as a
+// cheaper alternative used by the larger synthetic workloads.  Both are
+// integrated with a fixed 1 ms step (Izhikevich uses two 0.5 ms half-steps for
+// numerical stability, following the original 2003 paper and CARLsim).
+#pragma once
+
+#include <cstdint>
+
+namespace snnmap::snn {
+
+/// Which dynamics govern a neuron group.
+enum class NeuronModel : std::uint8_t {
+  kLif,         ///< leaky integrate-and-fire
+  kIzhikevich,  ///< Izhikevich 2003 two-variable model
+  kPoisson,     ///< stateless stochastic spike source (inputs)
+};
+
+const char* to_string(NeuronModel model) noexcept;
+
+/// Leaky integrate-and-fire parameters (membrane in mV, current in
+/// dimensionless "input units" scaled by r_m).
+struct LifParams {
+  double tau_m_ms = 20.0;      ///< membrane time constant
+  double v_rest = -65.0;       ///< resting potential (mV)
+  double v_reset = -70.0;      ///< post-spike reset potential (mV)
+  double v_thresh = -50.0;     ///< firing threshold (mV)
+  double r_m = 10.0;           ///< membrane resistance (mV per input unit)
+  double refractory_ms = 2.0;  ///< absolute refractory period
+};
+
+/// Izhikevich parameters; defaults are the canonical regular-spiking set.
+struct IzhikevichParams {
+  double a = 0.02;
+  double b = 0.2;
+  double c = -65.0;
+  double d = 8.0;
+
+  static IzhikevichParams regular_spiking() noexcept { return {}; }
+  static IzhikevichParams fast_spiking() noexcept {
+    return {0.1, 0.2, -65.0, 2.0};
+  }
+  static IzhikevichParams chattering() noexcept {
+    return {0.02, 0.2, -50.0, 2.0};
+  }
+  static IzhikevichParams intrinsically_bursting() noexcept {
+    return {0.02, 0.2, -55.0, 4.0};
+  }
+};
+
+/// Per-neuron dynamic state shared across models (u unused by LIF).
+struct NeuronState {
+  double v = -65.0;  ///< membrane potential (mV)
+  double u = 0.0;    ///< Izhikevich recovery variable
+  double refractory_until_ms = -1.0;
+};
+
+/// Initializes state at the model's resting point.
+NeuronState initial_state(NeuronModel model, const LifParams& lif,
+                          const IzhikevichParams& izh) noexcept;
+
+/// Advances a LIF neuron by dt_ms under input current; returns true on spike.
+bool step_lif(NeuronState& state, const LifParams& p, double input,
+              double now_ms, double dt_ms) noexcept;
+
+/// Advances an Izhikevich neuron by dt_ms; returns true on spike.
+bool step_izhikevich(NeuronState& state, const IzhikevichParams& p,
+                     double input, double dt_ms) noexcept;
+
+}  // namespace snnmap::snn

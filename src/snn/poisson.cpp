@@ -1,0 +1,23 @@
+#include "snn/poisson.hpp"
+
+namespace snnmap::snn {
+
+SpikeTrain generate_poisson_train(double rate_hz, TimeMs duration_ms,
+                                  util::Rng& rng) {
+  SpikeTrain train;
+  if (rate_hz <= 0.0 || duration_ms <= 0.0) return train;
+  const double rate_per_ms = rate_hz / 1000.0;
+  TimeMs t = rng.exponential(rate_per_ms);
+  while (t < duration_ms) {
+    train.push_back(t);
+    t += rng.exponential(rate_per_ms);
+  }
+  return train;
+}
+
+bool poisson_step_spike(double rate_hz, double dt_ms, util::Rng& rng) {
+  if (rate_hz <= 0.0) return false;
+  return rng.chance(rate_hz / 1000.0 * dt_ms);
+}
+
+}  // namespace snnmap::snn

@@ -1,0 +1,165 @@
+#include "snn/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "snn/poisson.hpp"
+
+namespace snnmap::snn {
+
+double SimulationResult::mean_rate_hz() const noexcept {
+  if (spikes.empty() || duration_ms <= 0.0) return 0.0;
+  return static_cast<double>(total_spikes) /
+         static_cast<double>(spikes.size()) / duration_ms * 1000.0;
+}
+
+Simulator::Simulator(Network& network, SimulationConfig config)
+    : network_(network), config_(config), rng_(config.seed) {
+  if (config_.dt_ms <= 0.0) {
+    throw std::invalid_argument("Simulator: dt must be > 0");
+  }
+  const std::uint32_t n = network_.neuron_count();
+  states_.resize(n);
+  model_of_.resize(n);
+  group_of_.resize(n);
+  for (std::size_t g = 0; g < network_.group_count(); ++g) {
+    const Group& grp = network_.group(g);
+    for (NeuronId id = grp.first; id < grp.last(); ++id) {
+      model_of_[id] = grp.model;
+      group_of_[id] = static_cast<std::uint32_t>(g);
+      states_[id] = initial_state(grp.model, grp.lif, grp.izh);
+    }
+  }
+  const std::size_t ring = static_cast<std::size_t>(network_.max_delay_steps()) + 1;
+  pending_.assign(ring, std::vector<double>(n, 0.0));
+  external_.assign(n, 0.0);
+  if (config_.syn_tau_ms > 0.0) {
+    syn_current_.assign(n, 0.0);
+    syn_decay_ = std::exp(-config_.dt_ms / config_.syn_tau_ms);
+  }
+  spikes_.assign(n, {});
+  last_spike_ms_.assign(n, -1.0);
+
+  // Fan-in index over plastic synapses only (for potentiation on post spike).
+  plastic_fanin_offsets_.assign(n + 1, 0);
+  const auto& synapses = network_.synapses();
+  for (const auto& s : synapses) {
+    if (s.plastic) ++plastic_fanin_offsets_[s.post + 1];
+  }
+  for (std::size_t i = 1; i < plastic_fanin_offsets_.size(); ++i) {
+    plastic_fanin_offsets_[i] += plastic_fanin_offsets_[i - 1];
+  }
+  plastic_fanin_synapses_.resize(plastic_fanin_offsets_.back());
+  std::vector<std::uint32_t> cursor(plastic_fanin_offsets_.begin(),
+                                    plastic_fanin_offsets_.end() - 1);
+  for (std::uint32_t idx = 0; idx < synapses.size(); ++idx) {
+    if (synapses[idx].plastic) {
+      plastic_fanin_synapses_[cursor[synapses[idx].post]++] = idx;
+    }
+  }
+}
+
+void Simulator::inject_current(NeuronId neuron, double current) {
+  if (neuron >= external_.size()) {
+    throw std::out_of_range("Simulator: inject_current neuron out of range");
+  }
+  external_[neuron] += current;
+}
+
+void Simulator::deliver_spike(NeuronId neuron) {
+  const auto& offsets = network_.fanout_offsets();
+  const auto& order = network_.fanout_synapses();
+  const auto& synapses = network_.synapses();
+  const std::size_t ring = pending_.size();
+  for (std::uint32_t k = offsets[neuron]; k < offsets[neuron + 1]; ++k) {
+    const Synapse& s = synapses[order[k]];
+    const std::size_t arrive = (slot_ + s.delay_steps) % ring;
+    pending_[arrive][s.post] += static_cast<double>(s.weight);
+    if (config_.enable_stdp && s.plastic) apply_stdp_on_pre(order[k]);
+  }
+}
+
+void Simulator::apply_stdp_on_pre(std::uint32_t synapse_index) {
+  auto& s = network_.mutable_synapses()[synapse_index];
+  const double w = stdp_update_on_pre(config_.stdp,
+                                      static_cast<double>(s.weight),
+                                      last_spike_ms_[s.post], now_ms_);
+  s.weight = static_cast<float>(w);
+}
+
+void Simulator::apply_stdp_on_post(NeuronId post) {
+  auto& synapses = network_.mutable_synapses();
+  for (std::uint32_t k = plastic_fanin_offsets_[post];
+       k < plastic_fanin_offsets_[post + 1]; ++k) {
+    Synapse& s = synapses[plastic_fanin_synapses_[k]];
+    const double w = stdp_update_on_post(config_.stdp,
+                                         static_cast<double>(s.weight),
+                                         last_spike_ms_[s.pre], now_ms_);
+    s.weight = static_cast<float>(w);
+  }
+}
+
+void Simulator::step() {
+  const std::uint32_t n = network_.neuron_count();
+  std::vector<double>& arriving = pending_[slot_];
+
+  // Exponential synapses: fold this step's arrivals into a decaying current.
+  const bool exponential = !syn_current_.empty();
+  if (exponential) {
+    for (NeuronId i = 0; i < n; ++i) {
+      syn_current_[i] = syn_current_[i] * syn_decay_ + arriving[i];
+    }
+  }
+
+  for (NeuronId i = 0; i < n; ++i) {
+    const Group& grp = network_.group(group_of_[i]);
+    bool spiked = false;
+    const double input =
+        (exponential ? syn_current_[i] : arriving[i]) + external_[i];
+    switch (model_of_[i]) {
+      case NeuronModel::kPoisson: {
+        const double rate =
+            grp.rate_fn ? grp.rate_fn(i - grp.first, now_ms_)
+                        : grp.poisson_rate_hz;
+        spiked = poisson_step_spike(rate, config_.dt_ms, rng_);
+        break;
+      }
+      case NeuronModel::kLif:
+        spiked = step_lif(states_[i], grp.lif, input, now_ms_, config_.dt_ms);
+        break;
+      case NeuronModel::kIzhikevich:
+        spiked = step_izhikevich(states_[i], grp.izh, input, config_.dt_ms);
+        break;
+    }
+    if (spiked) {
+      spikes_[i].push_back(now_ms_);
+      ++total_spikes_;
+      last_spike_ms_[i] = now_ms_;
+      deliver_spike(i);
+      if (config_.enable_stdp) apply_stdp_on_post(i);
+    }
+  }
+
+  std::fill(arriving.begin(), arriving.end(), 0.0);
+  std::fill(external_.begin(), external_.end(), 0.0);
+  slot_ = (slot_ + 1) % pending_.size();
+  ++step_count_;
+  now_ms_ = static_cast<double>(step_count_) * config_.dt_ms;
+}
+
+SimulationResult Simulator::run() {
+  const auto steps =
+      static_cast<std::uint64_t>(config_.duration_ms / config_.dt_ms + 0.5);
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+  return result();
+}
+
+SimulationResult Simulator::result() const {
+  SimulationResult r;
+  r.spikes = spikes_;
+  r.duration_ms = now_ms_;
+  r.total_spikes = total_spikes_;
+  return r;
+}
+
+}  // namespace snnmap::snn

@@ -1,0 +1,32 @@
+#include "snn/stdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snnmap::snn {
+
+double stdp_potentiation(const StdpParams& p, double dt_ms) noexcept {
+  if (dt_ms < 0.0) return 0.0;
+  return p.a_plus * std::exp(-dt_ms / p.tau_plus_ms);
+}
+
+double stdp_depression(const StdpParams& p, double dt_ms) noexcept {
+  if (dt_ms < 0.0) return 0.0;
+  return p.a_minus * std::exp(-dt_ms / p.tau_minus_ms);
+}
+
+double stdp_update_on_post(const StdpParams& p, double weight,
+                           double last_pre_ms, double now_ms) noexcept {
+  if (last_pre_ms < 0.0) return weight;  // pre never fired
+  const double dw = stdp_potentiation(p, now_ms - last_pre_ms);
+  return std::clamp(weight + dw, p.w_min, p.w_max);
+}
+
+double stdp_update_on_pre(const StdpParams& p, double weight,
+                          double last_post_ms, double now_ms) noexcept {
+  if (last_post_ms < 0.0) return weight;  // post never fired
+  const double dw = stdp_depression(p, now_ms - last_post_ms);
+  return std::clamp(weight - dw, p.w_min, p.w_max);
+}
+
+}  // namespace snnmap::snn

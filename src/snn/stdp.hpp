@@ -1,0 +1,38 @@
+// Pair-based spike-timing-dependent plasticity (STDP).
+//
+// The digit-recognition app (Diehl & Cook 2015) trains excitatory synapses
+// with STDP; CARLsim implements the standard exponential pair rule, which we
+// reproduce: a pre-before-post pair within tau_plus potentiates, a
+// post-before-pre pair within tau_minus depresses.  Weights are clamped to
+// [w_min, w_max].
+#pragma once
+
+#include <cstdint>
+
+namespace snnmap::snn {
+
+struct StdpParams {
+  double a_plus = 0.01;     ///< potentiation amplitude
+  double a_minus = 0.012;   ///< depression amplitude (slightly dominant)
+  double tau_plus_ms = 20.0;
+  double tau_minus_ms = 20.0;
+  double w_min = 0.0;
+  double w_max = 10.0;
+};
+
+/// Weight change for a pre spike at t_pre followed by a post spike at t_post
+/// (dt = t_post - t_pre > 0): potentiation.
+double stdp_potentiation(const StdpParams& p, double dt_ms) noexcept;
+
+/// Weight change magnitude for post-before-pre (dt = t_pre - t_post > 0):
+/// returned value is positive; the caller subtracts it.
+double stdp_depression(const StdpParams& p, double dt_ms) noexcept;
+
+/// Applies the full pair rule to a weight given the most recent opposite-side
+/// spike time; returns the clamped new weight.
+double stdp_update_on_post(const StdpParams& p, double weight,
+                           double last_pre_ms, double now_ms) noexcept;
+double stdp_update_on_pre(const StdpParams& p, double weight,
+                          double last_post_ms, double now_ms) noexcept;
+
+}  // namespace snnmap::snn

@@ -1,0 +1,72 @@
+// Lightweight descriptive statistics used by the metric collectors and the
+// benchmark harnesses (means, percentiles, histograms, online accumulators).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace snnmap::util {
+
+/// Online accumulator for mean/variance/min/max (Welford's algorithm).
+/// Safe to merge; numerically stable for long runs.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double sum() const noexcept { return sum_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const noexcept;
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile with linear interpolation; `p` in [0, 100].
+/// The input is copied and sorted; 0 is returned for empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two observations.
+double stddev_of(const std::vector<double>& values);
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// Multi-line ASCII rendering for logs/reports.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace snnmap::util

@@ -1,0 +1,121 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnmap::util {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row has " +
+                                std::to_string(cells.size()) +
+                                " cells, expected " +
+                                std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::begin_row() {
+  if (building_ && !pending_.empty()) {
+    throw std::logic_error("Table: begin_row while a row is in progress");
+  }
+  pending_.clear();
+  building_ = true;
+}
+
+void Table::cell(const std::string& value) {
+  if (!building_) throw std::logic_error("Table: cell() before begin_row()");
+  pending_.push_back(value);
+  if (pending_.size() == headers_.size()) {
+    rows_.push_back(std::move(pending_));
+    pending_.clear();
+    building_ = false;
+  }
+}
+
+void Table::cell(double value, int precision) {
+  cell(format_double(value, precision));
+}
+
+void Table::cell(std::int64_t value) { cell(std::to_string(value)); }
+
+void Table::cell(std::size_t value) { cell(std::to_string(value)); }
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+           " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(headers_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  return out + "\"";
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << csv_escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << csv_escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table: cannot open " + path);
+  out << to_csv();
+  if (!out) throw std::runtime_error("Table: write failed for " + path);
+}
+
+}  // namespace snnmap::util

@@ -1,0 +1,56 @@
+// Aligned text tables and CSV output for the benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper and must print
+// the same rows/series the paper reports; Table renders those rows both as an
+// aligned console table and as CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snnmap::util {
+
+/// A simple row/column table with string cells and helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const noexcept { return headers_.size(); }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row; throws std::invalid_argument on column-count mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-building helpers: begin_row() then cell(...) in column order.
+  void begin_row();
+  void cell(const std::string& value);
+  void cell(double value, int precision = 3);
+  void cell(std::int64_t value);
+  void cell(std::size_t value);
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  const std::vector<std::string>& header() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool building_ = false;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string format_double(double value, int precision = 3);
+
+}  // namespace snnmap::util

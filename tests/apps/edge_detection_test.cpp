@@ -1,0 +1,95 @@
+#include "apps/edge_detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/image_smoothing.hpp"
+
+namespace snnmap::apps {
+namespace {
+
+TEST(EdgeDetection, TopologyShape) {
+  EdgeDetectionConfig cfg;
+  cfg.duration_ms = 100.0;
+  const auto g = build_edge_detection(cfg);
+  EXPECT_EQ(g.neuron_count(), 2048u);  // 1024 pixels + 1024 edge neurons
+  // Center (3x3) + surround (5x5) kernels, border-clipped; edges between
+  // the same pixel pair collapse, so the count is <= 25 per target.
+  EXPECT_GT(g.edge_count(), 1024u * 9u);
+  EXPECT_LE(g.edge_count(), 1024u * 25u);
+}
+
+TEST(EdgeDetection, RespondsToGradientsNotFlatRegions) {
+  EdgeDetectionConfig cfg;
+  cfg.seed = 4;
+  cfg.duration_ms = 500.0;
+  const auto g = build_edge_detection(cfg);
+  const auto image = make_test_image(cfg.width, cfg.height, cfg.seed ^ 0xED6E);
+
+  // Local intensity gradient magnitude per pixel.
+  const auto gradient = [&](std::uint32_t x, std::uint32_t y) {
+    const auto at = [&](int px, int py) {
+      px = std::clamp(px, 0, 31);
+      py = std::clamp(py, 0, 31);
+      return image[static_cast<std::size_t>(py) * 32 + px];
+    };
+    const int xi = static_cast<int>(x);
+    const int yi = static_cast<int>(y);
+    // Max contrast against the 4-neighborhood: catches impulse (salt) noise
+    // pixels, which are edges even though their central difference is ~0.
+    const double self = at(xi, yi);
+    return std::max({std::abs(self - at(xi + 1, yi)),
+                     std::abs(self - at(xi - 1, yi)),
+                     std::abs(self - at(xi, yi + 1)),
+                     std::abs(self - at(xi, yi - 1))});
+  };
+
+  double edge_rate = 0.0;
+  double flat_rate = 0.0;
+  std::size_t edge_n = 0;
+  std::size_t flat_n = 0;
+  for (std::uint32_t y = 2; y < 30; ++y) {
+    for (std::uint32_t x = 2; x < 30; ++x) {
+      const auto idx = y * 32 + x;
+      const double rate = static_cast<double>(g.spike_count(1024 + idx));
+      if (gradient(x, y) > 0.25) {
+        edge_rate += rate;
+        ++edge_n;
+      } else if (gradient(x, y) < 0.02) {
+        flat_rate += rate;
+        ++flat_n;
+      }
+    }
+  }
+  ASSERT_GT(edge_n, 0u);
+  ASSERT_GT(flat_n, 0u);
+  // Edge pixels fire clearly more than flat ones (the DoG's whole point):
+  // at least twice the rate.
+  EXPECT_GT(edge_rate / static_cast<double>(edge_n),
+            2.0 * flat_rate / static_cast<double>(flat_n));
+}
+
+TEST(EdgeDetection, HasInhibitorySynapses) {
+  EdgeDetectionConfig cfg;
+  cfg.duration_ms = 50.0;
+  const auto g = build_edge_detection(cfg);
+  bool any_negative = false;
+  bool any_positive = false;
+  for (const auto& e : g.edges()) {
+    any_negative |= e.weight < 0.0F;
+    any_positive |= e.weight > 0.0F;
+  }
+  EXPECT_TRUE(any_negative);  // the surround
+  EXPECT_TRUE(any_positive);  // the center
+}
+
+TEST(EdgeDetection, Deterministic) {
+  EdgeDetectionConfig cfg;
+  cfg.duration_ms = 100.0;
+  cfg.seed = 8;
+  const auto a = build_edge_detection(cfg);
+  const auto b = build_edge_detection(cfg);
+  EXPECT_EQ(a.total_spikes(), b.total_spikes());
+}
+
+}  // namespace
+}  // namespace snnmap::apps

@@ -1,0 +1,104 @@
+#include "apps/phased.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::apps {
+namespace {
+
+TEST(PhasedClusters, TopologyIsPhaseInvariant) {
+  PhasedConfig cfg;
+  cfg.clusters = 4;
+  cfg.cluster_size = 6;
+  const auto a = build_phased_clusters(cfg, 0);
+  const auto b = build_phased_clusters(cfg, 2);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i].pre, b.edges()[i].pre);
+    EXPECT_EQ(a.edges()[i].post, b.edges()[i].post);
+  }
+  EXPECT_EQ(a.neuron_count(), 24u);
+}
+
+TEST(PhasedClusters, HotWindowRotatesWithPhase) {
+  PhasedConfig cfg;
+  cfg.clusters = 8;
+  cfg.cluster_size = 4;
+  cfg.hot_fraction = 0.25;  // 2 hot clusters
+  cfg.duration_ms = 2000.0;
+  const auto rate_of_cluster = [&](const snn::SnnGraph& g, std::uint32_t k) {
+    std::uint64_t spikes = 0;
+    for (std::uint32_t i = 0; i < cfg.cluster_size; ++i) {
+      spikes += g.spike_count(k * cfg.cluster_size + i);
+    }
+    return static_cast<double>(spikes) / cfg.cluster_size /
+           (cfg.duration_ms / 1000.0);
+  };
+  const auto g0 = build_phased_clusters(cfg, 0);
+  const auto g3 = build_phased_clusters(cfg, 3);
+  // Phase 0: cluster 0 hot, cluster 3 cold.  Phase 3: cluster 3 hot.
+  EXPECT_GT(rate_of_cluster(g0, 0), 60.0);
+  EXPECT_LT(rate_of_cluster(g0, 3), 20.0);
+  EXPECT_GT(rate_of_cluster(g3, 3), 60.0);
+  EXPECT_LT(rate_of_cluster(g3, 0), 20.0);
+}
+
+TEST(PhasedClusters, HotAndColdRatesMatchConfig) {
+  PhasedConfig cfg;
+  cfg.clusters = 4;
+  cfg.cluster_size = 16;
+  cfg.hot_rate_hz = 80.0;
+  cfg.cold_rate_hz = 4.0;
+  cfg.duration_ms = 5000.0;
+  const auto g = build_phased_clusters(cfg, 0);
+  double hot_rate = 0.0;
+  double cold_rate = 0.0;
+  for (std::uint32_t i = 0; i < cfg.cluster_size; ++i) {
+    hot_rate += static_cast<double>(g.spike_count(i));
+    cold_rate += static_cast<double>(
+        g.spike_count(2 * cfg.cluster_size + i));
+  }
+  hot_rate /= cfg.cluster_size * 5.0;   // Hz
+  cold_rate /= cfg.cluster_size * 5.0;
+  EXPECT_NEAR(hot_rate, 80.0, 8.0);
+  EXPECT_NEAR(cold_rate, 4.0, 2.0);
+}
+
+TEST(PhasedClusters, PhaseWrapsModuloClusters) {
+  PhasedConfig cfg;
+  cfg.clusters = 4;
+  cfg.cluster_size = 4;
+  cfg.duration_ms = 1000.0;
+  const auto a = build_phased_clusters(cfg, 1);
+  const auto b = build_phased_clusters(cfg, 5);  // 5 mod 4 == 1
+  ASSERT_EQ(a.neuron_count(), b.neuron_count());
+  for (std::uint32_t i = 0; i < a.neuron_count(); ++i) {
+    EXPECT_EQ(a.spike_count(i), b.spike_count(i));
+  }
+}
+
+TEST(PhasedClusters, RejectsDegenerateConfig) {
+  PhasedConfig cfg;
+  cfg.clusters = 1;
+  EXPECT_THROW(build_phased_clusters(cfg, 0), std::invalid_argument);
+  cfg.clusters = 4;
+  cfg.cluster_size = 0;
+  EXPECT_THROW(build_phased_clusters(cfg, 0), std::invalid_argument);
+}
+
+TEST(PhasedClusters, BridgesConnectAdjacentClusters) {
+  PhasedConfig cfg;
+  cfg.clusters = 4;
+  cfg.cluster_size = 4;
+  cfg.intra_probability = 0.0;  // only bridges remain
+  cfg.bridges_per_pair = 3;
+  const auto g = build_phased_clusters(cfg, 0);
+  EXPECT_EQ(g.edge_count(), 4u * 3u);
+  for (const auto& e : g.edges()) {
+    const std::uint32_t pre_cluster = e.pre / cfg.cluster_size;
+    const std::uint32_t post_cluster = e.post / cfg.cluster_size;
+    EXPECT_EQ((pre_cluster + 1) % cfg.clusters, post_cluster);
+  }
+}
+
+}  // namespace
+}  // namespace snnmap::apps

@@ -1,0 +1,101 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::core {
+namespace {
+
+/// 4 neurons: 0->1 (local candidates), 0->2, 1->3.  Spike counts 4, 2, 0, 0.
+snn::SnnGraph small_graph() {
+  std::vector<snn::GraphEdge> edges{{0, 1, 1.0F}, {0, 2, 1.0F}, {1, 3, 1.0F}};
+  std::vector<snn::SpikeTrain> trains{
+      {1, 2, 3, 4}, {1, 2}, {}, {}};
+  return snn::SnnGraph::from_parts(4, std::move(edges), std::move(trains),
+                                   10.0);
+}
+
+Partition split(std::vector<CrossbarId> a) {
+  Partition p(static_cast<std::uint32_t>(a.size()), 2);
+  for (std::uint32_t i = 0; i < a.size(); ++i) p.assign(i, a[i]);
+  return p;
+}
+
+TEST(Analysis, RejectsIncompletePartition) {
+  const auto g = small_graph();
+  Partition p(4, 2);
+  EXPECT_THROW(analyze_mapping(g, p), std::invalid_argument);
+}
+
+TEST(Analysis, AllLocalIsFullyLocalized) {
+  const auto g = small_graph();
+  const auto a = analyze_mapping(g, split({0, 0, 0, 0}));
+  EXPECT_DOUBLE_EQ(a.locality_fraction, 1.0);
+  EXPECT_EQ(a.total_aer_packets, 0u);
+  EXPECT_TRUE(a.heaviest_pairs.empty());
+  // All 3 edges local: events = 4 + 4 + 2 = 10 on crossbar 0.
+  EXPECT_EQ(a.total_local_events, 10u);
+  EXPECT_EQ(a.loads[0].local_events, 10u);
+  EXPECT_EQ(a.loads[0].neurons, 4u);
+  EXPECT_EQ(a.loads[1].neurons, 0u);
+}
+
+TEST(Analysis, SplitAccountsTrafficBothDirectionsOfView) {
+  const auto g = small_graph();
+  // {0,1} | {2,3}: remote edges 0->2 (4 spikes) and 1->3 (2 spikes); local
+  // edge 0->1 (4 events).
+  const auto a = analyze_mapping(g, split({0, 0, 1, 1}));
+  EXPECT_EQ(a.total_aer_packets, 6u);
+  EXPECT_EQ(a.total_local_events, 4u);
+  EXPECT_NEAR(a.locality_fraction, 4.0 / 10.0, 1e-12);
+  EXPECT_EQ(a.loads[0].spikes_out, 6u);
+  EXPECT_EQ(a.loads[1].spikes_in, 6u);
+  EXPECT_EQ(a.loads[1].spikes_out, 0u);
+  ASSERT_EQ(a.heaviest_pairs.size(), 1u);
+  EXPECT_EQ(a.heaviest_pairs[0].from, 0u);
+  EXPECT_EQ(a.heaviest_pairs[0].to, 1u);
+  EXPECT_EQ(a.heaviest_pairs[0].spikes, 6u);
+}
+
+TEST(Analysis, MulticastDedupPerSourceCrossbar) {
+  // Source 0 targets neurons on the same remote crossbar twice: one packet
+  // stream, not two.
+  std::vector<snn::GraphEdge> edges{{0, 1, 1.0F}, {0, 2, 1.0F}};
+  std::vector<snn::SpikeTrain> trains{{1, 2, 3}, {}, {}};
+  const auto g =
+      snn::SnnGraph::from_parts(3, std::move(edges), std::move(trains), 10.0);
+  Partition p(3, 2);
+  p.assign(0, 0);
+  p.assign(1, 1);
+  p.assign(2, 1);
+  const auto a = analyze_mapping(g, p);
+  EXPECT_EQ(a.total_aer_packets, 3u);  // 3 spikes x 1 remote crossbar
+}
+
+TEST(Analysis, ImbalanceAndGini) {
+  const auto g = small_graph();
+  // Balanced occupancy: gini 0.  One-sided traffic: imbalance = max/mean = 2.
+  const auto a = analyze_mapping(g, split({0, 0, 1, 1}));
+  EXPECT_NEAR(a.occupancy_gini, 0.0, 1e-12);
+  EXPECT_NEAR(a.source_imbalance, 2.0, 1e-12);
+
+  const auto b = analyze_mapping(g, split({0, 0, 0, 1}));
+  EXPECT_GT(b.occupancy_gini, 0.0);
+}
+
+TEST(Analysis, TopPairsBounded) {
+  const auto g = small_graph();
+  const auto a = analyze_mapping(g, split({0, 1, 0, 1}), /*top_pairs=*/1);
+  EXPECT_LE(a.heaviest_pairs.size(), 1u);
+}
+
+TEST(Analysis, RenderMentionsKeyNumbers) {
+  const auto g = small_graph();
+  const auto a = analyze_mapping(g, split({0, 0, 1, 1}));
+  const std::string text = a.render();
+  EXPECT_NE(text.find("locality"), std::string::npos);
+  EXPECT_NE(text.find("xb0"), std::string::npos);
+  EXPECT_NE(text.find("heaviest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnmap::core

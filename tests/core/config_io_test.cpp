@@ -1,0 +1,145 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::core {
+namespace {
+
+TEST(ConfigIo, DefaultsWhenEmpty) {
+  const auto flow = mapping_flow_from_config(util::Config{});
+  const MappingFlowConfig defaults;
+  EXPECT_EQ(flow.arch.crossbar_count, defaults.arch.crossbar_count);
+  EXPECT_EQ(flow.arch.interconnect, defaults.arch.interconnect);
+  EXPECT_EQ(flow.noc.buffer_depth, defaults.noc.buffer_depth);
+  EXPECT_EQ(flow.pso.swarm_size, defaults.pso.swarm_size);
+  EXPECT_EQ(flow.partitioner, defaults.partitioner);
+  EXPECT_EQ(flow.seed, defaults.seed);
+}
+
+TEST(ConfigIo, ParsesFullDocument) {
+  const auto cfg = util::Config::parse(
+      "arch:\n"
+      "  crossbars: 9\n"
+      "  neurons_per_crossbar: 64\n"
+      "  interconnect: mesh\n"
+      "  cycles_per_ms: 250\n"
+      "noc:\n"
+      "  buffer_depth: 2\n"
+      "  multicast: false\n"
+      "energy:\n"
+      "  link_hop_pj: 42.0\n"
+      "pso:\n"
+      "  swarm_size: 77\n"
+      "  iterations: 33\n"
+      "  objective: cut-spikes\n"
+      "  seed_with_baselines: false\n"
+      "flow:\n"
+      "  partitioner: annealing\n"
+      "  comm_aware_placement: true\n"
+      "  seed: 99\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_EQ(flow.arch.crossbar_count, 9u);
+  EXPECT_EQ(flow.arch.neurons_per_crossbar, 64u);
+  EXPECT_EQ(flow.arch.interconnect, hw::InterconnectKind::kMesh);
+  EXPECT_EQ(flow.arch.cycles_per_ms, 250u);
+  EXPECT_EQ(flow.noc.buffer_depth, 2u);
+  EXPECT_FALSE(flow.noc.multicast);
+  EXPECT_EQ(flow.energy.link_hop_pj, 42.0);
+  EXPECT_EQ(flow.noc.energy.link_hop_pj, 42.0);  // shared with the NoC
+  EXPECT_EQ(flow.pso.swarm_size, 77u);
+  EXPECT_EQ(flow.pso.iterations, 33u);
+  EXPECT_EQ(flow.pso.objective, Objective::kCutSpikes);
+  EXPECT_FALSE(flow.pso.seed_with_baselines);
+  EXPECT_EQ(flow.partitioner, PartitionerKind::kAnnealing);
+  EXPECT_TRUE(flow.comm_aware_placement);
+  EXPECT_EQ(flow.seed, 99u);
+}
+
+TEST(ConfigIo, RoundTripsThroughDump) {
+  MappingFlowConfig flow;
+  flow.arch.crossbar_count = 12;
+  flow.arch.interconnect = hw::InterconnectKind::kRing;
+  flow.noc.buffer_depth = 7;
+  flow.pso.swarm_size = 321;
+  flow.pso.objective = Objective::kCutSpikes;
+  flow.partitioner = PartitionerKind::kGenetic;
+  flow.comm_aware_placement = true;
+  flow.injection_jitter_cycles = 5;
+  flow.seed = 7;
+  flow.energy.aer_codec_pj = 0.25;
+
+  util::Config serialized;
+  mapping_flow_to_config(flow, serialized);
+  const auto reparsed = util::Config::parse(serialized.dump());
+  const auto back = mapping_flow_from_config(reparsed);
+
+  EXPECT_EQ(back.arch.crossbar_count, 12u);
+  EXPECT_EQ(back.arch.interconnect, hw::InterconnectKind::kRing);
+  EXPECT_EQ(back.noc.buffer_depth, 7u);
+  EXPECT_EQ(back.pso.swarm_size, 321u);
+  EXPECT_EQ(back.pso.objective, Objective::kCutSpikes);
+  EXPECT_EQ(back.partitioner, PartitionerKind::kGenetic);
+  EXPECT_TRUE(back.comm_aware_placement);
+  EXPECT_EQ(back.injection_jitter_cycles, 5u);
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_NEAR(back.energy.aer_codec_pj, 0.25, 1e-9);
+}
+
+TEST(ConfigIo, PartitionerNamesRoundTrip) {
+  for (const auto kind :
+       {PartitionerKind::kPso, PartitionerKind::kPacman,
+        PartitionerKind::kNeutrams, PartitionerKind::kAnnealing,
+        PartitionerKind::kGenetic}) {
+    EXPECT_EQ(partitioner_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(partitioner_from_string("metis"), std::invalid_argument);
+}
+
+TEST(ConfigIo, ObjectiveNamesRoundTrip) {
+  for (const auto objective :
+       {Objective::kAerPackets, Objective::kCutSpikes}) {
+    EXPECT_EQ(objective_from_string(to_string(objective)), objective);
+  }
+  EXPECT_THROW(objective_from_string("hops"), std::invalid_argument);
+}
+
+TEST(ConfigIo, RoutingAndSelectionKeys) {
+  const auto cfg = util::Config::parse(
+      "noc:\n"
+      "  selection: buffer-level\n"
+      "  mesh_routing: west-first\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_EQ(flow.noc.selection, noc::SelectionStrategy::kBufferLevel);
+  EXPECT_EQ(flow.mesh_routing, noc::MeshRouting::kWestFirst);
+
+  util::Config out;
+  mapping_flow_to_config(flow, out);
+  EXPECT_EQ(out.get_string("noc.selection"), "buffer-level");
+  EXPECT_EQ(out.get_string("noc.mesh_routing"), "west-first");
+
+  const auto bad = util::Config::parse("noc:\n  selection: psychic\n");
+  EXPECT_THROW(mapping_flow_from_config(bad), std::invalid_argument);
+}
+
+TEST(ConfigIo, BadInterconnectNameThrows) {
+  const auto cfg = util::Config::parse("arch:\n  interconnect: torus\n");
+  EXPECT_THROW(mapping_flow_from_config(cfg), std::invalid_argument);
+}
+
+TEST(ConfigIo, AnnealingAndGeneticKeys) {
+  const auto cfg = util::Config::parse(
+      "annealing:\n"
+      "  moves: 1234\n"
+      "  cooling: 0.5\n"
+      "genetic:\n"
+      "  population: 21\n"
+      "  mutation_rate: 0.125\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_EQ(flow.annealing.moves, 1234u);
+  EXPECT_EQ(flow.annealing.cooling, 0.5);
+  EXPECT_EQ(flow.genetic.population, 21u);
+  EXPECT_EQ(flow.genetic.mutation_rate, 0.125);
+}
+
+}  // namespace
+}  // namespace snnmap::core

@@ -1,0 +1,190 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::core {
+namespace {
+
+/// 4 neurons in a chain 0->1->2->3 plus a skip edge 0->2.
+/// Spike counts: neuron i spikes (i+1)*10 times... actually fixed below.
+snn::SnnGraph chain_graph() {
+  std::vector<snn::GraphEdge> edges{
+      {0, 1, 1.0F}, {1, 2, 1.0F}, {2, 3, 1.0F}, {0, 2, 1.0F}};
+  // Spike counts: n0=3, n1=5, n2=2, n3=7 (n3 has no fan-out).
+  std::vector<snn::SpikeTrain> trains{
+      {1, 2, 3}, {1, 2, 3, 4, 5}, {1, 2}, {1, 2, 3, 4, 5, 6, 7}};
+  return snn::SnnGraph::from_parts(4, std::move(edges), std::move(trains),
+                                   100.0);
+}
+
+Partition make_partition(std::vector<CrossbarId> assignment,
+                         std::uint32_t crossbars) {
+  Partition p(static_cast<std::uint32_t>(assignment.size()), crossbars);
+  for (std::uint32_t i = 0; i < assignment.size(); ++i) {
+    p.assign(i, assignment[i]);
+  }
+  return p;
+}
+
+TEST(CostModel, AllLocalIsZero) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  EXPECT_EQ(cost.global_spike_count(make_partition({0, 0, 0, 0}, 2)), 0u);
+}
+
+TEST(CostModel, CutEdgesChargePreSpikes) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  // Split {0,1} | {2,3}: cut edges 1->2 (5 spikes) and 0->2 (3 spikes).
+  EXPECT_EQ(cost.global_spike_count(make_partition({0, 0, 1, 1}, 2)), 8u);
+  // Split {0,2} | {1,3}: cut 0->1 (3), 1->2 (5), 2->3 (2) = 10.
+  EXPECT_EQ(cost.global_spike_count(make_partition({0, 1, 0, 1}, 2)), 10u);
+}
+
+TEST(CostModel, SpikesBetweenIsDirectional) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  const auto p = make_partition({0, 0, 1, 1}, 2);
+  EXPECT_EQ(cost.spikes_between(p, 0, 1), 8u);  // 1->2 and 0->2
+  EXPECT_EQ(cost.spikes_between(p, 1, 0), 0u);
+  EXPECT_EQ(cost.spikes_between(p, 0, 0), 0u);  // Eq. 7 diagonal
+}
+
+TEST(CostModel, LocalPlusGlobalEqualsTotal) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  for (const auto& assignment :
+       {std::vector<CrossbarId>{0, 0, 0, 0}, {0, 0, 1, 1}, {0, 1, 0, 1},
+        {1, 1, 0, 0}}) {
+    const auto p = make_partition(assignment, 2);
+    EXPECT_EQ(cost.global_spike_count(p) + cost.local_event_count(p),
+              cost.total_event_count());
+  }
+}
+
+TEST(CostModel, TotalEventCount) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  // 0->1:3, 1->2:5, 2->3:2, 0->2:3 = 13.
+  EXPECT_EQ(cost.total_event_count(), 13u);
+}
+
+TEST(CostModel, MulticastCollapsesSameCrossbarTargets) {
+  // Neuron 0 fans out to 1 and 2; if both land on the same remote crossbar,
+  // each spike is one packet, not two.
+  std::vector<snn::GraphEdge> edges{{0, 1, 1.0F}, {0, 2, 1.0F}};
+  std::vector<snn::SpikeTrain> trains{{1, 2, 3, 4}, {}, {}};
+  const auto g =
+      snn::SnnGraph::from_parts(3, std::move(edges), std::move(trains), 10.0);
+  const CostModel cost(g);
+  EXPECT_EQ(cost.multicast_packet_count(make_partition({0, 1, 1}, 2)), 4u);
+  EXPECT_EQ(cost.multicast_packet_count(make_partition({0, 1, 2}, 3)), 8u);
+  EXPECT_EQ(cost.multicast_packet_count(make_partition({0, 0, 0}, 2)), 0u);
+}
+
+TEST(CostModel, MoveDeltaMatchesRecomputation) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  auto p = make_partition({0, 0, 1, 1}, 2);
+  const std::uint64_t before = cost.global_spike_count(p);
+  for (std::uint32_t neuron = 0; neuron < 4; ++neuron) {
+    for (CrossbarId to = 0; to < 2; ++to) {
+      const std::int64_t delta = cost.move_delta(p, neuron, to);
+      const CrossbarId from = p.crossbar_of(neuron);
+      p.assign(neuron, to);
+      const std::uint64_t after = cost.global_spike_count(p);
+      p.assign(neuron, from);  // restore
+      EXPECT_EQ(static_cast<std::int64_t>(after),
+                static_cast<std::int64_t>(before) + delta)
+          << "neuron " << neuron << " -> " << to;
+    }
+  }
+}
+
+TEST(CostModel, SelfLoopsNeverCount) {
+  std::vector<snn::GraphEdge> edges{{0, 0, 1.0F}, {0, 1, 1.0F}};
+  std::vector<snn::SpikeTrain> trains{{1, 2}, {}};
+  const auto g =
+      snn::SnnGraph::from_parts(2, std::move(edges), std::move(trains), 10.0);
+  const CostModel cost(g);
+  // Only 0->1 can be cut.
+  EXPECT_EQ(cost.global_spike_count(make_partition({0, 1}, 2)), 2u);
+  EXPECT_EQ(cost.move_delta(make_partition({0, 1}, 2), 0, 1), -2);
+}
+
+TEST(CostModel, TrafficMatrixMatchesSpikesBetween) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  const auto p = make_partition({0, 1, 0, 1}, 2);
+  const auto matrix = cost.traffic_matrix(p);
+  for (CrossbarId a = 0; a < 2; ++a) {
+    for (CrossbarId b = 0; b < 2; ++b) {
+      EXPECT_EQ(matrix[a * 2 + b], cost.spikes_between(p, a, b));
+    }
+  }
+}
+
+TEST(CostModel, LocalEnergyScalesWithModel) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  const auto p = make_partition({0, 0, 0, 0}, 2);
+  hw::EnergyModel energy;
+  energy.crossbar_event_pj = 2.0;
+  EXPECT_DOUBLE_EQ(cost.local_energy_pj(p, energy), 13.0 * 2.0);
+}
+
+TEST(CostModel, AnalyticEnergyZeroWhenAllLocal) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  const auto topo = noc::Topology::mesh(2, 2);
+  const auto p = make_partition({0, 0, 0, 0}, 4);
+  const std::vector<noc::TileId> placement{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(
+      cost.analytic_global_energy_pj(p, topo, placement, {}, true), 0.0);
+}
+
+TEST(CostModel, AnalyticEnergyGrowsWithDistance) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  const auto topo = noc::Topology::mesh(2, 2);
+  const std::vector<noc::TileId> near_placement{0, 1, 2, 3};
+  // Partition {0,1} on crossbar 0 and {2,3} on crossbar 1 (adjacent tiles)
+  // vs crossbar 3 (diagonal tile, 2 hops).
+  const auto near_p = make_partition({0, 0, 1, 1}, 4);
+  const auto far_p = make_partition({0, 0, 3, 3}, 4);
+  const double e_near =
+      cost.analytic_global_energy_pj(near_p, topo, near_placement, {}, true);
+  const double e_far =
+      cost.analytic_global_energy_pj(far_p, topo, near_placement, {}, true);
+  EXPECT_GT(e_far, e_near);
+  EXPECT_GT(e_near, 0.0);
+}
+
+TEST(CostModel, AnalyticUnicastAtLeastMulticast) {
+  std::vector<snn::GraphEdge> edges{{0, 1, 1.0F}, {0, 2, 1.0F}, {0, 3, 1.0F}};
+  std::vector<snn::SpikeTrain> trains{{1, 2, 3}, {}, {}, {}};
+  const auto g =
+      snn::SnnGraph::from_parts(4, std::move(edges), std::move(trains), 10.0);
+  const CostModel cost(g);
+  const auto topo = noc::Topology::tree(4, 4);
+  const std::vector<noc::TileId> placement{0, 1, 2, 3};
+  const auto p = make_partition({0, 1, 2, 3}, 4);
+  const double multicast =
+      cost.analytic_global_energy_pj(p, topo, placement, {}, true);
+  const double unicast =
+      cost.analytic_global_energy_pj(p, topo, placement, {}, false);
+  EXPECT_GE(unicast, multicast);
+}
+
+TEST(CostModel, AnalyticEnergyValidatesPlacement) {
+  const auto g = chain_graph();
+  const CostModel cost(g);
+  const auto topo = noc::Topology::mesh(2, 2);
+  const auto p = make_partition({0, 0, 1, 1}, 2);
+  EXPECT_THROW(
+      cost.analytic_global_energy_pj(p, topo, {0, 1, 2}, {}, true),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snnmap::core

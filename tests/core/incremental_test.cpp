@@ -1,0 +1,203 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cost.hpp"
+#include "core/pacman.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::core {
+namespace {
+
+snn::SnnGraph random_graph(std::uint32_t n, double p, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<snn::GraphEdge> edges;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (a != b && rng.chance(p)) edges.push_back({a, b, 1.0F});
+    }
+  }
+  std::vector<snn::SpikeTrain> trains(n);
+  for (auto& t : trains) {
+    const auto count = rng.below(8);
+    for (std::uint64_t s = 0; s < count; ++s) {
+      t.push_back(static_cast<double>(s) * 3.0);
+    }
+  }
+  return snn::SnnGraph::from_parts(n, std::move(edges), std::move(trains),
+                                   50.0);
+}
+
+std::vector<CrossbarId> random_assignment(std::uint32_t n, std::uint32_t c,
+                                          util::Rng& rng) {
+  std::vector<CrossbarId> a(n);
+  for (auto& x : a) x = static_cast<CrossbarId>(rng.below(c));
+  return a;
+}
+
+TEST(IncrementalAerCost, InitialCostMatchesCostModel) {
+  const auto g = random_graph(20, 0.2, 1);
+  const CostModel cost(g);
+  util::Rng rng(2);
+  const auto assignment = random_assignment(20, 3, rng);
+  IncrementalAerCost inc(g, assignment, 3);
+  EXPECT_EQ(inc.cost(), cost.multicast_packet_count(assignment));
+}
+
+TEST(IncrementalAerCost, RejectsIncompleteAssignment) {
+  const auto g = random_graph(5, 0.3, 3);
+  std::vector<CrossbarId> bad(5, 0);
+  bad[2] = kUnassigned;
+  EXPECT_THROW(IncrementalAerCost(g, bad, 2), std::invalid_argument);
+  EXPECT_THROW(IncrementalAerCost(g, {0, 0, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(IncrementalAerCost(g, {0, 0, 0, 0, 7}, 2),
+               std::invalid_argument);
+}
+
+TEST(IncrementalAerCost, MoveDeltaMatchesRecomputation) {
+  const auto g = random_graph(16, 0.25, 5);
+  const CostModel cost(g);
+  util::Rng rng(6);
+  auto assignment = random_assignment(16, 4, rng);
+  IncrementalAerCost inc(g, assignment, 4);
+  for (std::uint32_t neuron = 0; neuron < 16; ++neuron) {
+    for (CrossbarId to = 0; to < 4; ++to) {
+      const std::int64_t delta = inc.move_delta(neuron, to);
+      auto moved = inc.assignment();
+      moved[neuron] = to;
+      const auto expected =
+          static_cast<std::int64_t>(cost.multicast_packet_count(moved)) -
+          static_cast<std::int64_t>(cost.multicast_packet_count(
+              inc.assignment()));
+      EXPECT_EQ(delta, expected) << "neuron " << neuron << " -> " << to;
+    }
+  }
+}
+
+TEST(IncrementalAerCost, ApplyMoveKeepsCostConsistent) {
+  const auto g = random_graph(24, 0.2, 7);
+  const CostModel cost(g);
+  util::Rng rng(8);
+  IncrementalAerCost inc(g, random_assignment(24, 3, rng), 3);
+  for (int step = 0; step < 200; ++step) {
+    const auto neuron = static_cast<std::uint32_t>(rng.below(24));
+    const auto to = static_cast<CrossbarId>(rng.below(3));
+    inc.apply_move(neuron, to);
+    ASSERT_EQ(inc.cost(), cost.multicast_packet_count(inc.assignment()))
+        << "after step " << step;
+  }
+}
+
+TEST(IncrementalAerCost, OccupancyTracksMoves) {
+  const auto g = random_graph(9, 0.2, 9);
+  IncrementalAerCost inc(g, std::vector<CrossbarId>(9, 0), 3);
+  EXPECT_EQ(inc.occupancy(), (std::vector<std::uint32_t>{9, 0, 0}));
+  inc.apply_move(0, 1);
+  inc.apply_move(1, 2);
+  inc.apply_move(2, 2);
+  EXPECT_EQ(inc.occupancy(), (std::vector<std::uint32_t>{6, 1, 2}));
+}
+
+TEST(IncrementalAerCost, SelfLoopsAreNeverRemote) {
+  std::vector<snn::GraphEdge> edges{{0, 0, 1.0F}, {0, 1, 1.0F}};
+  std::vector<snn::SpikeTrain> trains{{1.0, 2.0}, {}};
+  const auto g =
+      snn::SnnGraph::from_parts(2, std::move(edges), std::move(trains), 10.0);
+  IncrementalAerCost inc(g, {0, 1}, 2);
+  EXPECT_EQ(inc.cost(), 2u);  // only the 0->1 packet stream
+  inc.apply_move(1, 0);
+  EXPECT_EQ(inc.cost(), 0u);
+}
+
+TEST(IncrementalAerCost, GreedyRefineNeverIncreasesCost) {
+  const auto g = random_graph(30, 0.15, 11);
+  util::Rng rng(12);
+  IncrementalAerCost inc(g, random_assignment(30, 4, rng), 4);
+  const std::uint64_t before = inc.cost();
+  inc.greedy_refine(/*capacity=*/12, /*max_sweeps=*/4);
+  EXPECT_LE(inc.cost(), before);
+}
+
+TEST(IncrementalAerCost, GreedyRefineRespectsCapacity) {
+  // Starting from a feasible assignment, refinement must never move a
+  // neuron into a crossbar that is already at capacity.
+  const auto g = random_graph(20, 0.4, 13);
+  std::vector<CrossbarId> balanced(20);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    balanced[i] = static_cast<CrossbarId>(i % 4);  // 5 per crossbar
+  }
+  IncrementalAerCost inc(g, balanced, 4);
+  inc.greedy_refine(/*capacity=*/6, /*max_sweeps=*/6);
+  for (const auto occ : inc.occupancy()) EXPECT_LE(occ, 6u);
+}
+
+TEST(IncrementalAerCost, SwapRefineNeverIncreasesCostAndKeepsOccupancy) {
+  const auto g = random_graph(26, 0.2, 15);
+  util::Rng rng(16);
+  IncrementalAerCost inc(g, random_assignment(26, 3, rng), 3);
+  const auto occ_before = inc.occupancy();
+  const std::uint64_t before = inc.cost();
+  util::Rng swap_rng(17);
+  inc.swap_refine(500, swap_rng);
+  EXPECT_LE(inc.cost(), before);
+  EXPECT_EQ(inc.occupancy(), occ_before);  // swaps preserve occupancy
+}
+
+TEST(IncrementalAerCost, SwapRefineEscapesCapacityBlockedOptimum) {
+  // Two one-to-one chains laid out so contiguous fill separates every pair
+  // and both crossbars are exactly full: single moves are blocked, swaps
+  // solve it.  Neurons 0..3 each target neuron i+4.
+  std::vector<snn::GraphEdge> edges;
+  for (std::uint32_t i = 0; i < 4; ++i) edges.push_back({i, i + 4, 1.0F});
+  std::vector<snn::SpikeTrain> trains(8, snn::SpikeTrain{1.0, 2.0});
+  const auto g =
+      snn::SnnGraph::from_parts(8, std::move(edges), std::move(trains), 10.0);
+  // Pairs split: sources 0,1 with targets 6,7 on crossbar 0; sources 2,3
+  // with targets 4,5 on crossbar 1.
+  IncrementalAerCost inc(g, {0, 0, 1, 1, 1, 1, 0, 0}, 2);
+  EXPECT_EQ(inc.cost(), 8u);  // every source remote (2 spikes x 4 sources)
+  EXPECT_EQ(inc.greedy_refine(/*capacity=*/4, 4), 0u);  // blocked
+  util::Rng rng(18);
+  inc.swap_refine(2000, rng);
+  EXPECT_EQ(inc.cost(), 0u);  // pairs reunited via swaps
+}
+
+/// Property sweep: incremental trajectory stays consistent with the batch
+/// evaluator across graph densities, crossbar counts and seeds.
+class IncrementalProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IncrementalProperty, TrajectoryConsistency) {
+  const auto [n, c, seed] = GetParam();
+  const auto g = random_graph(static_cast<std::uint32_t>(n), 0.2,
+                              static_cast<std::uint64_t>(seed));
+  const CostModel cost(g);
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 1);
+  IncrementalAerCost inc(
+      g, random_assignment(static_cast<std::uint32_t>(n),
+                           static_cast<std::uint32_t>(c), rng),
+      static_cast<std::uint32_t>(c));
+  for (int step = 0; step < 60; ++step) {
+    const auto neuron = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(n)));
+    const auto to = static_cast<CrossbarId>(
+        rng.below(static_cast<std::uint64_t>(c)));
+    const std::int64_t predicted = inc.move_delta(neuron, to);
+    const std::uint64_t before = inc.cost();
+    inc.apply_move(neuron, to);
+    EXPECT_EQ(static_cast<std::int64_t>(inc.cost()),
+              static_cast<std::int64_t>(before) + predicted);
+    ASSERT_EQ(inc.cost(), cost.multicast_packet_count(inc.assignment()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalProperty,
+    ::testing::Combine(::testing::Values(10, 25, 40),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace snnmap::core

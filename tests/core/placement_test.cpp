@@ -1,0 +1,70 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace snnmap::core {
+namespace {
+
+TEST(Placement, IdentityMapsKToK) {
+  const auto topo = noc::Topology::mesh(2, 2);
+  const auto p = identity_placement(4, topo);
+  EXPECT_EQ(p, (Placement{0, 1, 2, 3}));
+}
+
+TEST(Placement, IdentityRejectsTooFewTiles) {
+  const auto topo = noc::Topology::mesh(2, 2);
+  EXPECT_THROW(identity_placement(5, topo), std::invalid_argument);
+}
+
+TEST(Placement, CostWeighsTrafficByDistance) {
+  const auto topo = noc::Topology::mesh(2, 2);
+  // Traffic only between crossbars 0 and 1.
+  std::vector<std::uint64_t> traffic(16, 0);
+  traffic[0 * 4 + 1] = 10;
+  // Adjacent tiles: cost 10 * 1.
+  EXPECT_EQ(placement_cost({0, 1, 2, 3}, traffic, topo), 10u);
+  // Diagonal tiles: cost 10 * 2.
+  EXPECT_EQ(placement_cost({0, 3, 2, 1}, traffic, topo), 20u);
+}
+
+TEST(Placement, CostValidatesMatrixSize) {
+  const auto topo = noc::Topology::mesh(2, 2);
+  EXPECT_THROW(placement_cost({0, 1}, {1, 2, 3}, topo),
+               std::invalid_argument);
+}
+
+TEST(Placement, GreedyNeverWorseThanIdentity) {
+  const auto topo = noc::Topology::mesh(3, 3);
+  // Heavy traffic between crossbars 0 and 8 (identity puts them 4 hops
+  // apart), light elsewhere.
+  std::vector<std::uint64_t> traffic(81, 0);
+  traffic[0 * 9 + 8] = 100;
+  traffic[8 * 9 + 0] = 100;
+  traffic[1 * 9 + 2] = 1;
+  const auto greedy = greedy_placement(traffic, 9, topo);
+  EXPECT_LE(placement_cost(greedy, traffic, topo),
+            placement_cost(identity_placement(9, topo), traffic, topo));
+  // The heavy pair must end up adjacent.
+  EXPECT_EQ(topo.hop_distance(greedy[0], greedy[8]), 1u);
+}
+
+TEST(Placement, GreedyIsAPermutation) {
+  const auto topo = noc::Topology::tree(8, 2);
+  std::vector<std::uint64_t> traffic(64, 3);
+  auto p = greedy_placement(traffic, 8, topo);
+  std::sort(p.begin(), p.end());
+  for (std::uint32_t k = 0; k < 8; ++k) EXPECT_EQ(p[k], k);
+}
+
+TEST(Placement, GreedyHandlesZeroTraffic) {
+  const auto topo = noc::Topology::ring(4);
+  const std::vector<std::uint64_t> traffic(16, 0);
+  const auto p = greedy_placement(traffic, 4, topo);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(placement_cost(p, traffic, topo), 0u);
+}
+
+}  // namespace
+}  // namespace snnmap::core

@@ -1,0 +1,129 @@
+#include "core/runtime_remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/phased.hpp"
+#include "core/cost.hpp"
+#include "core/pso.hpp"
+
+namespace snnmap::core {
+namespace {
+
+apps::PhasedConfig small_workload() {
+  apps::PhasedConfig cfg;
+  cfg.clusters = 6;
+  cfg.cluster_size = 8;
+  cfg.seed = 5;
+  cfg.duration_ms = 200.0;
+  return cfg;
+}
+
+hw::Architecture arch_for(const snn::SnnGraph& graph) {
+  auto arch = hw::Architecture::sized_for(graph.neuron_count(), 16,
+                                          hw::InterconnectKind::kTree);
+  arch.tree_arity = 4;
+  return arch;
+}
+
+Partition offline_partition(const snn::SnnGraph& graph,
+                            const hw::Architecture& arch) {
+  PsoConfig pso;
+  pso.swarm_size = 20;
+  pso.iterations = 20;
+  return PsoPartitioner(graph, arch, pso).optimize().best;
+}
+
+TEST(RuntimeRemapper, ValidatesInitialPartition) {
+  const auto g = apps::build_phased_clusters(small_workload(), 0);
+  const auto arch = arch_for(g);
+  Partition incomplete(g.neuron_count(), arch.crossbar_count);
+  EXPECT_THROW(RuntimeRemapper(arch, incomplete, {}), std::runtime_error);
+}
+
+TEST(RuntimeRemapper, RejectsMismatchedPhaseGraph) {
+  const auto g = apps::build_phased_clusters(small_workload(), 0);
+  const auto arch = arch_for(g);
+  RuntimeRemapper remapper(arch, offline_partition(g, arch), {});
+  auto other_cfg = small_workload();
+  other_cfg.cluster_size = 4;
+  const auto other = apps::build_phased_clusters(other_cfg, 0);
+  EXPECT_THROW(remapper.observe_phase(other), std::invalid_argument);
+}
+
+TEST(RuntimeRemapper, NeverIncreasesPhaseCost) {
+  const auto cfg = small_workload();
+  const auto g0 = apps::build_phased_clusters(cfg, 0);
+  const auto arch = arch_for(g0);
+  RuntimeRemapper remapper(arch, offline_partition(g0, arch), {});
+  for (std::uint32_t phase = 0; phase < 4; ++phase) {
+    const auto g = apps::build_phased_clusters(cfg, phase);
+    const auto report = remapper.observe_phase(g);
+    EXPECT_LE(report.cost_after, report.cost_before) << "phase " << phase;
+    EXPECT_NO_THROW(remapper.partition().validate(arch));
+  }
+}
+
+TEST(RuntimeRemapper, RespectsMigrationBudget) {
+  const auto cfg = small_workload();
+  const auto g0 = apps::build_phased_clusters(cfg, 0);
+  const auto arch = arch_for(g0);
+  RemapConfig remap;
+  remap.max_migrations_per_epoch = 4;
+  RuntimeRemapper remapper(arch, offline_partition(g0, arch), remap);
+  std::uint64_t total = 0;
+  for (std::uint32_t phase = 1; phase <= 3; ++phase) {
+    const auto report =
+        remapper.observe_phase(apps::build_phased_clusters(cfg, phase));
+    EXPECT_LE(report.migrations, 4u);
+    total += report.migrations;
+  }
+  EXPECT_EQ(remapper.total_migrations(), total);
+  EXPECT_EQ(remapper.epochs_observed(), 3u);
+}
+
+TEST(RuntimeRemapper, ZeroBudgetChangesNothing) {
+  const auto cfg = small_workload();
+  const auto g0 = apps::build_phased_clusters(cfg, 0);
+  const auto arch = arch_for(g0);
+  const auto initial = offline_partition(g0, arch);
+  RemapConfig remap;
+  remap.max_migrations_per_epoch = 0;
+  RuntimeRemapper remapper(arch, initial, remap);
+  const auto report =
+      remapper.observe_phase(apps::build_phased_clusters(cfg, 2));
+  EXPECT_EQ(report.migrations, 0u);
+  EXPECT_EQ(report.cost_before, report.cost_after);
+  EXPECT_EQ(remapper.partition(), initial);
+}
+
+TEST(RuntimeRemapper, BeatsStaticMappingOnShiftedPhase) {
+  // After the hot window rotates far from phase 0, remapping must recover a
+  // meaningfully better cost than the stale static partition.
+  const auto cfg = small_workload();
+  const auto g0 = apps::build_phased_clusters(cfg, 0);
+  const auto arch = arch_for(g0);
+  const auto initial = offline_partition(g0, arch);
+
+  const auto g3 = apps::build_phased_clusters(cfg, 3);
+  const CostModel cost(g3);
+  const std::uint64_t static_cost = cost.multicast_packet_count(initial);
+
+  RemapConfig remap;
+  remap.max_migrations_per_epoch = 32;
+  RuntimeRemapper remapper(arch, initial, remap);
+  const auto report = remapper.observe_phase(g3);
+  EXPECT_EQ(report.cost_before, static_cost);
+  EXPECT_LT(report.cost_after, static_cost);
+}
+
+TEST(RuntimeRemapper, ReportImprovementFractionConsistent) {
+  RemapEpochReport r;
+  r.cost_before = 200;
+  r.cost_after = 150;
+  EXPECT_NEAR(r.improvement_fraction(), 0.25, 1e-12);
+  r.cost_before = 0;
+  EXPECT_EQ(r.improvement_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace snnmap::core

@@ -1,0 +1,69 @@
+#include "hw/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace snnmap::hw {
+namespace {
+
+TEST(Architecture, CxquadPreset) {
+  const auto a = Architecture::cxquad();
+  EXPECT_EQ(a.crossbar_count, 4u);
+  EXPECT_EQ(a.neurons_per_crossbar, 256u);
+  EXPECT_EQ(a.interconnect, InterconnectKind::kTree);
+  EXPECT_EQ(a.capacity(), 1024u);
+  EXPECT_TRUE(a.fits(1024));
+  EXPECT_FALSE(a.fits(1025));
+}
+
+TEST(Architecture, SizedForRoundsUp) {
+  const auto a = Architecture::sized_for(1000, 256, InterconnectKind::kMesh);
+  EXPECT_EQ(a.crossbar_count, 4u);
+  const auto b = Architecture::sized_for(1025, 256, InterconnectKind::kMesh);
+  EXPECT_EQ(b.crossbar_count, 5u);
+  const auto c = Architecture::sized_for(0, 256, InterconnectKind::kMesh);
+  EXPECT_EQ(c.crossbar_count, 1u);
+}
+
+TEST(Architecture, SizedForRejectsZeroCapacity) {
+  EXPECT_THROW(Architecture::sized_for(10, 0, InterconnectKind::kMesh),
+               std::invalid_argument);
+}
+
+TEST(Architecture, MeshDimensionsCoverCrossbars) {
+  for (std::uint32_t count : {1u, 2u, 3u, 4u, 5u, 7u, 9u, 12u, 16u, 17u}) {
+    Architecture a;
+    a.crossbar_count = count;
+    EXPECT_GE(a.mesh_width() * a.mesh_height(), count) << count;
+    // Squarish: width within one row/col of height.
+    EXPECT_LE(a.mesh_width(), a.mesh_height() + count);
+  }
+}
+
+TEST(Architecture, MeshIsSquareForPerfectSquares) {
+  Architecture a;
+  a.crossbar_count = 16;
+  EXPECT_EQ(a.mesh_width(), 4u);
+  EXPECT_EQ(a.mesh_height(), 4u);
+}
+
+TEST(InterconnectKind, StringRoundTrip) {
+  EXPECT_EQ(interconnect_from_string("mesh"), InterconnectKind::kMesh);
+  EXPECT_EQ(interconnect_from_string("tree"), InterconnectKind::kTree);
+  EXPECT_EQ(interconnect_from_string("ring"), InterconnectKind::kRing);
+  EXPECT_STREQ(to_string(InterconnectKind::kMesh), "mesh");
+  EXPECT_STREQ(to_string(InterconnectKind::kTree), "tree");
+  EXPECT_STREQ(to_string(InterconnectKind::kRing), "ring");
+  EXPECT_THROW(interconnect_from_string("torus"), std::invalid_argument);
+}
+
+TEST(Architecture, DescribeMentionsShape) {
+  const auto a = Architecture::cxquad();
+  const auto text = a.describe();
+  EXPECT_NE(text.find("4 crossbars"), std::string::npos);
+  EXPECT_NE(text.find("tree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnmap::hw

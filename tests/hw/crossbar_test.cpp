@@ -1,0 +1,49 @@
+#include "hw/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::hw {
+namespace {
+
+TEST(Crossbar, CapacityEnforced) {
+  Crossbar xb(0, 2);
+  EXPECT_TRUE(xb.add_neuron(10));
+  EXPECT_TRUE(xb.add_neuron(11));
+  EXPECT_TRUE(xb.full());
+  EXPECT_FALSE(xb.add_neuron(12));
+  EXPECT_EQ(xb.occupancy(), 2u);
+}
+
+TEST(Crossbar, Utilization) {
+  Crossbar xb(1, 4);
+  EXPECT_EQ(xb.utilization(), 0.0);
+  xb.add_neuron(0);
+  EXPECT_DOUBLE_EQ(xb.utilization(), 0.25);
+  xb.add_neuron(1);
+  xb.add_neuron(2);
+  xb.add_neuron(3);
+  EXPECT_DOUBLE_EQ(xb.utilization(), 1.0);
+}
+
+TEST(Crossbar, LocalEnergyAccounting) {
+  Crossbar xb(2, 8);
+  xb.record_local_events(100);
+  xb.record_local_events(50);
+  EXPECT_EQ(xb.local_events(), 150u);
+  EnergyModel m;
+  m.crossbar_event_pj = 2.0;
+  EXPECT_DOUBLE_EQ(xb.local_energy_pj(m), 300.0);
+}
+
+TEST(Crossbar, NeuronListPreserved) {
+  Crossbar xb(3, 4);
+  xb.add_neuron(7);
+  xb.add_neuron(3);
+  ASSERT_EQ(xb.neurons().size(), 2u);
+  EXPECT_EQ(xb.neurons()[0], 7u);
+  EXPECT_EQ(xb.neurons()[1], 3u);
+  EXPECT_EQ(xb.id(), 3u);
+}
+
+}  // namespace
+}  // namespace snnmap::hw

@@ -1,0 +1,55 @@
+#include "hw/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::hw {
+namespace {
+
+TEST(EnergyModel, DefaultsArePositive) {
+  const EnergyModel m = EnergyModel::cxquad();
+  EXPECT_GT(m.crossbar_event_pj, 0.0);
+  EXPECT_GT(m.link_hop_pj, 0.0);
+  EXPECT_GT(m.router_flit_pj, 0.0);
+  EXPECT_GT(m.aer_codec_pj, 0.0);
+}
+
+TEST(EnergyModel, PacketEnergyGrowsWithHops) {
+  const EnergyModel m;
+  EXPECT_LT(m.packet_energy_pj(0), m.packet_energy_pj(1));
+  EXPECT_LT(m.packet_energy_pj(1), m.packet_energy_pj(5));
+  // Linear: the increment per hop is link + router.
+  const double inc = m.packet_energy_pj(3) - m.packet_energy_pj(2);
+  EXPECT_NEAR(inc, m.link_hop_pj + m.router_flit_pj, 1e-12);
+}
+
+TEST(EnergyModel, ZeroHopStillPaysCodecAndOneRouter) {
+  const EnergyModel m;
+  EXPECT_NEAR(m.packet_energy_pj(0), m.aer_codec_pj + m.router_flit_pj, 1e-12);
+}
+
+TEST(EnergyModel, FromConfigOverridesSelectively) {
+  util::Config cfg = util::Config::parse(
+      "energy:\n"
+      "  link_hop_pj: 99.0\n"
+      "  aer_codec_pj: 0.5\n");
+  const EnergyModel m = EnergyModel::from_config(cfg);
+  const EnergyModel d;
+  EXPECT_EQ(m.link_hop_pj, 99.0);
+  EXPECT_EQ(m.aer_codec_pj, 0.5);
+  EXPECT_EQ(m.crossbar_event_pj, d.crossbar_event_pj);  // untouched
+  EXPECT_EQ(m.router_flit_pj, d.router_flit_pj);
+}
+
+TEST(EnergyModel, ToConfigRoundTrips) {
+  EnergyModel m;
+  m.link_hop_pj = 12.25;
+  m.crossbar_event_pj = 3.5;
+  util::Config cfg;
+  m.to_config(cfg);
+  const EnergyModel back = EnergyModel::from_config(cfg);
+  EXPECT_NEAR(back.link_hop_pj, 12.25, 1e-9);
+  EXPECT_NEAR(back.crossbar_event_pj, 3.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace snnmap::hw

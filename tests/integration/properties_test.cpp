@@ -1,0 +1,204 @@
+// Property-based sweeps (parameterized gtest) over randomized graphs and
+// architectures: invariants that must hold for *any* input, not just the
+// fixtures the unit tests pin down.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cost.hpp"
+#include "core/framework.hpp"
+#include "core/neutrams.hpp"
+#include "core/pacman.hpp"
+#include "core/pso.hpp"
+#include "noc/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap {
+namespace {
+
+/// Random spike graph: `n` neurons, Bernoulli(p) edges, Poisson-ish trains.
+snn::SnnGraph random_graph(std::uint32_t n, double p, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<snn::GraphEdge> edges;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (a != b && rng.chance(p)) {
+        edges.push_back({a, b, static_cast<float>(rng.uniform(0.1, 2.0))});
+      }
+    }
+  }
+  std::vector<snn::SpikeTrain> trains(n);
+  for (auto& train : trains) {
+    double t = rng.exponential(0.05);
+    while (t < 100.0) {
+      train.push_back(t);
+      t += rng.exponential(0.05);
+    }
+  }
+  return snn::SnnGraph::from_parts(n, std::move(edges), std::move(trains),
+                                   100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning invariants over (neurons, crossbars, seed).
+
+class PartitionProperties
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PartitionProperties, Invariants) {
+  const auto [n, crossbars, seed] = GetParam();
+  const auto g = random_graph(static_cast<std::uint32_t>(n), 0.1,
+                              static_cast<std::uint64_t>(seed));
+  hw::Architecture arch;
+  arch.crossbar_count = static_cast<std::uint32_t>(crossbars);
+  arch.neurons_per_crossbar =
+      (static_cast<std::uint32_t>(n) + arch.crossbar_count - 1) /
+          arch.crossbar_count + 2;
+
+  const core::CostModel cost(g);
+  const auto pacman = core::pacman_partition(g, arch);
+  const auto neutrams = core::neutrams_partition(g, arch);
+
+  // 1. Both baselines always produce feasible partitions.
+  EXPECT_NO_THROW(pacman.validate(arch));
+  EXPECT_NO_THROW(neutrams.validate(arch));
+
+  // 2. Conservation: cut + local == total, for any partition.
+  for (const auto* p : {&pacman, &neutrams}) {
+    EXPECT_EQ(cost.global_spike_count(*p) + cost.local_event_count(*p),
+              cost.total_event_count());
+  }
+
+  // 3. Multicast packets never exceed cut spikes (dedup can only reduce)
+  //    and are zero iff the cut is zero.
+  for (const auto* p : {&pacman, &neutrams}) {
+    const auto packets = cost.multicast_packet_count(*p);
+    const auto cut = cost.global_spike_count(*p);
+    EXPECT_LE(packets, cut + cut);  // each cut spike reaches >= 1 crossbar
+    EXPECT_EQ(packets == 0, cut == 0);
+  }
+
+  // 4. PSO (tiny budget, seeded) is never worse than either baseline under
+  //    its own objective, and its reported cost matches the partition.
+  core::PsoConfig pso_config;
+  pso_config.swarm_size = 8;
+  pso_config.iterations = 8;
+  pso_config.seed = static_cast<std::uint64_t>(seed);
+  core::PsoPartitioner pso(g, arch, pso_config);
+  const auto result = pso.optimize();
+  EXPECT_LE(result.best_cost,
+            std::min(cost.multicast_packet_count(pacman),
+                     cost.multicast_packet_count(neutrams)));
+  EXPECT_NO_THROW(result.best.validate(arch));
+  EXPECT_EQ(cost.multicast_packet_count(result.best), result.best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperties,
+    ::testing::Combine(::testing::Values(12, 30, 64),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// NoC invariants over (topology kind, tiles, packets, seed).
+
+class NocProperties
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(NocProperties, EveryPacketDeliveredExactlyOncePerDestination) {
+  const auto [kind_index, tiles, seed] = GetParam();
+  noc::Topology topo = [&, k = kind_index, t = tiles] {
+    switch (k) {
+      case 0: return noc::Topology::mesh((t + 1) / 2, 2);
+      case 1: return noc::Topology::tree(static_cast<std::uint32_t>(t), 2);
+      default: return noc::Topology::ring(static_cast<std::uint32_t>(t));
+    }
+  }();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  std::vector<noc::SpikePacketEvent> traffic;
+  std::size_t expected_copies = 0;
+  std::uint64_t cycle = 0;
+  const std::uint32_t tile_count = topo.tile_count();
+  if (tile_count < 2) GTEST_SKIP() << "degenerate topology";
+  for (int i = 0; i < 300; ++i) {
+    noc::SpikePacketEvent ev;
+    ev.emit_cycle = cycle;
+    ev.source_neuron = static_cast<std::uint32_t>(rng.below(32));
+    ev.source_tile = static_cast<noc::TileId>(rng.below(tile_count));
+    // 1..3 distinct remote destinations.
+    const std::uint32_t want = 1 + static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t d = 0; d < tile_count && ev.dest_tiles.size() < want;
+         ++d) {
+      const noc::TileId candidate =
+          static_cast<noc::TileId>((ev.source_tile + 1 + d) % tile_count);
+      if (candidate != ev.source_tile && rng.chance(0.6)) {
+        ev.dest_tiles.push_back(candidate);
+      }
+    }
+    if (ev.dest_tiles.empty()) {
+      ev.dest_tiles.push_back(
+          static_cast<noc::TileId>((ev.source_tile + 1) % tile_count));
+    }
+    expected_copies += ev.dest_tiles.size();
+    traffic.push_back(std::move(ev));
+    if (i % 2 == 0) ++cycle;
+  }
+  noc::NocSimulator sim(std::move(topo), noc::NocConfig{});
+  const auto result = sim.run(std::move(traffic));
+  ASSERT_TRUE(result.stats.drained);
+  EXPECT_EQ(result.stats.copies_delivered, expected_copies);
+  // Latency positivity and causality.
+  for (const auto& d : result.delivered) {
+    EXPECT_GT(d.recv_cycle, d.emit_cycle);
+  }
+  // Energy strictly positive when anything moved.
+  EXPECT_GT(result.stats.global_energy_pj, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NocProperties,
+    ::testing::Combine(::testing::Values(0, 1, 2),   // mesh / tree / ring
+                       ::testing::Values(4, 6, 9),   // tiles
+                       ::testing::Values(1, 2)));    // seeds
+
+// ---------------------------------------------------------------------------
+// Buffer-depth monotonicity: shrinking buffers cannot reduce worst latency.
+
+class BufferDepthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferDepthProperty, SmallerBuffersNoFasterUnderBurst) {
+  const int depth = GetParam();
+  std::vector<noc::SpikePacketEvent> traffic;
+  for (std::uint32_t src = 1; src < 9; ++src) {
+    for (int burst = 0; burst < 10; ++burst) {
+      noc::SpikePacketEvent ev;
+      ev.emit_cycle = 0;
+      ev.source_neuron = src;
+      ev.source_tile = src;
+      ev.dest_tiles = {0};
+      traffic.push_back(ev);
+    }
+  }
+  noc::NocConfig deep;
+  deep.buffer_depth = 16;
+  noc::NocSimulator deep_sim(noc::Topology::mesh(3, 3), deep);
+  const auto deep_result = deep_sim.run(traffic);
+
+  noc::NocConfig shallow;
+  shallow.buffer_depth = static_cast<std::uint32_t>(depth);
+  noc::NocSimulator shallow_sim(noc::Topology::mesh(3, 3), shallow);
+  const auto shallow_result = shallow_sim.run(traffic);
+
+  ASSERT_TRUE(deep_result.stats.drained);
+  ASSERT_TRUE(shallow_result.stats.drained);
+  EXPECT_EQ(shallow_result.stats.copies_delivered,
+            deep_result.stats.copies_delivered);
+  EXPECT_GE(shallow_result.stats.max_latency_cycles,
+            deep_result.stats.max_latency_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BufferDepthProperty,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace snnmap

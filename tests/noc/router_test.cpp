@@ -1,0 +1,66 @@
+#include "noc/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace snnmap::noc {
+namespace {
+
+TEST(Router, QueueLayout) {
+  Router r(3, 4, 2);
+  EXPECT_EQ(r.id(), 3u);
+  EXPECT_EQ(r.port_count(), 4u);
+  EXPECT_EQ(r.input_count(), 5u);  // 4 inter-router + 1 injection
+  EXPECT_TRUE(r.all_queues_empty());
+  EXPECT_EQ(r.buffered_flits(), 0u);
+}
+
+TEST(Router, RejectsZeroBuffers) {
+  EXPECT_THROW(Router(0, 2, 0), std::invalid_argument);
+}
+
+TEST(Router, BackpressureRespectsDepthAndStaged) {
+  Router r(0, 2, 2);
+  EXPECT_TRUE(r.can_accept(0, 0));
+  EXPECT_TRUE(r.can_accept(0, 1));
+  EXPECT_FALSE(r.can_accept(0, 2));  // staged arrivals count
+  r.in_queue(0).push_back(Flit{});
+  EXPECT_TRUE(r.can_accept(0, 0));
+  EXPECT_FALSE(r.can_accept(0, 1));
+  r.in_queue(0).push_back(Flit{});
+  EXPECT_FALSE(r.can_accept(0, 0));
+}
+
+TEST(Router, InjectionQueueIsUnbounded) {
+  Router r(0, 2, 1);
+  for (int i = 0; i < 100; ++i) r.in_queue(2).push_back(Flit{});
+  EXPECT_TRUE(r.can_accept(2, 1000));
+  EXPECT_EQ(r.buffered_flits(), 100u);
+}
+
+TEST(Router, RoundRobinPointerWraps) {
+  Router r(0, 1, 4);  // 2 inputs (1 port + injection)
+  EXPECT_EQ(r.rr_pointer(0), 0u);
+  r.advance_rr(0);
+  EXPECT_EQ(r.rr_pointer(0), 1u);
+  r.advance_rr(0);
+  EXPECT_EQ(r.rr_pointer(0), 0u);
+}
+
+TEST(Flit, ServedPortMask) {
+  Flit f;
+  EXPECT_FALSE(f.port_served(0));
+  f.mark_served(0);
+  f.mark_served(3);
+  EXPECT_TRUE(f.port_served(0));
+  EXPECT_FALSE(f.port_served(1));
+  EXPECT_TRUE(f.port_served(3));
+}
+
+TEST(Router, TooManyPortsRejected) {
+  EXPECT_THROW(Router(0, 64, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snnmap::noc

@@ -1,0 +1,175 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace snnmap::noc {
+namespace {
+
+TEST(Mesh, DimensionsAndTiles) {
+  const auto t = Topology::mesh(3, 2);
+  EXPECT_EQ(t.router_count(), 6u);
+  EXPECT_EQ(t.tile_count(), 6u);
+  EXPECT_EQ(t.kind(), hw::InterconnectKind::kMesh);
+  EXPECT_EQ(t.link_count(), 2u * 2u + 3u * 1u);  // 2 per row *2 rows? see calc
+  for (TileId i = 0; i < 6; ++i) {
+    EXPECT_EQ(t.router_of_tile(i), i);
+    EXPECT_EQ(t.tile_of_router(i), i);
+  }
+}
+
+TEST(Mesh, XyHopDistanceIsManhattan) {
+  const auto t = Topology::mesh(4, 4);
+  EXPECT_EQ(t.hop_distance(0, 0), 0u);
+  EXPECT_EQ(t.hop_distance(0, 3), 3u);    // same row
+  EXPECT_EQ(t.hop_distance(0, 12), 3u);   // same column
+  EXPECT_EQ(t.hop_distance(0, 15), 6u);   // corner to corner
+  EXPECT_EQ(t.hop_distance(5, 10), 2u);   // (1,1) -> (2,2)
+}
+
+TEST(Mesh, XyRoutesXFirst) {
+  const auto t = Topology::mesh(3, 3);
+  // From router 0 (0,0) to router 8 (2,2): first hop must be +x (router 1).
+  const PortId p = t.next_port(0, 8);
+  EXPECT_EQ(t.neighbor(0, p), 1u);
+  // From 2 (2,0) to 6 (0,2): first hop is -x (router 1).
+  const PortId q = t.next_port(2, 6);
+  EXPECT_EQ(t.neighbor(2, q), 1u);
+}
+
+TEST(Mesh, LocalPortWhenArrived) {
+  const auto t = Topology::mesh(2, 2);
+  EXPECT_EQ(t.next_port(3, 3), kLocalPort);
+}
+
+TEST(Mesh, RejectsZeroDimensions) {
+  EXPECT_THROW(Topology::mesh(0, 3), std::invalid_argument);
+  EXPECT_THROW(Topology::mesh(3, 0), std::invalid_argument);
+}
+
+TEST(Tree, CxquadShape) {
+  // 4 leaves under one hub (arity 4): 5 routers, 4 links.
+  const auto t = Topology::tree(4, 4);
+  EXPECT_EQ(t.router_count(), 5u);
+  EXPECT_EQ(t.tile_count(), 4u);
+  EXPECT_EQ(t.link_count(), 4u);
+  EXPECT_EQ(t.kind(), hw::InterconnectKind::kTree);
+  // Every leaf pair is 2 hops apart (up to hub, down).
+  for (TileId a = 0; a < 4; ++a) {
+    for (TileId b = 0; b < 4; ++b) {
+      EXPECT_EQ(t.hop_distance(a, b), a == b ? 0u : 2u);
+    }
+  }
+  // Internal hub has no tile.
+  EXPECT_EQ(t.tile_of_router(4), kNoRouter);
+}
+
+TEST(Tree, TwoLevelDistances) {
+  // 8 leaves, arity 4 -> 2 mid routers + root: leaves in the same subtree
+  // are 2 hops apart; across subtrees 4 hops.
+  const auto t = Topology::tree(8, 4);
+  EXPECT_EQ(t.hop_distance(0, 3), 2u);
+  EXPECT_EQ(t.hop_distance(0, 4), 4u);
+  EXPECT_EQ(t.hop_distance(4, 7), 2u);
+}
+
+TEST(Tree, SingleTileIsTrivial) {
+  const auto t = Topology::tree(1, 4);
+  EXPECT_EQ(t.router_count(), 1u);
+  EXPECT_EQ(t.hop_distance(0, 0), 0u);
+}
+
+TEST(Tree, RejectsBadParams) {
+  EXPECT_THROW(Topology::tree(0, 4), std::invalid_argument);
+  EXPECT_THROW(Topology::tree(4, 1), std::invalid_argument);
+}
+
+TEST(Ring, ShortestPathWrapsAround) {
+  const auto t = Topology::ring(6);
+  EXPECT_EQ(t.router_count(), 6u);
+  EXPECT_EQ(t.link_count(), 6u);
+  EXPECT_EQ(t.hop_distance(0, 1), 1u);
+  EXPECT_EQ(t.hop_distance(0, 3), 3u);  // diameter
+  EXPECT_EQ(t.hop_distance(0, 5), 1u);  // wraps
+  EXPECT_EQ(t.hop_distance(1, 5), 2u);
+}
+
+TEST(Ring, TwoAndOneNode) {
+  const auto two = Topology::ring(2);
+  EXPECT_EQ(two.hop_distance(0, 1), 1u);
+  EXPECT_EQ(two.link_count(), 1u);
+  const auto one = Topology::ring(1);
+  EXPECT_EQ(one.hop_distance(0, 0), 0u);
+}
+
+TEST(Topology, ForArchitectureDispatches) {
+  hw::Architecture arch = hw::Architecture::cxquad();
+  const auto tree = Topology::for_architecture(arch);
+  EXPECT_EQ(tree.kind(), hw::InterconnectKind::kTree);
+  EXPECT_EQ(tree.tile_count(), 4u);
+
+  arch.interconnect = hw::InterconnectKind::kMesh;
+  const auto mesh = Topology::for_architecture(arch);
+  EXPECT_EQ(mesh.kind(), hw::InterconnectKind::kMesh);
+  EXPECT_GE(mesh.tile_count(), arch.crossbar_count);
+
+  arch.interconnect = hw::InterconnectKind::kRing;
+  const auto ring = Topology::for_architecture(arch);
+  EXPECT_EQ(ring.kind(), hw::InterconnectKind::kRing);
+  EXPECT_EQ(ring.tile_count(), 4u);
+}
+
+TEST(Topology, NeighborSymmetry) {
+  // If b is a neighbor of a then a is a neighbor of b (all topologies).
+  for (const auto& topo :
+       {Topology::mesh(3, 3), Topology::tree(8, 2), Topology::ring(5)}) {
+    for (RouterId r = 0; r < topo.router_count(); ++r) {
+      for (PortId p = 0; p < topo.port_count(r); ++p) {
+        const RouterId nb = topo.neighbor(r, p);
+        bool back = false;
+        for (PortId q = 0; q < topo.port_count(nb); ++q) {
+          back |= topo.neighbor(nb, q) == r;
+        }
+        EXPECT_TRUE(back) << "router " << r << " port " << p;
+      }
+    }
+  }
+}
+
+TEST(Topology, RoutingReachesDestination) {
+  // Following next_port from any router must arrive at any destination
+  // within router_count hops (no loops), for all topology families.
+  for (const auto& topo :
+       {Topology::mesh(4, 3), Topology::tree(9, 3), Topology::ring(7)}) {
+    for (TileId a = 0; a < topo.tile_count(); ++a) {
+      for (TileId b = 0; b < topo.tile_count(); ++b) {
+        EXPECT_NO_THROW({
+          const std::uint32_t hops = topo.hop_distance(a, b);
+          EXPECT_LE(hops, topo.router_count());
+        });
+      }
+    }
+  }
+}
+
+TEST(Topology, HopDistanceSymmetricForTreeAndRing) {
+  // BFS shortest-path routing gives symmetric distances on these families.
+  for (const auto& topo : {Topology::tree(8, 4), Topology::ring(9)}) {
+    for (TileId a = 0; a < topo.tile_count(); ++a) {
+      for (TileId b = 0; b < topo.tile_count(); ++b) {
+        EXPECT_EQ(topo.hop_distance(a, b), topo.hop_distance(b, a));
+      }
+    }
+  }
+}
+
+TEST(Topology, BoundsChecking) {
+  const auto t = Topology::mesh(2, 2);
+  EXPECT_THROW((void)t.router_of_tile(99), std::out_of_range);
+  EXPECT_THROW((void)t.neighbor(0, 99), std::out_of_range);
+  EXPECT_THROW((void)t.next_port(99, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace snnmap::noc

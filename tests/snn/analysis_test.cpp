@@ -1,0 +1,113 @@
+#include "snn/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "snn/poisson.hpp"
+
+namespace snnmap::snn {
+namespace {
+
+TEST(Psth, CountsFallInRightBins) {
+  const std::vector<SpikeTrain> trains{{5.0, 15.0, 15.5}, {25.0}};
+  const auto hist = psth(trains, 30.0, 10.0);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(Psth, SpikesBeyondDurationIgnored) {
+  const auto hist = psth({{5.0, 99.0}}, 10.0, 5.0);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 1u);
+}
+
+TEST(Psth, RejectsBadParams) {
+  EXPECT_THROW(psth({}, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(psth({}, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Fano, PoissonIsNearOne) {
+  util::Rng rng(3);
+  const auto train = generate_poisson_train(50.0, 200000.0, rng);
+  EXPECT_NEAR(fano_factor(train, 200000.0, 100.0), 1.0, 0.15);
+}
+
+TEST(Fano, RegularTrainIsNearZero) {
+  SpikeTrain regular;
+  for (int i = 0; i < 1000; ++i) regular.push_back(i * 10.0);
+  EXPECT_LT(fano_factor(regular, 10000.0, 100.0), 0.1);
+}
+
+TEST(Fano, BurstyTrainExceedsOne) {
+  // 10-spike bursts every 500 ms.
+  SpikeTrain bursty;
+  for (int burst = 0; burst < 40; ++burst) {
+    for (int s = 0; s < 10; ++s) {
+      bursty.push_back(burst * 500.0 + s);
+    }
+  }
+  EXPECT_GT(fano_factor(bursty, 20000.0, 100.0), 2.0);
+}
+
+TEST(Fano, UndefinedCasesAreZero) {
+  EXPECT_EQ(fano_factor({}, 1000.0, 100.0), 0.0);
+  EXPECT_EQ(fano_factor({1.0}, 100.0, 100.0), 0.0);  // single window
+}
+
+TEST(Correlation, IdenticalTrainsAreOne) {
+  util::Rng rng(5);
+  const auto train = generate_poisson_train(30.0, 10000.0, rng);
+  EXPECT_NEAR(spike_count_correlation(train, train, 10000.0, 50.0), 1.0,
+              1e-9);
+}
+
+TEST(Correlation, IndependentTrainsNearZero) {
+  util::Rng rng(7);
+  const auto a = generate_poisson_train(30.0, 100000.0, rng);
+  const auto b = generate_poisson_train(30.0, 100000.0, rng);
+  EXPECT_NEAR(spike_count_correlation(a, b, 100000.0, 50.0), 0.0, 0.1);
+}
+
+TEST(Correlation, AntiphaseIsNegative) {
+  SpikeTrain a;
+  SpikeTrain b;
+  for (int i = 0; i < 100; ++i) {
+    // a fires in even 100 ms windows, b in odd ones.
+    if (i % 2 == 0) {
+      for (int s = 0; s < 5; ++s) a.push_back(i * 100.0 + s * 10.0);
+    } else {
+      for (int s = 0; s < 5; ++s) b.push_back(i * 100.0 + s * 10.0);
+    }
+  }
+  EXPECT_LT(spike_count_correlation(a, b, 10000.0, 100.0), -0.9);
+}
+
+TEST(Correlation, ConstantCountsUndefined) {
+  EXPECT_EQ(spike_count_correlation({}, {}, 1000.0, 100.0), 0.0);
+}
+
+TEST(Synchrony, PerfectlySynchronousPopulation) {
+  SpikeTrain prototype;
+  for (int i = 0; i < 50; ++i) prototype.push_back(i * 97.0);
+  const std::vector<SpikeTrain> population(16, prototype);
+  EXPECT_GT(synchrony_index(population, 5000.0, 50.0), 0.9);
+}
+
+TEST(Synchrony, IndependentPopulationIsLow) {
+  util::Rng rng(11);
+  std::vector<SpikeTrain> population;
+  for (int i = 0; i < 16; ++i) {
+    population.push_back(generate_poisson_train(40.0, 20000.0, rng));
+  }
+  EXPECT_LT(synchrony_index(population, 20000.0, 50.0), 0.3);
+}
+
+TEST(Synchrony, EmptyPopulationIsZero) {
+  EXPECT_EQ(synchrony_index({}, 1000.0, 50.0), 0.0);
+  EXPECT_EQ(synchrony_index({{}, {}}, 1000.0, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace snnmap::snn

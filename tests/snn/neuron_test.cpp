@@ -1,0 +1,149 @@
+#include "snn/neuron.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnmap::snn {
+namespace {
+
+TEST(Lif, RestsWithoutInput) {
+  LifParams p;
+  NeuronState s = initial_state(NeuronModel::kLif, p, {});
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(step_lif(s, p, 0.0, t, 1.0));
+  }
+  EXPECT_NEAR(s.v, p.v_rest, 1e-9);
+}
+
+TEST(Lif, FiresUnderStrongConstantCurrent) {
+  LifParams p;
+  NeuronState s = initial_state(NeuronModel::kLif, p, {});
+  bool fired = false;
+  for (int t = 0; t < 100 && !fired; ++t) {
+    fired = step_lif(s, p, 5.0, t, 1.0);  // R*I = 50 mV >> threshold gap
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(s.v, p.v_reset);
+}
+
+TEST(Lif, SubthresholdCurrentNeverFires) {
+  LifParams p;  // needs (v_thresh - v_rest)/r_m = 1.5 units to reach threshold
+  NeuronState s = initial_state(NeuronModel::kLif, p, {});
+  for (int t = 0; t < 2000; ++t) {
+    EXPECT_FALSE(step_lif(s, p, 1.0, t, 1.0));
+  }
+  // Steady state ~= v_rest + R*I.
+  EXPECT_NEAR(s.v, p.v_rest + p.r_m * 1.0, 0.5);
+}
+
+TEST(Lif, RefractoryPeriodBlocksFiring) {
+  LifParams p;
+  p.refractory_ms = 5.0;
+  NeuronState s = initial_state(NeuronModel::kLif, p, {});
+  double now = 0.0;
+  // Drive hard until the first spike.
+  while (!step_lif(s, p, 10.0, now, 1.0)) now += 1.0;
+  const double spike_time = now;
+  // During refractoriness the neuron must stay silent despite huge drive.
+  for (double t = spike_time + 1.0; t < spike_time + p.refractory_ms;
+       t += 1.0) {
+    EXPECT_FALSE(step_lif(s, p, 100.0, t, 1.0));
+    EXPECT_DOUBLE_EQ(s.v, p.v_reset);
+  }
+}
+
+TEST(Lif, FiringRateGrowsWithCurrent) {
+  LifParams p;
+  int spikes_low = 0;
+  int spikes_high = 0;
+  NeuronState a = initial_state(NeuronModel::kLif, p, {});
+  NeuronState b = initial_state(NeuronModel::kLif, p, {});
+  for (int t = 0; t < 1000; ++t) {
+    spikes_low += step_lif(a, p, 2.0, t, 1.0) ? 1 : 0;
+    spikes_high += step_lif(b, p, 6.0, t, 1.0) ? 1 : 0;
+  }
+  EXPECT_GT(spikes_low, 0);
+  EXPECT_GT(spikes_high, spikes_low);
+}
+
+TEST(Izhikevich, RestingStateIsStable) {
+  const IzhikevichParams p = IzhikevichParams::regular_spiking();
+  NeuronState s = initial_state(NeuronModel::kIzhikevich, {}, p);
+  for (int t = 0; t < 500; ++t) {
+    EXPECT_FALSE(step_izhikevich(s, p, 0.0, 1.0));
+  }
+  // The RS model's true resting point is v = -70 mV (where
+  // 0.04v^2 + 5v + 140 = b*v), slightly below the reset c = -65.
+  EXPECT_NEAR(s.v, -70.0, 3.0);
+}
+
+TEST(Izhikevich, RegularSpikingFiresTonic) {
+  const IzhikevichParams p = IzhikevichParams::regular_spiking();
+  NeuronState s = initial_state(NeuronModel::kIzhikevich, {}, p);
+  int spikes = 0;
+  for (int t = 0; t < 1000; ++t) {
+    spikes += step_izhikevich(s, p, 10.0, 1.0) ? 1 : 0;
+  }
+  // Canonical RS response to 10 units DC: a few to tens of Hz.
+  EXPECT_GT(spikes, 3);
+  EXPECT_LT(spikes, 200);
+}
+
+TEST(Izhikevich, FastSpikingOutpacesRegularSpiking) {
+  NeuronState rs_state =
+      initial_state(NeuronModel::kIzhikevich,
+                    {}, IzhikevichParams::regular_spiking());
+  NeuronState fs_state =
+      initial_state(NeuronModel::kIzhikevich,
+                    {}, IzhikevichParams::fast_spiking());
+  const auto rs = IzhikevichParams::regular_spiking();
+  const auto fs = IzhikevichParams::fast_spiking();
+  int rs_spikes = 0;
+  int fs_spikes = 0;
+  for (int t = 0; t < 1000; ++t) {
+    rs_spikes += step_izhikevich(rs_state, rs, 10.0, 1.0) ? 1 : 0;
+    fs_spikes += step_izhikevich(fs_state, fs, 10.0, 1.0) ? 1 : 0;
+  }
+  EXPECT_GT(fs_spikes, rs_spikes);
+}
+
+TEST(Izhikevich, StateStaysBoundedUnderExtremeInput) {
+  const IzhikevichParams p = IzhikevichParams::regular_spiking();
+  NeuronState s = initial_state(NeuronModel::kIzhikevich, {}, p);
+  for (int t = 0; t < 1000; ++t) {
+    step_izhikevich(s, p, 500.0, 1.0);
+    EXPECT_GE(s.v, -120.0);
+    EXPECT_LE(s.v, 40.0);
+  }
+}
+
+TEST(Izhikevich, ResetAfterSpike) {
+  const IzhikevichParams p = IzhikevichParams::regular_spiking();
+  NeuronState s = initial_state(NeuronModel::kIzhikevich, {}, p);
+  const double u_before = s.u;
+  bool fired = false;
+  for (int t = 0; t < 200 && !fired; ++t) {
+    fired = step_izhikevich(s, p, 15.0, 1.0);
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_LE(s.v, p.c + 10.0);   // back near reset
+  EXPECT_GT(s.u, u_before);     // recovery variable incremented by d
+}
+
+TEST(NeuronModel, InitialStates) {
+  LifParams lif;
+  const auto izh = IzhikevichParams::regular_spiking();
+  EXPECT_EQ(initial_state(NeuronModel::kLif, lif, izh).v, lif.v_rest);
+  const auto s = initial_state(NeuronModel::kIzhikevich, lif, izh);
+  EXPECT_EQ(s.v, izh.c);
+  EXPECT_EQ(s.u, izh.b * izh.c);
+  EXPECT_EQ(initial_state(NeuronModel::kPoisson, lif, izh).v, 0.0);
+}
+
+TEST(NeuronModel, Names) {
+  EXPECT_STREQ(to_string(NeuronModel::kLif), "lif");
+  EXPECT_STREQ(to_string(NeuronModel::kIzhikevich), "izhikevich");
+  EXPECT_STREQ(to_string(NeuronModel::kPoisson), "poisson");
+}
+
+}  // namespace
+}  // namespace snnmap::snn

@@ -1,0 +1,71 @@
+#include "snn/stdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snnmap::snn {
+namespace {
+
+TEST(Stdp, PotentiationDecaysExponentially) {
+  StdpParams p;
+  EXPECT_DOUBLE_EQ(stdp_potentiation(p, 0.0), p.a_plus);
+  EXPECT_NEAR(stdp_potentiation(p, p.tau_plus_ms),
+              p.a_plus * std::exp(-1.0), 1e-12);
+  EXPECT_GT(stdp_potentiation(p, 5.0), stdp_potentiation(p, 10.0));
+}
+
+TEST(Stdp, DepressionDecaysExponentially) {
+  StdpParams p;
+  EXPECT_DOUBLE_EQ(stdp_depression(p, 0.0), p.a_minus);
+  EXPECT_NEAR(stdp_depression(p, p.tau_minus_ms),
+              p.a_minus * std::exp(-1.0), 1e-12);
+}
+
+TEST(Stdp, NegativeDtContributesNothing) {
+  StdpParams p;
+  EXPECT_EQ(stdp_potentiation(p, -1.0), 0.0);
+  EXPECT_EQ(stdp_depression(p, -1.0), 0.0);
+}
+
+TEST(Stdp, PostAfterPrePotentiates) {
+  StdpParams p;
+  const double w = stdp_update_on_post(p, 1.0, /*last_pre=*/95.0,
+                                       /*now=*/100.0);
+  EXPECT_GT(w, 1.0);
+  EXPECT_NEAR(w - 1.0, p.a_plus * std::exp(-5.0 / p.tau_plus_ms), 1e-12);
+}
+
+TEST(Stdp, PreAfterPostDepresses) {
+  StdpParams p;
+  const double w = stdp_update_on_pre(p, 1.0, /*last_post=*/95.0,
+                                      /*now=*/100.0);
+  EXPECT_LT(w, 1.0);
+  EXPECT_NEAR(1.0 - w, p.a_minus * std::exp(-5.0 / p.tau_minus_ms), 1e-12);
+}
+
+TEST(Stdp, NeverFiredPartnerLeavesWeightUnchanged) {
+  StdpParams p;
+  EXPECT_EQ(stdp_update_on_post(p, 2.0, -1.0, 100.0), 2.0);
+  EXPECT_EQ(stdp_update_on_pre(p, 2.0, -1.0, 100.0), 2.0);
+}
+
+TEST(Stdp, WeightsClampToBounds) {
+  StdpParams p;
+  p.w_min = 0.0;
+  p.w_max = 1.0;
+  p.a_plus = 10.0;   // huge updates to force clamping
+  p.a_minus = 10.0;
+  EXPECT_EQ(stdp_update_on_post(p, 0.9, 99.0, 100.0), 1.0);
+  EXPECT_EQ(stdp_update_on_pre(p, 0.1, 99.0, 100.0), 0.0);
+}
+
+TEST(Stdp, CloserPairsChangeMore) {
+  StdpParams p;
+  const double near_w = stdp_update_on_post(p, 1.0, 99.0, 100.0);
+  const double far_w = stdp_update_on_post(p, 1.0, 50.0, 100.0);
+  EXPECT_GT(near_w, far_w);
+}
+
+}  // namespace
+}  // namespace snnmap::snn

@@ -1,0 +1,214 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace snnmap::util {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ZeroSeedStillProducesEntropy) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelowBound) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroIsZero) {
+  Rng r(13);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(19);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeDegenerateReturnsLo) {
+  Rng r(19);
+  EXPECT_EQ(r.range(5, 5), 5);
+  EXPECT_EQ(r.range(5, 3), 5);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(31);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng r(37);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng r(41);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialNonPositiveRateIsZero) {
+  Rng r(41);
+  EXPECT_EQ(r.exponential(0.0), 0.0);
+  EXPECT_EQ(r.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng r(43);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng r(47);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng r(47);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+  EXPECT_EQ(r.poisson(-2.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/100!
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.fork();
+  // The child stream should not equal the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace snnmap::util

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace snnmap::util {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, AddRowChecksArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CellBuilderCompletesRows) {
+  Table t({"a", "b", "c"});
+  t.begin_row();
+  t.cell(std::string("x"));
+  t.cell(1.23456, 2);
+  t.cell(static_cast<std::int64_t>(-7));
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.data()[0][0], "x");
+  EXPECT_EQ(t.data()[0][1], "1.23");
+  EXPECT_EQ(t.data()[0][2], "-7");
+}
+
+TEST(Table, CellWithoutBeginThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell(std::string("x")), std::logic_error);
+}
+
+TEST(Table, BeginRowTwiceMidRowThrows) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.cell(std::string("x"));
+  EXPECT_THROW(t.begin_row(), std::logic_error);
+}
+
+TEST(Table, AsciiContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "42"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("name"), std::string::npos);
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("42"), std::string::npos);
+  EXPECT_NE(ascii.find('+'), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.write_csv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snnmap::util
