@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "apps/synthetic.hpp"
+#include "core/batch_eval.hpp"
 #include "core/cost.hpp"
 #include "core/pacman.hpp"
 #include "core/pso.hpp"
@@ -55,6 +56,36 @@ void BM_FitnessEvaluation(benchmark::State& state) {
                           static_cast<std::int64_t>(graph.edge_count()));
 }
 BENCHMARK(BM_FitnessEvaluation)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BatchFitnessEvaluation(benchmark::State& state) {
+  // Serial-vs-parallel swarm evaluation: Arg is the worker count (1 = the
+  // serial fallback path).  items_processed counts fitness evaluations, so
+  // the items/sec column is directly evaluations/sec.
+  const auto& graph = synthetic_graph(2, 200);
+  const auto arch = arch_for(graph);
+  core::BatchEvaluator evaluator(
+      graph, static_cast<std::uint32_t>(state.range(0)));
+  util::Rng rng(5);
+  std::vector<std::vector<core::CrossbarId>> swarm(64);
+  for (auto& assignment : swarm) {
+    assignment.resize(graph.neuron_count());
+    for (auto& k : assignment) {
+      k = static_cast<core::CrossbarId>(rng.below(arch.crossbar_count));
+    }
+  }
+  std::vector<std::uint64_t> costs;
+  for (auto _ : state) {
+    evaluator.evaluate(swarm, core::Objective::kAerPackets, costs);
+    benchmark::DoNotOptimize(costs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(swarm.size()));
+}
+BENCHMARK(BM_BatchFitnessEvaluation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
 
 void BM_MoveDelta(benchmark::State& state) {
   const auto& graph = synthetic_graph(2, 200);

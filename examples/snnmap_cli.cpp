@@ -7,6 +7,8 @@
 // <app> is a Table I name (HW, IS, HD, HE, or the full names) or a synthetic
 // topology "MxN".  The effective configuration is echoed so any run can be
 // reproduced from a config file alone.
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,12 +33,27 @@ void usage() {
          "to fit)\n"
          "  --interconnect KIND   tree | mesh | ring\n"
          "  --seed S              workload + optimizer seed\n"
+         "  --threads N           fitness-evaluation workers (0 = all "
+         "cores, 1 = serial; same result either way)\n"
          "  --csv FILE            also write the report row as CSV\n"
          "  --analyze             print per-crossbar load / traffic "
          "analysis\n"
          "  --dump-config         print the effective configuration and "
          "exit\n"
          "  --verbose             info-level logging\n";
+}
+
+std::uint64_t parse_uint(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const auto value = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    std::cerr << "error: " << flag << " expects a non-negative integer, got '"
+              << text << "'\n";
+    std::exit(1);
+  }
 }
 
 }  // namespace
@@ -57,6 +74,8 @@ int main(int argc, char** argv) {
   util::Config file_config;
   std::string csv_path;
   std::uint64_t seed = 42;
+  std::uint32_t threads = 0;
+  bool threads_set = false;
   std::uint32_t crossbar_size = 0;
   std::string partitioner_override;
   std::string interconnect_override;
@@ -83,11 +102,15 @@ int main(int argc, char** argv) {
       partitioner_override = need_value("--partitioner");
     } else if (arg == "--crossbar-size") {
       crossbar_size = static_cast<std::uint32_t>(
-          std::stoul(need_value("--crossbar-size")));
+          parse_uint("--crossbar-size", need_value("--crossbar-size")));
     } else if (arg == "--interconnect") {
       interconnect_override = need_value("--interconnect");
     } else if (arg == "--seed") {
-      seed = std::stoull(need_value("--seed"));
+      seed = parse_uint("--seed", need_value("--seed"));
+    } else if (arg == "--threads") {
+      threads = static_cast<std::uint32_t>(
+          parse_uint("--threads", need_value("--threads")));
+      threads_set = true;
     } else if (arg == "--csv") {
       csv_path = need_value("--csv");
     } else if (arg == "--dump-config") {
@@ -106,6 +129,11 @@ int main(int argc, char** argv) {
   try {
     core::MappingFlowConfig flow = core::mapping_flow_from_config(file_config);
     flow.seed = seed;
+    if (threads_set) {
+      flow.pso.threads = threads;
+      flow.genetic.threads = threads;
+      flow.annealing.threads = threads;
+    }
     if (!partitioner_override.empty()) {
       flow.partitioner = core::partitioner_from_string(partitioner_override);
     }
@@ -114,7 +142,9 @@ int main(int argc, char** argv) {
           hw::interconnect_from_string(interconnect_override);
     }
 
-    std::cout << "building workload '" << app << "' (seed " << seed
+    // Progress goes to stderr so `--dump-config` (and `--csv -`-style uses)
+    // leave stdout machine-readable.
+    std::cerr << "building workload '" << app << "' (seed " << seed
               << ")...\n";
     const snn::SnnGraph graph = apps::build_app(app, seed);
     if (crossbar_size != 0 || !flow.arch.fits(graph.neuron_count())) {

@@ -8,6 +8,7 @@
 #include "core/pacman.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snnmap::core {
 namespace {
@@ -19,14 +20,16 @@ struct MoveEvaluator {
   std::function<CrossbarId(std::uint32_t)> crossbar_of;
 };
 
-}  // namespace
-
-AnnealingResult annealing_partition(const snn::SnnGraph& graph,
-                                    const hw::Architecture& arch,
-                                    const AnnealingConfig& config) {
-  util::Rng rng(config.seed);
+/// One annealing chain: the classic sequential random walk, a pure function
+/// of (graph, arch, config, start, seed) — this is what restarts
+/// parallelize over.  `start` is shared read-only across chains (the PACMAN
+/// solution is a pure function of (graph, arch), so it is computed once).
+AnnealingResult anneal_chain(const snn::SnnGraph& graph,
+                             const hw::Architecture& arch,
+                             const AnnealingConfig& config,
+                             const Partition& start, std::uint64_t seed) {
+  util::Rng rng(seed);
   CostModel cost(graph);
-  Partition start = pacman_partition(graph, arch);
 
   const std::uint32_t n = graph.neuron_count();
   const std::uint32_t c = arch.crossbar_count;
@@ -146,6 +149,47 @@ AnnealingResult annealing_partition(const snn::SnnGraph& graph,
     }
   }
   result.best.validate(arch);
+  return result;
+}
+
+}  // namespace
+
+AnnealingResult annealing_partition(const snn::SnnGraph& graph,
+                                    const hw::Architecture& arch,
+                                    const AnnealingConfig& config) {
+  const std::uint32_t restarts = std::max<std::uint32_t>(1, config.restarts);
+  const Partition start = pacman_partition(graph, arch);
+  if (restarts == 1) {
+    return anneal_chain(graph, arch, config, start, config.seed);
+  }
+
+  // Chain seeds are a pure function of (base seed, chain index) — chain 0
+  // reuses the base seed verbatim — so the winner does not depend on thread
+  // count or completion order.
+  std::vector<AnnealingResult> chains(restarts);
+  util::ThreadPool pool(
+      std::min(util::ThreadPool::resolve(config.threads), restarts));
+  pool.parallel_for(restarts, [&](std::uint32_t, std::size_t i) {
+    const std::uint64_t seed =
+        i == 0 ? config.seed
+               : config.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    chains[i] = anneal_chain(graph, arch, config, start, seed);
+  });
+
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < chains.size(); ++i) {
+    if (chains[i].best_cost < chains[winner].best_cost) winner = i;
+  }
+  std::uint64_t proposed = 0;
+  std::uint64_t accepted = 0;
+  for (const AnnealingResult& chain : chains) {
+    proposed += chain.moves_proposed;
+    accepted += chain.moves_accepted;
+  }
+  AnnealingResult result = std::move(chains[winner]);
+  result.best_chain = static_cast<std::uint32_t>(winner);
+  result.moves_proposed = proposed;
+  result.moves_accepted = accepted;
   return result;
 }
 

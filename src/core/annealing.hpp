@@ -9,6 +9,13 @@
 //
 // Both objectives are supported with incremental move deltas: kCutSpikes
 // via CostModel::move_delta, kAerPackets via IncrementalAerCost.
+//
+// A chain is inherently sequential (every move depends on the last), so the
+// parallel axis is restarts: `restarts` independent chains with seeds derived
+// deterministically from the base seed run concurrently on a ThreadPool and
+// the best final cost wins (ties -> lowest chain index).  Chain results are
+// a pure function of the chain seed, so the outcome is identical at any
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -28,15 +35,22 @@ struct AnnealingConfig {
   double swap_probability = 0.3;    ///< swap two neurons vs single move
   Objective objective = Objective::kAerPackets;
   std::uint64_t seed = 42;
+  /// Independent restart chains; chain 0 reuses `seed` verbatim, so
+  /// restarts=1 reproduces the single-chain result exactly.
+  std::uint32_t restarts = 1;
+  /// Worker threads for concurrent chains: 0 = one per hardware thread,
+  /// 1 = serial.  Results are identical for every value.
+  std::uint32_t threads = 0;
   bool track_history = false;       ///< record best cost every `moves`/100
 };
 
 struct AnnealingResult {
   Partition best;
   std::uint64_t best_cost = 0;
-  std::uint64_t moves_accepted = 0;
-  std::uint64_t moves_proposed = 0;
-  std::vector<std::uint64_t> history;
+  std::uint64_t moves_accepted = 0;   ///< summed over all chains
+  std::uint64_t moves_proposed = 0;   ///< summed over all chains
+  std::uint32_t best_chain = 0;       ///< restart chain that produced `best`
+  std::vector<std::uint64_t> history; ///< from the winning chain
 };
 
 /// Starts from the PACMAN solution and anneals; always returns a feasible

@@ -81,6 +81,8 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
       config.int_or("pso.refine_swap_factor", flow.pso.refine_swap_factor));
   flow.pso.patience = static_cast<std::uint32_t>(
       config.int_or("pso.patience", flow.pso.patience));
+  flow.pso.threads = static_cast<std::uint32_t>(
+      config.int_or("pso.threads", flow.pso.threads));
 
   // -- annealing / genetic (ablation partitioners)
   flow.annealing.moves = static_cast<std::uint64_t>(config.int_or(
@@ -89,12 +91,18 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
       config.double_or("annealing.cooling", flow.annealing.cooling);
   flow.annealing.swap_probability = config.double_or(
       "annealing.swap_probability", flow.annealing.swap_probability);
+  flow.annealing.restarts = static_cast<std::uint32_t>(
+      config.int_or("annealing.restarts", flow.annealing.restarts));
+  flow.annealing.threads = static_cast<std::uint32_t>(
+      config.int_or("annealing.threads", flow.annealing.threads));
   flow.genetic.population = static_cast<std::uint32_t>(
       config.int_or("genetic.population", flow.genetic.population));
   flow.genetic.generations = static_cast<std::uint32_t>(
       config.int_or("genetic.generations", flow.genetic.generations));
   flow.genetic.mutation_rate =
       config.double_or("genetic.mutation_rate", flow.genetic.mutation_rate);
+  flow.genetic.threads = static_cast<std::uint32_t>(
+      config.int_or("genetic.threads", flow.genetic.threads));
 
   // -- flow-level switches
   if (const auto partitioner = config.get_string("flow.partitioner")) {
@@ -140,16 +148,20 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
   config.set("pso.refine_swap_factor",
              std::to_string(flow.pso.refine_swap_factor));
   config.set("pso.patience", std::to_string(flow.pso.patience));
+  config.set("pso.threads", std::to_string(flow.pso.threads));
 
   config.set("annealing.moves", std::to_string(flow.annealing.moves));
   config.set("annealing.cooling", std::to_string(flow.annealing.cooling));
   config.set("annealing.swap_probability",
              std::to_string(flow.annealing.swap_probability));
+  config.set("annealing.restarts", std::to_string(flow.annealing.restarts));
+  config.set("annealing.threads", std::to_string(flow.annealing.threads));
   config.set("genetic.population", std::to_string(flow.genetic.population));
   config.set("genetic.generations",
              std::to_string(flow.genetic.generations));
   config.set("genetic.mutation_rate",
              std::to_string(flow.genetic.mutation_rate));
+  config.set("genetic.threads", std::to_string(flow.genetic.threads));
 
   config.set("flow.partitioner", to_string(flow.partitioner));
   config.set("flow.comm_aware_placement",

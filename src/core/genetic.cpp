@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/batch_eval.hpp"
 #include "core/neutrams.hpp"
 #include "core/pacman.hpp"
 #include "util/rng.hpp"
@@ -50,7 +51,7 @@ GeneticResult genetic_partition(const snn::SnnGraph& graph,
     throw std::invalid_argument("genetic_partition: population must be >= 2");
   }
   util::Rng rng(config.seed);
-  CostModel cost(graph);
+  BatchEvaluator evaluator(graph, config.threads, config.population);
   const std::uint32_t n = graph.neuron_count();
   const std::uint32_t c = arch.crossbar_count;
 
@@ -81,9 +82,9 @@ GeneticResult genetic_partition(const snn::SnnGraph& graph,
   };
 
   for (std::uint32_t gen = 0; gen < config.generations; ++gen) {
+    evaluator.evaluate(population, config.objective, fitness);
+    result.fitness_evaluations += population.size();
     for (std::size_t i = 0; i < population.size(); ++i) {
-      fitness[i] = cost.objective_cost(population[i], config.objective);
-      ++result.fitness_evaluations;
       if (fitness[i] < best_cost) {
         best_cost = fitness[i];
         best = population[i];

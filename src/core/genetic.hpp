@@ -23,6 +23,9 @@ struct GeneticConfig {
   bool seed_with_baselines = true;
   Objective objective = Objective::kAerPackets;
   std::uint64_t seed = 42;
+  /// Worker threads for batch fitness evaluation: 0 = one per hardware
+  /// thread, 1 = serial.  Results are identical for every value.
+  std::uint32_t threads = 0;
   bool track_history = false;
 };
 

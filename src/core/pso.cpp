@@ -21,8 +21,7 @@ PsoPartitioner::PsoPartitioner(const snn::SnnGraph& graph,
     : graph_(graph),
       arch_(arch),
       config_(config),
-      cost_(graph),
-      scratch_(graph.neuron_count(), arch.crossbar_count) {
+      evaluator_(graph, config.threads, config.swarm_size) {
   if (!arch.fits(graph.neuron_count())) {
     throw std::invalid_argument("PsoPartitioner: network does not fit (" +
                                 std::to_string(graph.neuron_count()) + " > " +
@@ -33,10 +32,17 @@ PsoPartitioner::PsoPartitioner(const snn::SnnGraph& graph,
   }
 }
 
-std::uint64_t PsoPartitioner::fitness(
-    const std::vector<CrossbarId>& assignment) {
-  ++evaluations_;
-  return cost_.objective_cost(assignment, config_.objective);
+void PsoPartitioner::evaluate_swarm(const std::vector<Particle>& swarm) {
+  // Fan the independent fitness evaluations out across the pool; costs_[i]
+  // is particle i's fitness, so the result is order-independent and matches
+  // the serial path exactly.
+  evaluator_.evaluate(
+      swarm.size(),
+      [&swarm](std::size_t i) -> const std::vector<CrossbarId>& {
+        return swarm[i].position;
+      },
+      config_.objective, costs_);
+  evaluations_ += swarm.size();
 }
 
 std::vector<CrossbarId> PsoPartitioner::random_assignment(util::Rng& rng) {
@@ -98,7 +104,8 @@ void PsoPartitioner::capacity_repair(std::vector<CrossbarId>& assignment,
     std::uint64_t best_cut = ~0ULL;
     for (CrossbarId k = 0; k < c; ++k) {
       if (occ[k] >= cap) continue;
-      const std::uint64_t cut = cost_.incident_cut(assignment, neuron, k);
+      const std::uint64_t cut =
+          evaluator_.model().incident_cut(assignment, neuron, k);
       if (cut < best_cut) {
         best_cut = cut;
         best = k;
@@ -178,8 +185,10 @@ PsoResult PsoPartitioner::optimize() {
 
   for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
     bool improved = false;
-    for (auto& p : swarm) {
-      const std::uint64_t f = fitness(p.position);
+    evaluate_swarm(swarm);
+    for (std::size_t pi = 0; pi < swarm.size(); ++pi) {
+      Particle& p = swarm[pi];
+      const std::uint64_t f = costs_[pi];
       if (f < p.best_cost) {
         p.best_cost = f;
         p.best_position = p.position;

@@ -13,11 +13,15 @@
 // The swarm can be seeded with the PACMAN/NEUTRAMS baseline solutions
 // (memetic seeding, on by default): the paper reports PSO always at or
 // below both baselines, which seeding guarantees by construction.
+// Per-iteration fitness evaluation of the whole swarm fans out over a
+// BatchEvaluator worker pool (PsoConfig::threads); all randomness stays on
+// the caller's thread, so results are identical at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_eval.hpp"
 #include "core/cost.hpp"
 #include "core/partition.hpp"
 #include "hw/architecture.hpp"
@@ -47,6 +51,10 @@ struct PsoConfig {
   /// IncrementalAerCost::swap_refine).  0 disables.
   std::uint32_t refine_swap_factor = 8;
   std::uint64_t seed = 42;
+  /// Worker threads for batch fitness evaluation: 0 = one per hardware
+  /// thread, 1 = serial.  Results are identical for every value (all
+  /// randomness stays on the caller's thread; see BatchEvaluator).
+  std::uint32_t threads = 0;
   bool track_history = false;       ///< record Gbest cost per iteration
   /// Stop early after this many iterations without Gbest improvement
   /// (0 = never stop early; the paper runs a fixed iteration budget).
@@ -77,7 +85,8 @@ class PsoPartitioner {
     std::uint64_t best_cost = ~0ULL;
   };
 
-  std::uint64_t fitness(const std::vector<CrossbarId>& assignment);
+  /// Evaluates every particle's position into costs_ (parallel fan-out).
+  void evaluate_swarm(const std::vector<Particle>& swarm);
   void binarize_and_repair(Particle& p, util::Rng& rng);
   void capacity_repair(std::vector<CrossbarId>& assignment, util::Rng& rng);
   std::vector<CrossbarId> random_assignment(util::Rng& rng);
@@ -85,8 +94,8 @@ class PsoPartitioner {
   const snn::SnnGraph& graph_;
   hw::Architecture arch_;
   PsoConfig config_;
-  CostModel cost_;
-  Partition scratch_;
+  BatchEvaluator evaluator_;
+  std::vector<std::uint64_t> costs_;  ///< per-particle fitness scratch
   std::uint64_t evaluations_ = 0;
 };
 

@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace snnmap::util {
+
+std::uint32_t ThreadPool::resolve(std::uint32_t requested) noexcept {
+  std::uint32_t n = requested;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<std::uint32_t>(hw);
+  }
+  return std::clamp<std::uint32_t>(n, 1, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(std::uint32_t threads)
+    : worker_count_(resolve(threads)) {
+  threads_.reserve(worker_count_ - 1);
+  try {
+    for (std::uint32_t w = 1; w < worker_count_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  } catch (...) {
+    // A spawn failed mid-loop (thread-resource exhaustion): stop and join
+    // the workers that did start, then surface the original exception
+    // instead of std::terminate-ing on joinable threads.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::parallel_blocks(std::size_t n, const BlockFn& fn) {
+  if (n == 0) return;
+  const auto blocks =
+      static_cast<std::uint32_t>(std::min<std::size_t>(worker_count_, n));
+  if (blocks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    job_blocks_ = blocks;
+    active_ = blocks - 1;  // workers 1..blocks-1; block 0 runs inline below
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  try {
+    fn(0, 0, n / blocks);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+void ThreadPool::worker_loop(std::uint32_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const BlockFn* fn = nullptr;
+    std::size_t n = 0;
+    std::uint32_t blocks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (worker >= job_blocks_) continue;  // more workers than blocks
+      fn = job_;
+      n = job_n_;
+      blocks = job_blocks_;
+    }
+    const std::size_t begin = n * worker / blocks;
+    const std::size_t end = n * (worker + 1) / blocks;
+    try {
+      (*fn)(worker, begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace snnmap::util

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_eval.hpp"
+#include "core/cost.hpp"
+#include "snn/graph.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::core {
+namespace {
+
+/// Random sparse graph with varied spike counts (cost structure exercised
+/// beyond the trivial all-equal case).
+snn::SnnGraph random_graph(std::uint32_t neurons, std::uint32_t edges,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<snn::GraphEdge> graph_edges;
+  graph_edges.reserve(edges);
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    const auto pre = static_cast<std::uint32_t>(rng.below(neurons));
+    auto post = static_cast<std::uint32_t>(rng.below(neurons));
+    if (post == pre) post = (post + 1) % neurons;
+    graph_edges.push_back({pre, post, 1.0F});
+  }
+  std::vector<snn::SpikeTrain> trains;
+  trains.reserve(neurons);
+  for (std::uint32_t i = 0; i < neurons; ++i) {
+    snn::SpikeTrain train;
+    const auto spikes = rng.below(6);
+    for (std::uint64_t s = 0; s < spikes; ++s) {
+      train.push_back(static_cast<double>(s) + 0.5);
+    }
+    trains.push_back(std::move(train));
+  }
+  return snn::SnnGraph::from_parts(neurons, std::move(graph_edges),
+                                   std::move(trains), 10.0);
+}
+
+std::vector<std::vector<CrossbarId>> random_assignments(
+    std::uint32_t neurons, std::uint32_t crossbars, std::size_t count,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<CrossbarId>> out(count);
+  for (auto& assignment : out) {
+    assignment.resize(neurons);
+    for (auto& k : assignment) {
+      k = static_cast<CrossbarId>(rng.below(crossbars));
+    }
+  }
+  return out;
+}
+
+TEST(BatchEvaluator, MatchesSerialCostModel) {
+  const auto graph = random_graph(40, 200, 11);
+  const CostModel serial(graph);
+  BatchEvaluator evaluator(graph, 4);
+  const auto batch = random_assignments(40, 5, 33, 12);
+
+  std::vector<std::uint64_t> costs;
+  for (const auto objective :
+       {Objective::kAerPackets, Objective::kCutSpikes}) {
+    evaluator.evaluate(batch, objective, costs);
+    ASSERT_EQ(costs.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(costs[i], serial.objective_cost(batch[i], objective))
+          << "candidate " << i << " objective " << to_string(objective);
+    }
+  }
+}
+
+TEST(BatchEvaluator, RepeatedRunsAreBitIdentical) {
+  const auto graph = random_graph(30, 120, 21);
+  BatchEvaluator parallel(graph, 4);
+  BatchEvaluator serial(graph, 1);
+  const auto batch = random_assignments(30, 4, 64, 22);
+
+  std::vector<std::uint64_t> a, b, c;
+  parallel.evaluate(batch, Objective::kAerPackets, a);
+  parallel.evaluate(batch, Objective::kAerPackets, b);
+  serial.evaluate(batch, Objective::kAerPackets, c);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(BatchEvaluator, IndexedViewMatchesContainerOverload) {
+  const auto graph = random_graph(25, 80, 31);
+  BatchEvaluator evaluator(graph, 3);
+  const auto batch = random_assignments(25, 4, 17, 32);
+
+  std::vector<std::uint64_t> via_container, via_view;
+  evaluator.evaluate(batch, Objective::kAerPackets, via_container);
+  evaluator.evaluate(
+      batch.size(),
+      [&batch](std::size_t i) -> const std::vector<CrossbarId>& {
+        return batch[i];
+      },
+      Objective::kAerPackets, via_view);
+  EXPECT_EQ(via_container, via_view);
+}
+
+TEST(BatchEvaluator, EmptyBatchYieldsEmptyCosts) {
+  const auto graph = random_graph(10, 20, 41);
+  BatchEvaluator evaluator(graph, 2);
+  std::vector<std::uint64_t> costs{1, 2, 3};
+  evaluator.evaluate({}, Objective::kAerPackets, costs);
+  EXPECT_TRUE(costs.empty());
+}
+
+TEST(BatchEvaluator, ExposesWorkerLocalModels) {
+  const auto graph = random_graph(10, 20, 51);
+  BatchEvaluator evaluator(graph, 2);
+  EXPECT_EQ(evaluator.thread_count(), 2u);
+  const auto batch = random_assignments(10, 3, 1, 52);
+  EXPECT_EQ(evaluator.model(0).objective_cost(batch[0], Objective::kCutSpikes),
+            evaluator.model(1).objective_cost(batch[0],
+                                              Objective::kCutSpikes));
+}
+
+TEST(BatchEvaluator, ZeroThreadsResolvesToHardwareConcurrency) {
+  const auto graph = random_graph(10, 20, 61);
+  BatchEvaluator evaluator(graph, 0);
+  EXPECT_GE(evaluator.thread_count(), 1u);
+}
+
+TEST(BatchEvaluator, ClampsPoolToMaxParallelism) {
+  const auto graph = random_graph(10, 20, 71);
+  BatchEvaluator evaluator(graph, 8, 3);
+  EXPECT_EQ(evaluator.thread_count(), 3u);
+  // max_parallelism is a sizing hint, not a hard limit: a larger batch is
+  // still evaluated correctly, just with fewer workers.
+  const CostModel serial(graph);
+  const auto batch = random_assignments(10, 3, 10, 72);
+  std::vector<std::uint64_t> costs;
+  evaluator.evaluate(batch, Objective::kAerPackets, costs);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(costs[i], serial.objective_cost(batch[i],
+                                              Objective::kAerPackets));
+  }
+}
+
+}  // namespace
+}  // namespace snnmap::core

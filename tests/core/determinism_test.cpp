@@ -1,0 +1,150 @@
+// Determinism regression for the parallel batch-evaluation layer: with a
+// fixed seed, every optimizer must produce bit-identical results whether
+// fitness evaluation (PSO/GA) or restart chains (SA) run serially or on a
+// worker pool.  Guards against evaluation-order nondeterminism sneaking into
+// the hot path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/annealing.hpp"
+#include "core/genetic.hpp"
+#include "core/pso.hpp"
+#include "snn/graph.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::core {
+namespace {
+
+/// Random sparse workload: 48 neurons, mixed spike counts.
+snn::SnnGraph workload() {
+  util::Rng rng(77);
+  std::vector<snn::GraphEdge> edges;
+  for (int e = 0; e < 300; ++e) {
+    const auto pre = static_cast<std::uint32_t>(rng.below(48));
+    auto post = static_cast<std::uint32_t>(rng.below(48));
+    if (post == pre) post = (post + 1) % 48;
+    edges.push_back({pre, post, 1.0F});
+  }
+  std::vector<snn::SpikeTrain> trains;
+  for (int i = 0; i < 48; ++i) {
+    snn::SpikeTrain train;
+    const auto spikes = rng.below(5) + 1;
+    for (std::uint64_t s = 0; s < spikes; ++s) {
+      train.push_back(static_cast<double>(s) + 0.25);
+    }
+    trains.push_back(std::move(train));
+  }
+  return snn::SnnGraph::from_parts(48, std::move(edges), std::move(trains),
+                                   10.0);
+}
+
+hw::Architecture arch_6x10() {
+  hw::Architecture arch;
+  arch.crossbar_count = 6;
+  arch.neurons_per_crossbar = 10;
+  return arch;
+}
+
+TEST(Determinism, PsoSerialAndParallelMatchBitForBit) {
+  const auto graph = workload();
+  PsoConfig config;
+  config.swarm_size = 12;
+  config.iterations = 8;
+  config.seed = 5;
+  config.track_history = true;
+
+  config.threads = 1;
+  const auto serial = PsoPartitioner(graph, arch_6x10(), config).optimize();
+  config.threads = 4;
+  const auto parallel = PsoPartitioner(graph, arch_6x10(), config).optimize();
+
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.best_cost, parallel.best_cost);
+  EXPECT_EQ(serial.iterations_run, parallel.iterations_run);
+  EXPECT_EQ(serial.fitness_evaluations, parallel.fitness_evaluations);
+  EXPECT_EQ(serial.history, parallel.history);
+}
+
+TEST(Determinism, GeneticSerialAndParallelMatchBitForBit) {
+  const auto graph = workload();
+  GeneticConfig config;
+  config.population = 16;
+  config.generations = 10;
+  config.seed = 9;
+  config.track_history = true;
+
+  config.threads = 1;
+  const auto serial = genetic_partition(graph, arch_6x10(), config);
+  config.threads = 4;
+  const auto parallel = genetic_partition(graph, arch_6x10(), config);
+
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.best_cost, parallel.best_cost);
+  EXPECT_EQ(serial.generations_run, parallel.generations_run);
+  EXPECT_EQ(serial.fitness_evaluations, parallel.fitness_evaluations);
+  EXPECT_EQ(serial.history, parallel.history);
+}
+
+TEST(Determinism, AnnealingRestartChainsMatchBitForBit) {
+  const auto graph = workload();
+  AnnealingConfig config;
+  config.moves = 4000;
+  config.seed = 13;
+  config.restarts = 3;
+
+  config.threads = 1;
+  const auto serial = annealing_partition(graph, arch_6x10(), config);
+  config.threads = 4;
+  const auto parallel = annealing_partition(graph, arch_6x10(), config);
+
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.best_cost, parallel.best_cost);
+  EXPECT_EQ(serial.best_chain, parallel.best_chain);
+  EXPECT_EQ(serial.moves_proposed, parallel.moves_proposed);
+  EXPECT_EQ(serial.moves_accepted, parallel.moves_accepted);
+}
+
+TEST(Determinism, AnnealingSingleRestartReproducesLegacyChain) {
+  // restarts=1 must reuse the base seed verbatim: adding the restart layer
+  // cannot silently change existing single-chain results.
+  const auto graph = workload();
+  AnnealingConfig config;
+  config.moves = 4000;
+  config.seed = 13;
+
+  config.restarts = 1;
+  const auto single = annealing_partition(graph, arch_6x10(), config);
+  config.restarts = 3;
+  config.threads = 2;
+  const auto multi = annealing_partition(graph, arch_6x10(), config);
+
+  // Chain 0 of the multi-restart run is the legacy chain, so the winner can
+  // only be at least as good.
+  EXPECT_LE(multi.best_cost, single.best_cost);
+  if (multi.best_chain == 0) {
+    EXPECT_EQ(multi.best, single.best);
+    EXPECT_EQ(multi.best_cost, single.best_cost);
+  }
+}
+
+TEST(Determinism, PsoThreadCountZeroMatchesExplicitCounts) {
+  const auto graph = workload();
+  PsoConfig config;
+  config.swarm_size = 8;
+  config.iterations = 5;
+  config.seed = 21;
+
+  config.threads = 0;  // auto-resolve to hardware_concurrency()
+  const auto auto_resolved =
+      PsoPartitioner(graph, arch_6x10(), config).optimize();
+  config.threads = 3;
+  const auto explicit_three =
+      PsoPartitioner(graph, arch_6x10(), config).optimize();
+
+  EXPECT_EQ(auto_resolved.best, explicit_three.best);
+  EXPECT_EQ(auto_resolved.best_cost, explicit_three.best_cost);
+}
+
+}  // namespace
+}  // namespace snnmap::core

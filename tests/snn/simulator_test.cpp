@@ -234,7 +234,9 @@ TEST(Simulator, ExponentialSynapseDecayIsFinite) {
   // Fires at most a few times right after the pulse, then silence.
   EXPECT_LE(spikes, 5u);
   const auto after = sim.spikes()[0];
-  if (!after.empty()) EXPECT_LT(after.back(), 50.0);
+  if (!after.empty()) {
+    EXPECT_LT(after.back(), 50.0);
+  }
 }
 
 TEST(Simulator, RejectsNonPositiveDt) {
