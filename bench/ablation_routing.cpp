@@ -3,11 +3,13 @@
 // selection strategy, among others", Sec. IV); this harness shows where the
 // partially adaptive turn models (West-first, North-last) with buffer-level
 // selection pay off: column hotspots that deterministic XY funnels through
-// one link.
+// one link.  The eight independent scenarios fan out across cores via
+// core::BatchNocEvaluator.
 #include <iostream>
 
+#include "core/batch_eval.hpp"
 #include "noc/simulator.hpp"
-#include "util/rng.hpp"
+#include "noc/traffic_patterns.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -15,25 +17,17 @@ int main() {
 
   // Hotspot trace on a 4x4 mesh: every tile streams packets to the two
   // right-column sinks, so XY funnels everything through the east column.
+  // Shared with BM_NocSimulator and the golden scenarios.
   const auto make_traffic = [] {
-    util::Rng rng(7);
-    std::vector<noc::SpikePacketEvent> traffic;
-    for (int i = 0; i < 3000; ++i) {
-      noc::SpikePacketEvent ev;
-      ev.emit_cycle = static_cast<std::uint64_t>(i / 6);
-      ev.emit_step = ev.emit_cycle;
-      ev.source_neuron = static_cast<std::uint32_t>(rng.below(256));
-      ev.source_tile = static_cast<noc::TileId>(rng.below(12));  // left 3 cols
-      ev.dest_tiles = {static_cast<noc::TileId>(rng.chance(0.5) ? 3 : 15)};
-      if (ev.dest_tiles[0] == ev.source_tile) continue;
-      traffic.push_back(std::move(ev));
-    }
-    return traffic;
+    return noc::patterns::mesh_hotspot_traffic(/*seed=*/7, /*packets=*/3000);
   };
 
-  util::Table table({"routing", "selection", "avg latency (cycles)",
-                     "max latency", "drain time (cycles)",
-                     "link hotspot (max/mean)", "energy (uJ)"});
+  struct Leg {
+    noc::MeshRouting routing;
+    noc::SelectionStrategy selection;
+  };
+  std::vector<Leg> legs;
+  std::vector<core::NocScenario> scenarios;
   for (const auto routing :
        {noc::MeshRouting::kXY, noc::MeshRouting::kYX,
         noc::MeshRouting::kWestFirst, noc::MeshRouting::kNorthLast}) {
@@ -45,17 +39,26 @@ int main() {
       noc::NocConfig config;
       config.buffer_depth = 2;
       config.selection = selection;
-      noc::NocSimulator sim(std::move(topo), config);
-      const auto result = sim.run(make_traffic());
-      table.begin_row();
-      table.cell(std::string(to_string(routing)));
-      table.cell(std::string(to_string(selection)));
-      table.cell(result.stats.latency_cycles.mean(), 1);
-      table.cell(static_cast<std::size_t>(result.stats.max_latency_cycles));
-      table.cell(static_cast<std::size_t>(result.stats.duration_cycles));
-      table.cell(result.stats.link_hotspot_factor(), 2);
-      table.cell(result.stats.global_energy_pj * 1e-6, 3);
+      legs.push_back({routing, selection});
+      scenarios.push_back({std::move(topo), config, make_traffic()});
     }
+  }
+  const auto results =
+      core::BatchNocEvaluator().run_all(std::move(scenarios));
+
+  util::Table table({"routing", "selection", "avg latency (cycles)",
+                     "max latency", "drain time (cycles)",
+                     "link hotspot (max/mean)", "energy (uJ)"});
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const auto& result = results[i];
+    table.begin_row();
+    table.cell(std::string(to_string(legs[i].routing)));
+    table.cell(std::string(to_string(legs[i].selection)));
+    table.cell(result.stats.latency_cycles.mean(), 1);
+    table.cell(static_cast<std::size_t>(result.stats.max_latency_cycles));
+    table.cell(static_cast<std::size_t>(result.stats.duration_cycles));
+    table.cell(result.stats.link_hotspot_factor(), 2);
+    table.cell(result.stats.global_energy_pj * 1e-6, 3);
   }
   std::cout << "=== Ablation: mesh routing algorithm x selection strategy "
                "(right-column hotspot) ===\n"

@@ -1,0 +1,155 @@
+// BM_NocSimulator: Google-benchmark suite for the NoC simulator hot path.
+//
+// Run via scripts/bench.sh, which writes BENCH_noc.json so the perf
+// trajectory of the cycle loop is tracked PR over PR.  The headline numbers
+// are simulated packets/sec (items/sec) and simulated cycles/sec
+// (cycles_per_sec counter) on:
+//
+//  * the ablation_interconnect mesh workload (HW application mapped onto a
+//    mesh at equal crossbar resources, PACMAN partition so the traffic is
+//    deterministic and partitioner-noise-free),
+//  * the ablation_routing right-column hotspot (adaptive routing + selection
+//    under heavy backpressure),
+//  * a CxQuad-style tree multicast workload.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "core/framework.hpp"
+#include "core/pacman.hpp"
+#include "hw/architecture.hpp"
+#include "noc/simulator.hpp"
+#include "noc/traffic_patterns.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace snnmap;
+
+struct NocWorkload {
+  noc::Topology topology;
+  noc::NocConfig config;
+  std::vector<noc::SpikePacketEvent> traffic;
+};
+
+/// The ablation_interconnect mesh leg with the stochastic partitioner
+/// swapped for deterministic PACMAN: same app, same equal-crossbar mesh,
+/// same traffic builder.
+NocWorkload ablation_mesh_workload() {
+  const snn::SnnGraph graph = apps::build_app("HW", /*seed=*/42);
+  const std::uint32_t crossbar =
+      bench::crossbar_size_for(graph.neuron_count(), 8);
+  hw::Architecture arch = hw::Architecture::sized_for(
+      graph.neuron_count(), crossbar, hw::InterconnectKind::kMesh);
+  const core::Partition partition = core::pacman_partition(graph, arch);
+  noc::Topology topology = noc::Topology::for_architecture(arch);
+  const core::Placement placement =
+      core::identity_placement(arch.crossbar_count, topology);
+  auto traffic = core::build_traffic(graph, partition, placement,
+                                     arch.cycles_per_ms,
+                                     /*jitter_cycles=*/32);
+  return {std::move(topology), noc::NocConfig{}, std::move(traffic)};
+}
+
+/// The ablation_routing hotspot trace (shared generator, see
+/// noc/traffic_patterns.hpp): left columns of a 4x4 mesh stream
+/// single-destination packets at the two right-column sinks.
+NocWorkload hotspot_workload(noc::MeshRouting routing,
+                             noc::SelectionStrategy selection) {
+  noc::Topology topology = noc::Topology::mesh(4, 4);
+  topology.set_mesh_routing(routing);
+  noc::NocConfig config;
+  config.buffer_depth = 2;
+  config.selection = selection;
+  return {std::move(topology), config,
+          noc::patterns::mesh_hotspot_traffic(/*seed=*/7, /*packets=*/3000)};
+}
+
+/// Random multicast bursts on a CxQuad-style 16-leaf tree.  This generator
+/// predates traffic_patterns.hpp and draws a fixed 4 destination attempts
+/// per packet (vs the shared generator's random fan-out); it stays as-is so
+/// the BENCH_noc.json tree trajectory remains comparable to the recorded
+/// pre-refactor baseline.
+NocWorkload tree_multicast_workload() {
+  util::Rng rng(11);
+  std::vector<noc::SpikePacketEvent> traffic;
+  for (int i = 0; i < 4000; ++i) {
+    noc::SpikePacketEvent ev;
+    ev.emit_cycle = static_cast<std::uint64_t>(i / 4);
+    ev.emit_step = ev.emit_cycle / 8;
+    ev.source_neuron = static_cast<std::uint32_t>(rng.below(128));
+    ev.source_tile = static_cast<noc::TileId>(rng.below(16));
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      const auto dest = static_cast<noc::TileId>(rng.below(16));
+      if (dest == ev.source_tile) continue;
+      bool seen = false;
+      for (const noc::TileId have : ev.dest_tiles) seen = seen || have == dest;
+      if (!seen) ev.dest_tiles.push_back(dest);
+    }
+    if (ev.dest_tiles.empty()) continue;
+    std::sort(ev.dest_tiles.begin(), ev.dest_tiles.end());
+    traffic.push_back(std::move(ev));
+  }
+  return {noc::Topology::tree(16, 4), noc::NocConfig{}, std::move(traffic)};
+}
+
+void run_workload(benchmark::State& state, const NocWorkload& workload) {
+  std::uint64_t cycles = 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    noc::NocSimulator sim(workload.topology, workload.config);
+    const auto result = sim.run(workload.traffic);
+    benchmark::DoNotOptimize(result.stats.copies_delivered);
+    cycles += result.stats.duration_cycles;
+    delivered += result.stats.copies_delivered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.traffic.size()));
+  state.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["delivered_per_sec"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+}
+
+void BM_NocSimulator_AblationMesh(benchmark::State& state) {
+  static const NocWorkload workload = ablation_mesh_workload();
+  run_workload(state, workload);
+}
+BENCHMARK(BM_NocSimulator_AblationMesh);
+
+void BM_NocSimulator_AblationMeshStreaming(benchmark::State& state) {
+  // Same workload with collect_delivered = false: aggregate NocStats only,
+  // no per-copy DeliveredSpike materialization and no log-derived metrics.
+  static const NocWorkload workload = [] {
+    NocWorkload w = ablation_mesh_workload();
+    w.config.collect_delivered = false;
+    return w;
+  }();
+  run_workload(state, workload);
+}
+BENCHMARK(BM_NocSimulator_AblationMeshStreaming);
+
+void BM_NocSimulator_MeshHotspotAdaptive(benchmark::State& state) {
+  static const NocWorkload workload = hotspot_workload(
+      noc::MeshRouting::kWestFirst, noc::SelectionStrategy::kBufferLevel);
+  run_workload(state, workload);
+}
+BENCHMARK(BM_NocSimulator_MeshHotspotAdaptive);
+
+void BM_NocSimulator_MeshHotspotXY(benchmark::State& state) {
+  static const NocWorkload workload = hotspot_workload(
+      noc::MeshRouting::kXY, noc::SelectionStrategy::kFirstCandidate);
+  run_workload(state, workload);
+}
+BENCHMARK(BM_NocSimulator_MeshHotspotXY);
+
+void BM_NocSimulator_TreeMulticast(benchmark::State& state) {
+  static const NocWorkload workload = tree_multicast_workload();
+  run_workload(state, workload);
+}
+BENCHMARK(BM_NocSimulator_TreeMulticast);
+
+}  // namespace

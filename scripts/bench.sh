@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# NoC simulator perf tracking: runs the BM_NocSimulator suite (Release) and
+# writes BENCH_noc.json at the repo root so the simulated-packets/sec and
+# simulated-cycles/sec trajectory is recorded PR over PR.
+#
+#   scripts/bench.sh [extra google-benchmark flags...]
+#
+# Requires Google Benchmark (the noc_sim_benchmarks target is skipped with a
+# notice when the library is absent).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+JOBS=${JOBS:-$(nproc)}
+OUT=${OUT:-BENCH_noc.json}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSNNMAP_BUILD_TESTS=OFF \
+  -DSNNMAP_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$JOBS" --target noc_sim_benchmarks
+
+if [[ ! -x "$BUILD_DIR/bench/noc_sim_benchmarks" ]]; then
+  echo "noc_sim_benchmarks was not built (Google Benchmark missing?)" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench/noc_sim_benchmarks" \
+  --benchmark_min_time=2 \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $OUT"

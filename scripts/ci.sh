@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verify: Release build with warnings-as-errors, full CTest suite.
+# Tier-1 verify, two legs:
+#   1. Debug   — assertions and debug-only checks live, warnings-as-errors.
+#   2. Release — -O3 -DNDEBUG, the configuration the benchmarks and the
+#                perf acceptance numbers (scripts/bench.sh) are measured in.
+# Both legs run the full CTest suite, so optimization-dependent breakage
+# (UB, fragile float expectations) surfaces here and not in a profile run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc)}
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DSNNMAP_WERROR=ON
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+run_leg() {
+  local build_type=$1
+  local build_dir=$2
+  echo "=== ci leg: ${build_type} (${build_dir}) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE="$build_type" \
+    -DSNNMAP_WERROR=ON
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+run_leg Debug "${DEBUG_BUILD_DIR:-build-debug}"
+run_leg Release "${BUILD_DIR:-build}"

@@ -41,4 +41,18 @@ void BatchEvaluator::evaluate(
       objective, costs);
 }
 
+BatchNocEvaluator::BatchNocEvaluator(std::uint32_t threads)
+    : pool_(threads) {}
+
+std::vector<noc::NocRunResult> BatchNocEvaluator::run_all(
+    std::vector<NocScenario> scenarios) {
+  std::vector<noc::NocRunResult> results(scenarios.size());
+  pool_.parallel_for(scenarios.size(), [&](std::uint32_t, std::size_t i) {
+    noc::NocSimulator sim(std::move(scenarios[i].topology),
+                          scenarios[i].config);
+    results[i] = sim.run(std::move(scenarios[i].traffic));
+  });
+  return results;
+}
+
 }  // namespace snnmap::core

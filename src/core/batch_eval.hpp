@@ -1,4 +1,5 @@
-// Parallel batch cost evaluation for the mapping optimizers.
+// Parallel batch evaluation: optimizer fitness batches (BatchEvaluator) and
+// independent NoC scenario simulations (BatchNocEvaluator).
 //
 // Every PSO iteration / GA generation evaluates the Eq. 7/8 objective for an
 // entire swarm or population against the same immutable spike graph.  The
@@ -8,6 +9,12 @@
 // and all randomness stays on the caller's thread.  Costs land in a slot
 // indexed by candidate, making parallel results bit-identical to the serial
 // path under a fixed seed.
+//
+// BatchNocEvaluator applies the same pattern to whole NoC simulations:
+// ablation sweeps and multi-app workloads run many independent
+// (topology, config, traffic) scenarios, each of which is single-threaded
+// and deterministic, so they spread across the pool with results landing in
+// slots indexed by scenario.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 
 #include "core/cost.hpp"
 #include "core/partition.hpp"
+#include "noc/simulator.hpp"
 #include "snn/graph.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,6 +67,32 @@ class BatchEvaluator {
  private:
   util::ThreadPool pool_;
   std::vector<std::unique_ptr<CostModel>> models_;  ///< one per worker
+};
+
+/// One independent interconnect simulation of a batch.
+struct NocScenario {
+  noc::Topology topology;
+  noc::NocConfig config;
+  std::vector<noc::SpikePacketEvent> traffic;
+};
+
+/// Fans independent NoC scenario simulations across a ThreadPool.  Every
+/// scenario is simulated exactly as a standalone NocSimulator::run would
+/// (results are slot-indexed and bit-identical to serial execution);
+/// threads = 1 runs inline on the calling thread.
+class BatchNocEvaluator {
+ public:
+  /// threads = 0 resolves to hardware_concurrency().
+  explicit BatchNocEvaluator(std::uint32_t threads = 0);
+
+  std::uint32_t thread_count() const noexcept { return pool_.size(); }
+
+  /// Simulates every scenario; results[i] corresponds to scenarios[i].
+  /// Scenario traffic is consumed (moved into the simulators).
+  std::vector<noc::NocRunResult> run_all(std::vector<NocScenario> scenarios);
+
+ private:
+  util::ThreadPool pool_;
 };
 
 }  // namespace snnmap::core

@@ -56,6 +56,8 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
   flow.noc.max_cycles = static_cast<std::uint64_t>(
       config.int_or("noc.max_cycles",
                     static_cast<std::int64_t>(flow.noc.max_cycles)));
+  flow.noc.collect_delivered = config.bool_or("noc.collect_delivered",
+                                              flow.noc.collect_delivered);
 
   // -- energy (shared with the NoC config)
   flow.energy = hw::EnergyModel::from_config(config);
@@ -132,6 +134,8 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
   config.set("noc.selection", noc::to_string(flow.noc.selection));
   config.set("noc.mesh_routing", noc::to_string(flow.mesh_routing));
   config.set("noc.max_cycles", std::to_string(flow.noc.max_cycles));
+  config.set("noc.collect_delivered",
+             flow.noc.collect_delivered ? "true" : "false");
 
   flow.energy.to_config(config);
 

@@ -36,19 +36,91 @@ double NocStats::throughput_aer_per_ms(
   return static_cast<double>(copies_delivered) / ms;
 }
 
+namespace {
+
+/// Stable counting-sort of `spikes` by key (gather into a fresh vector).
+/// Used instead of comparison sorts because simulator delivery logs arrive
+/// pre-sorted by recv_cycle: a stable pass per remaining key reproduces the
+/// exact multi-key order at O(n) instead of O(n log n) over 48-byte
+/// elements.
+template <typename Key>
+void stable_bucket_by(std::vector<DeliveredSpike>& spikes, Key&& key,
+                      std::size_t key_bound) {
+  std::vector<std::size_t> offsets(key_bound + 1, 0);
+  for (const DeliveredSpike& s : spikes) {
+    ++offsets[static_cast<std::size_t>(key(s)) + 1];
+  }
+  for (std::size_t k = 1; k <= key_bound; ++k) offsets[k] += offsets[k - 1];
+  std::vector<DeliveredSpike> sorted(spikes.size());
+  for (const DeliveredSpike& s : spikes) {
+    sorted[offsets[static_cast<std::size_t>(key(s))]++] = s;
+  }
+  spikes = std::move(sorted);
+}
+
+/// True when a counting pass over ids bounded by `max_key` costs less than
+/// a comparison sort of `n` elements would.
+bool dense_enough(std::uint32_t max_key, std::size_t n) {
+  return static_cast<std::uint64_t>(max_key) <
+         static_cast<std::uint64_t>(n) * 4 + 1024;
+}
+
+}  // namespace
+
 SnnMetrics compute_snn_metrics(std::vector<DeliveredSpike> delivered) {
   SnnMetrics m;
   m.delivered_spikes = delivered.size();
   if (delivered.empty()) return m;
 
-  // ---- Spike disorder: per destination, arrival order vs emission order.
-  std::sort(delivered.begin(), delivered.end(),
-            [](const DeliveredSpike& a, const DeliveredSpike& b) {
-              if (a.dest_tile != b.dest_tile) return a.dest_tile < b.dest_tile;
-              if (a.recv_cycle != b.recv_cycle)
-                return a.recv_cycle < b.recv_cycle;
-              return a.emit_cycle < b.emit_cycle;
-            });
+  std::uint32_t max_dest = 0;
+  std::uint32_t max_neuron = 0;
+  for (const DeliveredSpike& s : delivered) {
+    max_dest = std::max(max_dest, s.dest_tile);
+    max_neuron = std::max(max_neuron, s.source_neuron);
+  }
+
+  // ---- Spike disorder: per destination, arrival order vs emission order,
+  // i.e. sorted by (dest_tile, recv_cycle, emit_cycle).  The bucket pass
+  // preserves arrival order inside each destination; only inputs that are
+  // not already recv-ordered (handcrafted logs) need the per-bucket sort.
+  // Pathologically sparse tile ids (possible for handcrafted logs — the
+  // simulator's ids are bounded by tile_count) fall back to the comparison
+  // sort, which also avoids the + 1 overflow a UINT32_MAX key would hit.
+  if (dense_enough(max_dest, delivered.size())) {
+    stable_bucket_by(
+        delivered, [](const DeliveredSpike& s) { return s.dest_tile; },
+        static_cast<std::size_t>(max_dest) + 1);
+    const auto recv_emit_less = [](const DeliveredSpike& a,
+                                   const DeliveredSpike& b) {
+      if (a.recv_cycle != b.recv_cycle) return a.recv_cycle < b.recv_cycle;
+      return a.emit_cycle < b.emit_cycle;
+    };
+    std::size_t i = 0;
+    while (i < delivered.size()) {
+      std::size_t j = i + 1;
+      while (j < delivered.size() &&
+             delivered[j].dest_tile == delivered[i].dest_tile) {
+        ++j;
+      }
+      if (!std::is_sorted(delivered.begin() + static_cast<std::ptrdiff_t>(i),
+                          delivered.begin() + static_cast<std::ptrdiff_t>(j),
+                          recv_emit_less)) {
+        std::sort(delivered.begin() + static_cast<std::ptrdiff_t>(i),
+                  delivered.begin() + static_cast<std::ptrdiff_t>(j),
+                  recv_emit_less);
+      }
+      i = j;
+    }
+  } else {
+    std::sort(delivered.begin(), delivered.end(),
+              [](const DeliveredSpike& a, const DeliveredSpike& b) {
+                if (a.dest_tile != b.dest_tile)
+                  return a.dest_tile < b.dest_tile;
+                if (a.recv_cycle != b.recv_cycle)
+                  return a.recv_cycle < b.recv_cycle;
+                return a.emit_cycle < b.emit_cycle;
+              });
+  }
   std::size_t i = 0;
   while (i < delivered.size()) {
     std::size_t j = i;
@@ -68,14 +140,47 @@ SnnMetrics compute_snn_metrics(std::vector<DeliveredSpike> delivered) {
   m.disorder_fraction = static_cast<double>(m.disordered_spikes) /
                         static_cast<double>(m.delivered_spikes);
 
-  // ---- ISI distortion: per (source neuron, destination) stream.
-  std::sort(delivered.begin(), delivered.end(),
-            [](const DeliveredSpike& a, const DeliveredSpike& b) {
-              if (a.source_neuron != b.source_neuron)
-                return a.source_neuron < b.source_neuron;
-              if (a.dest_tile != b.dest_tile) return a.dest_tile < b.dest_tile;
-              return a.sequence < b.sequence;
-            });
+  // ---- ISI distortion: per (source neuron, destination) stream, sorted by
+  // (source_neuron, dest_tile, sequence).  A stable pass by neuron over the
+  // dest-sorted array yields (neuron, dest) grouping directly; only streams
+  // where congestion actually reordered arrivals need the per-stream sort.
+  if (dense_enough(max_neuron, delivered.size())) {
+    stable_bucket_by(
+        delivered, [](const DeliveredSpike& s) { return s.source_neuron; },
+        static_cast<std::size_t>(max_neuron) + 1);
+    const auto sequence_less = [](const DeliveredSpike& a,
+                                  const DeliveredSpike& b) {
+      return a.sequence < b.sequence;
+    };
+    std::size_t i = 0;
+    while (i < delivered.size()) {
+      std::size_t j = i + 1;
+      while (j < delivered.size() &&
+             delivered[j].source_neuron == delivered[i].source_neuron &&
+             delivered[j].dest_tile == delivered[i].dest_tile) {
+        ++j;
+      }
+      if (!std::is_sorted(delivered.begin() + static_cast<std::ptrdiff_t>(i),
+                          delivered.begin() + static_cast<std::ptrdiff_t>(j),
+                          sequence_less)) {
+        std::sort(delivered.begin() + static_cast<std::ptrdiff_t>(i),
+                  delivered.begin() + static_cast<std::ptrdiff_t>(j),
+                  sequence_less);
+      }
+      i = j;
+    }
+  } else {
+    // Pathologically sparse neuron ids: a counting pass would allocate more
+    // than the comparison sort costs.
+    std::sort(delivered.begin(), delivered.end(),
+              [](const DeliveredSpike& a, const DeliveredSpike& b) {
+                if (a.source_neuron != b.source_neuron)
+                  return a.source_neuron < b.source_neuron;
+                if (a.dest_tile != b.dest_tile)
+                  return a.dest_tile < b.dest_tile;
+                return a.sequence < b.sequence;
+              });
+  }
   util::Accumulator isi;
   double max_distortion = 0.0;
   for (std::size_t k = 1; k < delivered.size(); ++k) {

@@ -10,30 +10,14 @@ Router::Router(RouterId id, std::uint32_t port_count,
   if (buffer_depth_ == 0) {
     throw std::invalid_argument("Router: buffer depth must be >= 1");
   }
-  if (port_count_ + 1 > 63) {
-    // served_ports is a 64-bit mask; port_count+1 outputs must fit.
-    throw std::invalid_argument("Router: too many ports for multicast mask");
+  if (port_count_ + 1 > 64) {
+    // occupied_ is a 64-bit mask over port_count + 1 input FIFOs.
+    throw std::invalid_argument("Router: too many ports for input mask");
   }
-  queues_.resize(port_count_ + 1);
+  slots_.resize(static_cast<std::size_t>(port_count_) * buffer_depth_);
+  ring_head_.assign(port_count_, 0);
+  ring_size_.assign(port_count_, 0);
   rr_.assign(port_count_ + 1, 0);
-}
-
-bool Router::can_accept(std::uint32_t port, std::size_t staged) const {
-  if (port == port_count_) return true;  // injection queue is unbounded
-  return queues_.at(port).size() + staged < buffer_depth_;
-}
-
-bool Router::all_queues_empty() const noexcept {
-  for (const auto& q : queues_) {
-    if (!q.empty()) return false;
-  }
-  return true;
-}
-
-std::size_t Router::buffered_flits() const noexcept {
-  std::size_t n = 0;
-  for (const auto& q : queues_) n += q.size();
-  return n;
 }
 
 }  // namespace snnmap::noc

@@ -1,7 +1,7 @@
 #include "noc/simulator.hpp"
 
 #include <algorithm>
-#include <map>
+#include <bit>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -9,15 +9,39 @@
 
 namespace snnmap::noc {
 
+const char* to_string(SelectionStrategy selection) noexcept {
+  switch (selection) {
+    case SelectionStrategy::kFirstCandidate: return "first-candidate";
+    case SelectionStrategy::kBufferLevel: return "buffer-level";
+  }
+  return "?";
+}
+
 NocSimulator::NocSimulator(Topology topology, NocConfig config)
     : topology_(std::move(topology)), config_(config) {
-  // reverse_port_[r][o] = input-port index at neighbor(r, o) through which
-  // flits sent from r arrive (the neighbor's port back toward r).
+  if (config_.buffer_depth == 0) {
+    throw std::invalid_argument(
+        "NocSimulator: buffer_depth must be >= 1 (a zero-depth FIFO could "
+        "never accept a flit, so no packet would ever move)");
+  }
+  if (config_.max_cycles == 0) {
+    throw std::invalid_argument(
+        "NocSimulator: max_cycles must be >= 1 (a zero-cycle budget could "
+        "never simulate any traffic)");
+  }
+  // Flat per-port geometry: for global port index port_base_[r] + o,
+  // neighbor_ holds the adjacent router and reverse_port_ the input-port
+  // index at that neighbor through which flits sent from r arrive.
   const std::uint32_t n = topology_.router_count();
-  reverse_port_.resize(n);
+  port_base_.resize(n + 1);
+  port_base_[0] = 0;
+  for (RouterId r = 0; r < n; ++r) {
+    port_base_[r + 1] = port_base_[r] + topology_.port_count(r);
+  }
+  neighbor_.resize(port_base_[n]);
+  reverse_port_.resize(port_base_[n]);
   for (RouterId r = 0; r < n; ++r) {
     const std::uint32_t ports = topology_.port_count(r);
-    reverse_port_[r].resize(ports);
     for (PortId o = 0; o < ports; ++o) {
       const RouterId nb = topology_.neighbor(r, o);
       std::uint32_t back = static_cast<std::uint32_t>(-1);
@@ -30,71 +54,23 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
       if (back == static_cast<std::uint32_t>(-1)) {
         throw std::logic_error("NocSimulator: asymmetric topology link");
       }
-      reverse_port_[r][o] = back;
+      neighbor_[port_base_[r] + o] = nb;
+      reverse_port_[port_base_[r] + o] = back;
     }
   }
-}
-
-std::vector<TileId> NocSimulator::dests_via_port(
-    const Router& r, const Flit& flit, std::uint32_t out_port,
-    const std::vector<std::vector<std::size_t>>& staged_count,
-    const std::vector<Router>& routers) const {
-  std::vector<TileId> subset;
-  const bool adaptive_single = flit.dests.size() == 1;
-  for (TileId dest : flit.dests) {
-    const RouterId dst_router = topology_.router_of_tile(dest);
-    if (dst_router == r.id()) {
-      if (out_port == r.port_count()) subset.push_back(dest);
-      continue;
-    }
-    PortId candidates[3];
-    const std::uint32_t count =
-        topology_.route_candidates(r.id(), dst_router, candidates);
-    PortId chosen = candidates[0];
-    if (adaptive_single && count > 1) {
-      // Selection strategy: pick among the turn-model's legal candidates.
-      if (config_.selection == SelectionStrategy::kFirstCandidate) {
-        for (std::uint32_t k = 0; k < count; ++k) {
-          const RouterId nb = topology_.neighbor(r.id(), candidates[k]);
-          const std::uint32_t nb_port = reverse_port_[r.id()][candidates[k]];
-          if (routers[nb].can_accept(nb_port, staged_count[nb][nb_port])) {
-            chosen = candidates[k];
-            break;
-          }
-        }
-      } else {  // kBufferLevel: most free downstream slots (ties: first)
-        std::size_t best_free = 0;
-        for (std::uint32_t k = 0; k < count; ++k) {
-          const RouterId nb = topology_.neighbor(r.id(), candidates[k]);
-          const std::uint32_t nb_port = reverse_port_[r.id()][candidates[k]];
-          const std::size_t used = routers[nb].in_queue(nb_port).size() +
-                                   staged_count[nb][nb_port];
-          const std::size_t free =
-              used >= config_.buffer_depth ? 0 : config_.buffer_depth - used;
-          if (free > best_free) {
-            best_free = free;
-            chosen = candidates[k];
-          }
-        }
-      }
-    }
-    if (chosen == out_port) subset.push_back(dest);
+  tile_router_.resize(topology_.tile_count());
+  for (TileId t = 0; t < topology_.tile_count(); ++t) {
+    tile_router_[t] = topology_.router_of_tile(t);
   }
-  return subset;
-}
-
-const char* to_string(SelectionStrategy selection) noexcept {
-  switch (selection) {
-    case SelectionStrategy::kFirstCandidate: return "first-candidate";
-    case SelectionStrategy::kBufferLevel: return "buffer-level";
-  }
-  return "?";
 }
 
 NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
   NocRunResult result;
   NocStats& stats = result.stats;
 
+  // Events with identical keys keep introsort's (deterministic) tie
+  // permutation: sequence numbers are assigned in this order, so the golden
+  // streams pin it.  Do not replace with a keyed/stable sort.
   std::sort(traffic.begin(), traffic.end(),
             [](const SpikePacketEvent& a, const SpikePacketEvent& b) {
               if (a.emit_cycle != b.emit_cycle)
@@ -104,34 +80,94 @@ NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
               return a.source_neuron < b.source_neuron;
             });
 
+  const std::uint32_t n = topology_.router_count();
+  const auto& table = topology_.route_table();
+  if (table.empty()) {
+    // Only reachable with >= 255 ports on one router; such fabrics are far
+    // beyond anything the cycle loop is meant for.
+    throw std::invalid_argument(
+        "NocSimulator: topology has no packed route table (router with >= "
+        "255 ports)");
+  }
+
   std::vector<Router> routers;
-  routers.reserve(topology_.router_count());
-  for (RouterId r = 0; r < topology_.router_count(); ++r) {
+  routers.reserve(n);
+  for (RouterId r = 0; r < n; ++r) {
     routers.emplace_back(r, topology_.port_count(r), config_.buffer_depth);
   }
 
-  std::unordered_map<std::uint32_t, std::uint32_t> sequence_counter;
-  std::map<std::uint64_t, std::uint64_t> link_flits;  // directed link -> count
+  // Per-source-neuron sequence counters: a flat array when the ids are
+  // reasonably dense (the mapping flow emits graph-indexed neurons), with a
+  // hashed fallback for pathological sparse id spaces.
+  std::uint32_t max_neuron = 0;
+  std::size_t total_dests = 0;
+  for (const auto& ev : traffic) {
+    max_neuron = std::max(max_neuron, ev.source_neuron);
+    total_dests += ev.dest_tiles.size();
+  }
+  std::vector<std::uint32_t> seq_flat;
+  std::unordered_map<std::uint32_t, std::uint32_t> seq_map;
+  const bool dense_neurons =
+      static_cast<std::uint64_t>(max_neuron) <
+      static_cast<std::uint64_t>(traffic.size()) * 4 + 1024;
+  if (dense_neurons) {
+    seq_flat.assign(static_cast<std::size_t>(max_neuron) + 1, 0);
+  }
+  const auto sequence_of = [&](std::uint32_t neuron) -> std::uint32_t& {
+    return dense_neurons ? seq_flat[neuron] : seq_map[neuron];
+  };
+
+  // Pooled destination arena: every in-flight flit's destination set is a
+  // (begin, count) range.  Forks append the forked subset and shrink the
+  // head's range in place; dead ranges are reclaimed by compaction once
+  // they dominate the pool.
+  std::vector<TileId> arena;
+  arena.reserve(total_dests * 2);
+  std::size_t arena_live = 0;
+  std::vector<TileId> match;  // dests served via the current output port
+  std::vector<TileId> keep;   // dests staying with the head flit
+  if (config_.collect_delivered) {
+    // Exactly one delivered copy per (event, destination) on a drained run.
+    result.delivered.reserve(total_dests);
+  }
+
+  // Active-router worklist: one bit per router, scanned in id order so the
+  // arbitration order (and therefore every golden stream) matches the full
+  // per-router scan exactly, while idle routers cost nothing.
+  std::vector<std::uint64_t> active((n + 63) / 64, 0);
+  const auto mark_active = [&](RouterId r) {
+    active[r >> 6] |= 1ULL << (r & 63);
+  };
+
+  struct StagedMove {
+    RouterId to_router;
+    std::uint32_t to_port;
+    Flit flit;
+  };
+  std::vector<StagedMove> staged;
+  // staged_count[port_base_[r] + p] = arrivals already bound for that input
+  // FIFO this cycle; reset via the touched list, not a full sweep.
+  std::vector<std::uint32_t> staged_count(port_base_[n], 0);
+  std::vector<std::uint32_t> staged_touched;
+  // Flit traversals per directed link (router, out port).
+  std::vector<std::uint64_t> link_flits(port_base_[n], 0);
+
   std::size_t next_event = 0;
   std::uint64_t now = 0;
   std::size_t in_flight = 0;
 
-  std::vector<StagedMove> staged;
-  // staged_count[r][port] = arrivals already bound for that queue this cycle.
-  std::vector<std::vector<std::size_t>> staged_count(topology_.router_count());
-  for (RouterId r = 0; r < topology_.router_count(); ++r) {
-    staged_count[r].assign(topology_.port_count(r) + 1, 0);
-  }
-
-  const auto make_flit = [&](const SpikePacketEvent& ev,
-                             std::vector<TileId> dests) {
+  const auto make_flit = [&](const SpikePacketEvent& ev, const TileId* dests,
+                             std::uint32_t count) {
     Flit f;
     f.source_neuron = ev.source_neuron;
     f.source_tile = ev.source_tile;
     f.emit_cycle = ev.emit_cycle;
     f.emit_step = ev.emit_step;
-    f.sequence = sequence_counter[ev.source_neuron];
-    f.dests = std::move(dests);
+    f.sequence = sequence_of(ev.source_neuron);
+    f.dest_begin = static_cast<std::uint32_t>(arena.size());
+    f.dest_count = count;
+    arena.insert(arena.end(), dests, dests + count);
+    arena_live += count;
     f.payload = aer_encode({ev.source_neuron & kAerMaxNeuron,
                             ev.source_tile & kAerMaxCrossbar,
                             static_cast<std::uint32_t>(ev.emit_cycle)});
@@ -147,23 +183,35 @@ NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
         throw std::invalid_argument(
             "NocSimulator: packet event with no destinations");
       }
-      Router& src = routers.at(topology_.router_of_tile(ev.source_tile));
+      if (ev.source_tile >= tile_router_.size()) {
+        throw std::out_of_range("Topology: tile id out of range");
+      }
+      for (const TileId dest : ev.dest_tiles) {
+        if (dest >= tile_router_.size()) {
+          throw std::out_of_range("Topology: tile id out of range");
+        }
+      }
+      const RouterId src_router = tile_router_[ev.source_tile];
+      Router& src = routers[src_router];
       ++stats.packets_injected;
       if (config_.multicast) {
-        src.in_queue(src.port_count()).push_back(make_flit(ev, ev.dest_tiles));
+        src.push(src.port_count(),
+                 make_flit(ev, ev.dest_tiles.data(),
+                           static_cast<std::uint32_t>(ev.dest_tiles.size())));
         ++stats.flits_injected;
         stats.global_energy_pj += config_.energy.aer_codec_pj;
         ++in_flight;
       } else {
         // Source-replicated unicast: one independent copy per destination.
-        for (TileId dest : ev.dest_tiles) {
-          src.in_queue(src.port_count()).push_back(make_flit(ev, {dest}));
+        for (const TileId dest : ev.dest_tiles) {
+          src.push(src.port_count(), make_flit(ev, &dest, 1));
           ++stats.flits_injected;
           stats.global_energy_pj += config_.energy.aer_codec_pj;
           ++in_flight;
         }
       }
-      ++sequence_counter[traffic[next_event].source_neuron];
+      ++sequence_of(ev.source_neuron);
+      mark_active(src_router);
       ++next_event;
     }
 
@@ -180,32 +228,70 @@ NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
       break;
     }
 
-    // ---- 2. Arbitration: each output port of each router moves <= 1 flit.
-    staged.clear();
-    for (auto& counts : staged_count) {
-      std::fill(counts.begin(), counts.end(), 0);
+    // Compact the destination arena once dead ranges dominate it.
+    if (arena.size() > 4096 && arena.size() > 4 * (arena_live + 1)) {
+      std::vector<TileId> compacted;
+      compacted.reserve(arena_live);
+      for (Router& router : routers) {
+        router.for_each_flit([&](Flit& f) {
+          const auto begin = static_cast<std::uint32_t>(compacted.size());
+          compacted.insert(compacted.end(), arena.begin() + f.dest_begin,
+                           arena.begin() + f.dest_begin + f.dest_count);
+          f.dest_begin = begin;
+        });
+      }
+      arena = std::move(compacted);
     }
 
-    for (Router& r : routers) {
-      const std::uint32_t outputs = r.port_count() + 1;  // + local eject
-      for (std::uint32_t out = 0; out < outputs; ++out) {
-        // Round-robin over input queues for this output.
-        const std::uint32_t inputs = r.input_count();
-        const std::uint32_t start = r.rr_pointer(out);
-        for (std::uint32_t k = 0; k < inputs; ++k) {
-          const std::uint32_t in = (start + k) % inputs;
-          auto& queue = r.in_queue(in);
-          if (queue.empty()) continue;
-          Flit& head = queue.front();
-          if (head.dests.empty()) continue;  // fully served, pops below
-          const std::vector<TileId> subset =
-              dests_via_port(r, head, out, staged_count, routers);
-          if (subset.empty()) continue;
+    // ---- 2. Arbitration: each output port of each router moves <= 1 flit.
+    staged.clear();
+    for (const std::uint32_t idx : staged_touched) staged_count[idx] = 0;
+    staged_touched.clear();
 
-          if (out == r.port_count()) {
-            // Local ejection: deliver every destination attached here
-            // (exactly one tile per router).
-            for (TileId dest : subset) {
+    for (std::size_t w = 0; w < active.size(); ++w) {
+      std::uint64_t bits = active[w];
+      while (bits != 0) {
+        const auto r = static_cast<RouterId>((w << 6) +
+                                             std::countr_zero(bits));
+        bits &= bits - 1;
+        Router& router = routers[r];
+        const std::uint32_t ports = router.port_count();
+        const std::uint32_t base = port_base_[r];
+        const Topology::RouteEntry* route_row =
+            table.data() + static_cast<std::size_t>(r) * n;
+
+        for (std::uint32_t out = 0; out <= ports; ++out) {
+          const bool local = out == ports;
+          RouterId nb = 0;
+          std::uint32_t nb_port = 0;
+          std::uint32_t nb_slot = 0;
+          if (!local) {
+            nb = neighbor_[base + out];
+            nb_port = reverse_port_[base + out];
+            nb_slot = port_base_[nb] + nb_port;
+            // Backpressure is per output this cycle; check it once instead
+            // of per input.
+            if (!routers[nb].can_accept(nb_port, staged_count[nb_slot])) {
+              continue;
+            }
+          }
+          // Round-robin over the non-empty input queues for this output:
+          // rotating the occupancy mask by the round-robin pointer makes
+          // ascending bit positions enumerate inputs in (start + k) %
+          // inputs order (inputs <= 64 and all mask bits sit below
+          // `inputs`, so the wrap around bit 63 is exactly the wrap around
+          // `inputs`).
+          const std::uint32_t start = router.rr_pointer(out);
+          std::uint64_t pending = std::rotr(router.occupied_mask(), start);
+          while (pending != 0) {
+            const std::uint32_t in =
+                (start + static_cast<std::uint32_t>(
+                             std::countr_zero(pending))) & 63U;
+            pending &= pending - 1;
+            Flit& head = router.head(in);
+            if (head.dest_count == 0) continue;  // fully served, pops below
+
+            const auto deliver = [&](TileId dest) {
               DeliveredSpike d;
               d.source_neuron = head.source_neuron;
               d.source_tile = head.source_tile;
@@ -214,64 +300,182 @@ NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
               d.emit_step = head.emit_step;
               d.recv_cycle = now + 1;
               d.sequence = head.sequence;
-              result.delivered.push_back(d);
+              if (config_.collect_delivered) {
+                result.delivered.push_back(d);
+              }
               ++stats.copies_delivered;
               stats.latency_cycles.add(static_cast<double>(d.latency()));
               stats.max_latency_cycles =
                   std::max(stats.max_latency_cycles, d.latency());
+            };
+            const auto charge_ejection = [&] {
+              ++stats.router_traversals;
+              stats.global_energy_pj +=
+                  config_.energy.router_flit_pj + config_.energy.aer_codec_pj;
+            };
+            // Stages `copy` through this output and charges the hop.
+            const auto forward = [&](const Flit& copy) {
+              staged.push_back({nb, nb_port, copy});
+              if (staged_count[nb_slot]++ == 0) {
+                staged_touched.push_back(nb_slot);
+              }
+              ++in_flight;
+              ++stats.link_hops;
+              ++stats.router_traversals;
+              ++link_flits[base + out];
+              stats.global_energy_pj +=
+                  config_.energy.link_hop_pj + config_.energy.router_flit_pj;
+            };
+
+            if (head.dest_count == 1) {
+              // Single-destination fast path: no subset to partition, and
+              // the flit's arena range transfers to the forwarded copy
+              // untouched.  Also the only case where the adaptive turn
+              // models leave a choice to the selection strategy.
+              const TileId dest = arena[head.dest_begin];
+              const RouterId dst_router = tile_router_[dest];
+              if (dst_router == r) {
+                if (!local) continue;
+                deliver(dest);
+                charge_ejection();
+                --arena_live;
+              } else {
+                if (local) continue;
+                const Topology::RouteEntry& e = route_row[dst_router];
+                std::uint32_t chosen = e.port[0];
+                if (e.count > 1) {
+                  // Selection strategy: pick among the turn model's legal
+                  // candidates.
+                  if (config_.selection ==
+                      SelectionStrategy::kFirstCandidate) {
+                    for (std::uint32_t c = 0; c < e.count; ++c) {
+                      const std::uint32_t cand = base + e.port[c];
+                      const std::uint32_t cand_slot =
+                          port_base_[neighbor_[cand]] + reverse_port_[cand];
+                      if (routers[neighbor_[cand]].can_accept(
+                              reverse_port_[cand], staged_count[cand_slot])) {
+                        chosen = e.port[c];
+                        break;
+                      }
+                    }
+                  } else {  // kBufferLevel: most free downstream (ties: 1st)
+                    std::size_t best_free = 0;
+                    for (std::uint32_t c = 0; c < e.count; ++c) {
+                      const std::uint32_t cand = base + e.port[c];
+                      const std::uint32_t cand_port = reverse_port_[cand];
+                      const std::size_t used =
+                          routers[neighbor_[cand]].queue_size(cand_port) +
+                          staged_count[port_base_[neighbor_[cand]] +
+                                       cand_port];
+                      const std::size_t free =
+                          used >= config_.buffer_depth
+                              ? 0
+                              : config_.buffer_depth - used;
+                      if (free > best_free) {
+                        best_free = free;
+                        chosen = e.port[c];
+                      }
+                    }
+                  }
+                }
+                if (chosen != out) continue;
+                forward(head);  // range ownership moves to the copy
+              }
+              head.dest_count = 0;
+              router.advance_rr(out);
+              break;  // this output port is used for this cycle
             }
-            ++stats.router_traversals;
-            stats.global_energy_pj +=
-                config_.energy.router_flit_pj + config_.energy.aer_codec_pj;
-          } else {
-            const RouterId nb = topology_.neighbor(r.id(), out);
-            const std::uint32_t nb_port = reverse_port_[r.id()][out];
-            if (!routers[nb].can_accept(nb_port,
-                                        staged_count[nb][nb_port])) {
-              continue;  // backpressure: try another input for this output
+
+            // Multi-destination flit: partition the remaining dests against
+            // this output port — local ejections when out is the local
+            // port, otherwise remote dests routed through out.  Multicast
+            // always takes each destination's first candidate, so the
+            // partition is a pure table scan.
+            match.clear();
+            keep.clear();
+            const TileId* dests = arena.data() + head.dest_begin;
+            for (std::uint32_t d = 0; d < head.dest_count; ++d) {
+              const TileId dest = dests[d];
+              const RouterId dst_router = tile_router_[dest];
+              const bool served = dst_router == r
+                                      ? local
+                                      : !local &&
+                                            route_row[dst_router].port[0] ==
+                                                out;
+              (served ? match : keep).push_back(dest);
             }
-            Flit copy = head;
-            copy.dests = subset;
-            staged.push_back({nb, nb_port, std::move(copy)});
-            ++staged_count[nb][nb_port];
-            ++in_flight;
-            ++stats.link_hops;
-            ++stats.router_traversals;
-            ++link_flits[(static_cast<std::uint64_t>(r.id()) << 32) | nb];
-            stats.global_energy_pj +=
-                config_.energy.link_hop_pj + config_.energy.router_flit_pj;
+            if (match.empty()) continue;
+
+            if (local) {
+              // Deliver every destination attached here (one tile per
+              // router).
+              for (const TileId dest : match) deliver(dest);
+              charge_ejection();
+              arena_live -= match.size();
+            } else {
+              Flit copy = head;
+              if (keep.empty()) {
+                // Whole set forwards through one port: transfer the range.
+              } else {
+                copy.dest_begin = static_cast<std::uint32_t>(arena.size());
+                copy.dest_count = static_cast<std::uint32_t>(match.size());
+                arena.insert(arena.end(), match.begin(), match.end());
+              }
+              forward(copy);
+            }
+            // Served destinations leave the head flit (order preserved);
+            // it pops once empty.
+            if (!keep.empty()) {
+              std::copy(keep.begin(), keep.end(),
+                        arena.begin() + head.dest_begin);
+            }
+            head.dest_count = static_cast<std::uint32_t>(keep.size());
+            router.advance_rr(out);
+            break;  // this output port is used for this cycle
           }
-          // Served destinations leave the head flit; it pops once empty.
-          for (const TileId dest : subset) {
-            head.dests.erase(
-                std::find(head.dests.begin(), head.dests.end(), dest));
-          }
-          r.advance_rr(out);
-          break;  // this output port is used for this cycle
         }
-      }
-      // Pop head flits whose destinations have all been served.
-      for (std::uint32_t in = 0; in < r.input_count(); ++in) {
-        auto& queue = r.in_queue(in);
-        if (!queue.empty() && queue.front().dests.empty()) {
-          queue.pop_front();
-          --in_flight;
+        // Pop head flits whose destinations have all been served, and
+        // retire fully drained routers from the worklist.
+        std::uint64_t occupied = router.occupied_mask();
+        while (occupied != 0) {
+          const auto in =
+              static_cast<std::uint32_t>(std::countr_zero(occupied));
+          occupied &= occupied - 1;
+          if (router.head(in).dest_count == 0) {
+            router.pop(in);
+            --in_flight;
+          }
+        }
+        if (router.all_queues_empty()) {
+          active[w] &= ~(1ULL << (r & 63));
         }
       }
     }
 
     // ---- 3. Commit staged inter-router moves.
-    for (auto& move : staged) {
-      routers[move.to_router].in_queue(move.to_port).push_back(
-          std::move(move.flit));
+    for (const StagedMove& move : staged) {
+      routers[move.to_router].push(move.to_port, move.flit);
+      mark_active(move.to_router);
     }
 
     ++now;
   }
 
   stats.duration_cycles = now;
-  stats.link_flits.assign(link_flits.begin(), link_flits.end());
-  result.snn = compute_snn_metrics(result.delivered);
+  stats.link_flits.clear();
+  for (RouterId r = 0; r < n; ++r) {
+    for (std::uint32_t o = 0; o < topology_.port_count(r); ++o) {
+      const std::uint64_t flits = link_flits[port_base_[r] + o];
+      if (flits == 0) continue;
+      stats.link_flits.emplace_back(
+          (static_cast<std::uint64_t>(r) << 32) | neighbor_[port_base_[r] + o],
+          flits);
+    }
+  }
+  std::sort(stats.link_flits.begin(), stats.link_flits.end());
+  if (config_.collect_delivered) {
+    result.snn = compute_snn_metrics(result.delivered);
+  }
   return result;
 }
 

@@ -7,6 +7,14 @@
 // round-robin arbitration, and produces the conventional metrics
 // (latency / energy / throughput) plus the delivery log from which the
 // SNN-specific metrics (disorder, ISI distortion) are computed.
+//
+// The hot path is flat-array and worklist-driven (see README "NoC simulator
+// architecture"): routing decisions are O(1) loads from Topology's packed
+// route table, multicast destination sets live in a pooled arena so forking
+// a subset at a router is a partition instead of an allocate-copy-erase, and
+// only routers with buffered flits are visited each cycle.  The cycle-level
+// semantics are bit-identical to the original per-router scan engine
+// (pinned by tests/noc/golden_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -51,16 +59,26 @@ struct NocConfig {
   /// Safety bound; the run reports drained=false if traffic does not
   /// complete within this many cycles.
   std::uint64_t max_cycles = 20'000'000;
+  /// Streaming-stats mode: when false, the run aggregates NocStats online
+  /// but does not materialize a DeliveredSpike per delivered copy (and the
+  /// log-derived SnnMetrics stay zero).  Use for large traces where only
+  /// the conventional metrics matter.
+  bool collect_delivered = true;
 };
 
 struct NocRunResult {
   NocStats stats;
+  /// Zero when the run used collect_delivered = false.
   SnnMetrics snn;
+  /// Empty when the run used collect_delivered = false.
   std::vector<DeliveredSpike> delivered;
 };
 
 class NocSimulator {
  public:
+  /// Throws std::invalid_argument on degenerate configs (buffer_depth == 0
+  /// would deadlock every inter-router FIFO; max_cycles == 0 could never
+  /// simulate a cycle).
   NocSimulator(Topology topology, NocConfig config);
 
   /// Simulates the trace to completion (or max_cycles).  The trace is sorted
@@ -72,24 +90,15 @@ class NocSimulator {
   const NocConfig& config() const noexcept { return config_; }
 
  private:
-  struct StagedMove {
-    RouterId to_router;
-    std::uint32_t to_port;
-    Flit flit;
-  };
-
-  /// Destinations of `flit` assigned to `out_port` this cycle: local
-  /// ejections when out_port is the local port, otherwise remote dests whose
-  /// chosen next hop (deterministic first candidate, or the selection
-  /// strategy's pick for single-destination flits) is out_port.
-  std::vector<TileId> dests_via_port(
-      const Router& r, const Flit& flit, std::uint32_t out_port,
-      const std::vector<std::vector<std::size_t>>& staged_count,
-      const std::vector<Router>& routers) const;
-
   Topology topology_;
   NocConfig config_;
-  std::vector<std::vector<std::uint32_t>> reverse_port_;  // [r][out] -> in at nb
+  // Flat per-port geometry, hoisted out of the cycle loop: global port index
+  // port_base_[r] + p addresses (router r, inter-router port p) in
+  // neighbor_/reverse_port_ and in the per-cycle staged/link counters.
+  std::vector<std::uint32_t> port_base_;     // prefix sums; size n + 1
+  std::vector<RouterId> neighbor_;           // neighbor router per port
+  std::vector<std::uint32_t> reverse_port_;  // input port at that neighbor
+  std::vector<RouterId> tile_router_;        // tile -> attached router
 };
 
 }  // namespace snnmap::noc

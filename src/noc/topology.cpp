@@ -1,5 +1,6 @@
 #include "noc/topology.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 
@@ -27,7 +28,9 @@ void Topology::set_mesh_routing(MeshRouting routing) {
   if (kind_ != hw::InterconnectKind::kMesh) {
     throw std::logic_error("Topology: routing algorithms apply to mesh only");
   }
+  if (routing == routing_) return;
   routing_ = routing;
+  build_tables();  // candidate sets depend on the routing algorithm
 }
 
 void Topology::check_router(RouterId router) const {
@@ -82,6 +85,17 @@ std::uint32_t Topology::route_candidates(RouterId router, RouterId dst,
     out[0] = kLocalPort;
     return 1;
   }
+  if (!route_table_.empty()) {
+    const RouteEntry& e =
+        route_table_[static_cast<std::size_t>(router) * router_count() + dst];
+    for (std::uint32_t k = 0; k < e.count; ++k) out[k] = e.port[k];
+    return e.count;
+  }
+  return compute_candidates(router, dst, out);
+}
+
+std::uint32_t Topology::compute_candidates(RouterId router, RouterId dst,
+                                           PortId out[3]) const {
   if (kind_ != hw::InterconnectKind::kMesh) {
     out[0] = route_[static_cast<std::size_t>(router) * router_count() + dst];
     return 1;
@@ -145,18 +159,75 @@ std::uint32_t Topology::route_candidates(RouterId router, RouterId dst,
 }
 
 std::uint32_t Topology::hop_distance(TileId a, TileId b) const {
-  RouterId r = router_of_tile(a);
+  const RouterId r = router_of_tile(a);
   const RouterId dst = router_of_tile(b);
-  std::uint32_t hops = 0;
-  while (r != dst) {
-    const PortId p = next_port(r, dst);
-    r = neighbors_[r][p];
-    ++hops;
-    if (hops > router_count() + 1) {
-      throw std::logic_error("Topology: routing loop detected");
-    }
+  // All routing algorithms are minimal (every candidate strictly decreases
+  // distance), so the walked path length equals the precomputed distance.
+  const std::uint32_t hops =
+      dist_[static_cast<std::size_t>(r) * router_count() + dst];
+  if (hops == static_cast<std::uint32_t>(-1)) {
+    throw std::logic_error("Topology: destination unreachable");
   }
   return hops;
+}
+
+void Topology::build_tables() {
+  const std::uint32_t n = router_count();
+  // Hop distances: BFS from every destination (neighbors in port order).
+  dist_.assign(static_cast<std::size_t>(n) * n,
+               static_cast<std::uint32_t>(-1));
+  std::deque<RouterId> queue;
+  for (RouterId dst = 0; dst < n; ++dst) {
+    std::uint32_t* row = dist_.data() + static_cast<std::size_t>(dst) * n;
+    row[dst] = 0;
+    queue.assign(1, dst);
+    while (!queue.empty()) {
+      const RouterId cur = queue.front();
+      queue.pop_front();
+      for (const RouterId nb : neighbors_[cur]) {
+        if (row[nb] != static_cast<std::uint32_t>(-1)) continue;
+        row[nb] = row[cur] + 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+  // dist_ is destination-major after the BFS above; transpose to
+  // router-major (dist is symmetric on these undirected topologies, but
+  // transpose anyway so the layout is correct by construction).
+  for (RouterId r = 0; r < n; ++r) {
+    for (RouterId dst = r + 1; dst < n; ++dst) {
+      std::swap(dist_[static_cast<std::size_t>(r) * n + dst],
+                dist_[static_cast<std::size_t>(dst) * n + r]);
+    }
+  }
+
+  // Packed candidate table; skipped (callers fall back to
+  // compute_candidates) if ports would not fit the uint8 encoding.
+  std::uint32_t max_ports = 0;
+  for (const auto& nb : neighbors_) {
+    max_ports = std::max(max_ports, static_cast<std::uint32_t>(nb.size()));
+  }
+  if (max_ports >= kTableLocal) {
+    route_table_.clear();
+    return;
+  }
+  route_table_.assign(static_cast<std::size_t>(n) * n, RouteEntry{});
+  for (RouterId r = 0; r < n; ++r) {
+    for (RouterId dst = 0; dst < n; ++dst) {
+      RouteEntry& e = route_table_[static_cast<std::size_t>(r) * n + dst];
+      if (r == dst) {
+        e.count = 1;
+        e.port[0] = kTableLocal;
+        continue;
+      }
+      PortId candidates[3];
+      const std::uint32_t count = compute_candidates(r, dst, candidates);
+      e.count = static_cast<std::uint8_t>(count);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        e.port[k] = static_cast<std::uint8_t>(candidates[k]);
+      }
+    }
+  }
 }
 
 Topology Topology::mesh(std::uint32_t width, std::uint32_t height) {
@@ -186,7 +257,7 @@ Topology Topology::mesh(std::uint32_t width, std::uint32_t height) {
     t.router_tile_[i] = i;
   }
   t.link_count_ = (width - 1) * height + width * (height - 1);
-  // Mesh routes analytically via XY; no table needed.
+  t.build_tables();
   return t;
 }
 
@@ -220,6 +291,7 @@ Topology Topology::tree(std::uint32_t tiles, std::uint32_t arity) {
     level = std::move(parents);
   }
   t.build_routes();
+  t.build_tables();
   return t;
 }
 
@@ -240,6 +312,7 @@ Topology Topology::ring(std::uint32_t tiles) {
   }
   t.link_count_ = tiles > 2 ? tiles : (tiles == 2 ? 1 : 0);
   t.build_routes();
+  t.build_tables();
   return t;
 }
 

@@ -82,6 +82,31 @@ class Topology {
   std::uint32_t route_candidates(RouterId router, RouterId dst,
                                  PortId out[3]) const;
 
+  /// Packed per-(router, dst) routing-table entry: the same candidates
+  /// route_candidates() returns, precomputed as O(1) array loads for the
+  /// simulator's cycle loop.  Ports are uint8; an entry for router == dst
+  /// has count 1 and port[0] == kTableLocal.
+  struct RouteEntry {
+    std::uint8_t count = 0;
+    std::uint8_t port[3] = {0, 0, 0};
+  };
+  /// Sentinel port value inside RouteEntry marking local delivery.
+  static constexpr std::uint8_t kTableLocal = 0xFF;
+
+  /// Flat router-major routing table, entry `router * router_count() + dst`.
+  /// Empty only when some router has >= 255 ports (packed ports would not
+  /// fit); callers must then fall back to route_candidates().
+  const std::vector<RouteEntry>& route_table() const noexcept {
+    return route_table_;
+  }
+
+  /// Flat router-major hop-distance table (router * router_count() + dst).
+  /// All routing algorithms are minimal, so this equals the routed path
+  /// length next_port() would walk.
+  const std::vector<std::uint32_t>& distance_table() const noexcept {
+    return dist_;
+  }
+
   /// Mesh only; throws std::logic_error on other topologies.
   void set_mesh_routing(MeshRouting routing);
   MeshRouting mesh_routing() const noexcept { return routing_; }
@@ -95,6 +120,12 @@ class Topology {
  private:
   Topology() = default;
   void build_routes();  // BFS-based next-hop tables (tree/ring)
+  /// Fills route_table_ and dist_ from compute_candidates() / BFS.
+  void build_tables();
+  /// The analytic (mesh) or BFS-table (tree/ring) candidate computation
+  /// backing both build_tables() and the unpacked fallback path.
+  std::uint32_t compute_candidates(RouterId router, RouterId dst,
+                                   PortId out[3]) const;
   void check_router(RouterId router) const;
 
   hw::InterconnectKind kind_ = hw::InterconnectKind::kMesh;
@@ -107,6 +138,8 @@ class Topology {
   std::vector<TileId> router_tile_;     // router -> tile or kNoRouter
   // Routing table: route_[r * router_count + dst] = port (kLocalPort if r==dst).
   std::vector<PortId> route_;
+  std::vector<RouteEntry> route_table_;  // packed candidates, router-major
+  std::vector<std::uint32_t> dist_;      // hop distances, router-major
   std::uint32_t link_count_ = 0;
 };
 

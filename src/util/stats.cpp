@@ -7,16 +7,6 @@
 
 namespace snnmap::util {
 
-void Accumulator::add(double x) noexcept {
-  ++n_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void Accumulator::merge(const Accumulator& other) noexcept {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -14,7 +14,16 @@ namespace snnmap::util {
 /// Safe to merge; numerically stable for long runs.
 class Accumulator {
  public:
-  void add(double x) noexcept;
+  /// Inline: called once per delivered packet copy in the NoC cycle loop.
+  void add(double x) noexcept {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
   void merge(const Accumulator& other) noexcept;
 
   std::size_t count() const noexcept { return n_; }

@@ -26,6 +26,7 @@ TEST(ConfigIo, ParsesFullDocument) {
       "noc:\n"
       "  buffer_depth: 2\n"
       "  multicast: false\n"
+      "  collect_delivered: false\n"
       "energy:\n"
       "  link_hop_pj: 42.0\n"
       "pso:\n"
@@ -44,6 +45,7 @@ TEST(ConfigIo, ParsesFullDocument) {
   EXPECT_EQ(flow.arch.cycles_per_ms, 250u);
   EXPECT_EQ(flow.noc.buffer_depth, 2u);
   EXPECT_FALSE(flow.noc.multicast);
+  EXPECT_FALSE(flow.noc.collect_delivered);
   EXPECT_EQ(flow.energy.link_hop_pj, 42.0);
   EXPECT_EQ(flow.noc.energy.link_hop_pj, 42.0);  // shared with the NoC
   EXPECT_EQ(flow.pso.swarm_size, 77u);

@@ -171,12 +171,98 @@ TEST(NocSimulator, RejectsEmptyDestinations) {
   EXPECT_THROW(sim.run({event(0, 1, 0, {})}), std::invalid_argument);
 }
 
+TEST(NocSimulator, RejectsZeroBufferDepth) {
+  NocConfig config;
+  config.buffer_depth = 0;
+  EXPECT_THROW(NocSimulator(Topology::mesh(2, 2), config),
+               std::invalid_argument);
+}
+
+TEST(NocSimulator, RejectsZeroMaxCycles) {
+  NocConfig config;
+  config.max_cycles = 0;
+  EXPECT_THROW(NocSimulator(Topology::mesh(2, 2), config),
+               std::invalid_argument);
+}
+
 TEST(NocSimulator, MaxCyclesGuardReportsNotDrained) {
   NocConfig config;
   config.max_cycles = 2;  // far too few for a cross-mesh packet
   NocSimulator sim(Topology::mesh(4, 4), config);
   const auto result = sim.run({event(0, 1, 0, {15})});
   EXPECT_FALSE(result.stats.drained);
+  // The truncated run still reports consistent partial statistics.
+  EXPECT_EQ(result.stats.duration_cycles, 2u);
+  EXPECT_EQ(result.stats.packets_injected, 1u);
+  EXPECT_EQ(result.stats.copies_delivered, 0u);
+  EXPECT_EQ(result.delivered.size(), 0u);
+}
+
+TEST(NocSimulator, NotDrainedUnderSustainedOverloadKeepsPartialLog) {
+  // Every tile floods tile 0 faster than one ejection/cycle can drain.
+  std::vector<SpikePacketEvent> traffic;
+  for (int i = 0; i < 500; ++i) {
+    traffic.push_back(event(static_cast<std::uint64_t>(i / 8),
+                            static_cast<std::uint32_t>(i),
+                            static_cast<TileId>(1 + i % 8), {0}));
+  }
+  NocConfig config;
+  config.max_cycles = 30;
+  config.buffer_depth = 1;
+  NocSimulator sim(Topology::mesh(3, 3), config);
+  const auto result = sim.run(traffic);
+  EXPECT_FALSE(result.stats.drained);
+  EXPECT_EQ(result.stats.duration_cycles, 30u);
+  // Some copies made it; each is logged exactly once.
+  EXPECT_GT(result.stats.copies_delivered, 0u);
+  EXPECT_LT(result.stats.copies_delivered, traffic.size());
+  EXPECT_EQ(result.delivered.size(), result.stats.copies_delivered);
+  // Drained state never reports more deliveries than injections.
+  EXPECT_LE(result.stats.copies_delivered, result.stats.flits_injected);
+}
+
+TEST(NocSimulator, StreamingStatsModeMatchesAggregates) {
+  const auto traffic = [] {
+    std::vector<SpikePacketEvent> t;
+    for (int i = 0; i < 300; ++i) {
+      t.push_back(event(static_cast<std::uint64_t>(i / 3),
+                        static_cast<std::uint32_t>(i % 32),
+                        static_cast<TileId>(i % 9),
+                        {static_cast<TileId>((i + 4) % 9),
+                         static_cast<TileId>((i + 7) % 9)}));
+    }
+    return t;
+  };
+  NocSimulator full(Topology::mesh(3, 3), NocConfig{});
+  const auto with_log = full.run(traffic());
+
+  NocConfig streaming_config;
+  streaming_config.collect_delivered = false;
+  NocSimulator streaming(Topology::mesh(3, 3), streaming_config);
+  const auto stats_only = streaming.run(traffic());
+
+  // No per-copy log materialized, but every aggregate is identical.
+  EXPECT_TRUE(stats_only.delivered.empty());
+  EXPECT_FALSE(with_log.delivered.empty());
+  EXPECT_EQ(stats_only.stats.packets_injected,
+            with_log.stats.packets_injected);
+  EXPECT_EQ(stats_only.stats.flits_injected, with_log.stats.flits_injected);
+  EXPECT_EQ(stats_only.stats.copies_delivered,
+            with_log.stats.copies_delivered);
+  EXPECT_EQ(stats_only.stats.link_hops, with_log.stats.link_hops);
+  EXPECT_EQ(stats_only.stats.router_traversals,
+            with_log.stats.router_traversals);
+  EXPECT_EQ(stats_only.stats.duration_cycles, with_log.stats.duration_cycles);
+  EXPECT_EQ(stats_only.stats.max_latency_cycles,
+            with_log.stats.max_latency_cycles);
+  EXPECT_DOUBLE_EQ(stats_only.stats.global_energy_pj,
+                   with_log.stats.global_energy_pj);
+  EXPECT_DOUBLE_EQ(stats_only.stats.latency_cycles.mean(),
+                   with_log.stats.latency_cycles.mean());
+  EXPECT_EQ(stats_only.stats.link_flits, with_log.stats.link_flits);
+  // The log-derived SNN metrics stay zeroed in streaming mode.
+  EXPECT_EQ(stats_only.snn.delivered_spikes, 0u);
+  EXPECT_EQ(stats_only.snn.isi_pairs, 0u);
 }
 
 TEST(NocSimulator, IdleGapsAreFastForwarded) {
