@@ -1,34 +1,52 @@
 #!/usr/bin/env bash
-# NoC simulator perf tracking: runs the BM_NocSimulator suite (Release) and
-# writes BENCH_noc.json at the repo root so the simulated-packets/sec and
-# simulated-cycles/sec trajectory is recorded PR over PR.
+# Simulator perf tracking: runs the BM_NocSimulator and BM_SnnSimulator
+# suites (Release) and writes BENCH_noc.json / BENCH_snn.json at the repo
+# root so the simulated-packets/sec and simulated-ms/sec trajectories are
+# recorded PR over PR.
 #
 #   scripts/bench.sh [extra google-benchmark flags...]
 #
-# Requires Google Benchmark (the noc_sim_benchmarks target is skipped with a
-# notice when the library is absent).
+# Requires Google Benchmark (the script aborts with a notice when the
+# library is absent and the *_sim_benchmarks targets were not generated).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-release}
 JOBS=${JOBS:-$(nproc)}
-OUT=${OUT:-BENCH_noc.json}
+NOC_OUT=${NOC_OUT:-BENCH_noc.json}
+SNN_OUT=${SNN_OUT:-BENCH_snn.json}
 
-cmake -B "$BUILD_DIR" -S . \
+configure_log=$(cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DSNNMAP_BUILD_TESTS=OFF \
-  -DSNNMAP_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$JOBS" --target noc_sim_benchmarks
-
-if [[ ! -x "$BUILD_DIR/bench/noc_sim_benchmarks" ]]; then
-  echo "noc_sim_benchmarks was not built (Google Benchmark missing?)" >&2
+  -DSNNMAP_BUILD_EXAMPLES=OFF 2>&1) \
+  || { printf '%s\n' "$configure_log" >&2; exit 1; }
+printf '%s\n' "$configure_log"
+# bench/CMakeLists.txt prints this notice and skips the benchmark targets;
+# abort up front so the build step below only ever fails on real compile
+# errors (never on 'unknown target', never falling back to stale binaries).
+if grep -q "Google Benchmark not found" <<<"$configure_log"; then
+  echo "benchmark targets not generated (Google Benchmark missing?)" >&2
   exit 1
 fi
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target noc_sim_benchmarks --target snn_sim_benchmarks
 
-"$BUILD_DIR/bench/noc_sim_benchmarks" \
-  --benchmark_min_time=2 \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  "$@"
+run_suite() {
+  local binary=$1
+  local out=$2
+  shift 2
+  if [[ ! -x "$BUILD_DIR/bench/$binary" ]]; then
+    echo "$binary was not built (Google Benchmark missing?)" >&2
+    exit 1
+  fi
+  "$BUILD_DIR/bench/$binary" \
+    --benchmark_min_time=2 \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    "$@"
+  echo "wrote $out"
+}
 
-echo "wrote $OUT"
+run_suite noc_sim_benchmarks "$NOC_OUT" "$@"
+run_suite snn_sim_benchmarks "$SNN_OUT" "$@"

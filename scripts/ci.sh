@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verify, two legs:
-#   1. Debug   — assertions and debug-only checks live, warnings-as-errors.
-#   2. Release — -O3 -DNDEBUG, the configuration the benchmarks and the
-#                perf acceptance numbers (scripts/bench.sh) are measured in.
-# Both legs run the full CTest suite, so optimization-dependent breakage
-# (UB, fragile float expectations) surfaces here and not in a profile run.
+# Tier-1 verify, three legs:
+#   1. Debug     — assertions and debug-only checks live, warnings-as-errors.
+#   2. Release   — -O3 -DNDEBUG, the configuration the benchmarks and the
+#                  perf acceptance numbers (scripts/bench.sh) are measured in.
+#   3. Sanitize  — Debug + AddressSanitizer + UndefinedBehaviorSanitizer
+#                  (-fno-sanitize-recover, so any finding fails the leg).
+# All legs run the full CTest suite, so optimization-dependent breakage
+# (UB, fragile float expectations) and memory errors surface here and not
+# in a profile run.  Set SKIP_SANITIZE=1 to drop leg 3 (e.g. on toolchains
+# without libasan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,13 +17,19 @@ JOBS=${JOBS:-$(nproc)}
 run_leg() {
   local build_type=$1
   local build_dir=$2
-  echo "=== ci leg: ${build_type} (${build_dir}) ==="
+  shift 2
+  echo "=== ci leg: ${build_type} (${build_dir}) $* ==="
   cmake -B "$build_dir" -S . \
     -DCMAKE_BUILD_TYPE="$build_type" \
-    -DSNNMAP_WERROR=ON
+    -DSNNMAP_WERROR=ON \
+    "$@"
   cmake --build "$build_dir" -j "$JOBS"
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
 run_leg Debug "${DEBUG_BUILD_DIR:-build-debug}"
 run_leg Release "${BUILD_DIR:-build}"
+if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
+  run_leg Debug "${SANITIZE_BUILD_DIR:-build-asan}" \
+    -DSNNMAP_SANITIZE=address,undefined
+fi

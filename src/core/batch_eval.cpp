@@ -55,4 +55,34 @@ std::vector<noc::NocRunResult> BatchNocEvaluator::run_all(
   return results;
 }
 
+BatchSnnEvaluator::BatchSnnEvaluator(std::uint32_t threads)
+    : pool_(threads) {}
+
+std::vector<SnnRunResult> BatchSnnEvaluator::run_all(
+    const std::vector<SnnScenario>& scenarios) {
+  std::vector<SnnRunResult> results(scenarios.size());
+  pool_.parallel_for(scenarios.size(), [&](std::uint32_t, std::size_t i) {
+    snn::Network net = scenarios[i].build();
+    snn::Simulator sim(net, scenarios[i].config);
+    results[i].result = sim.run();
+    results[i].final_weights.reserve(net.synapses().size());
+    for (const snn::Synapse& s : net.synapses()) {
+      results[i].final_weights.push_back(s.weight);
+    }
+  });
+  return results;
+}
+
+std::vector<SnnRunResult> BatchSnnEvaluator::run_seeds(
+    std::function<snn::Network()> build, snn::SimulationConfig config,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<SnnScenario> scenarios;
+  scenarios.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    config.seed = seed;
+    scenarios.push_back({build, config});
+  }
+  return run_all(scenarios);
+}
+
 }  // namespace snnmap::core

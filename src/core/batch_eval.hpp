@@ -15,6 +15,14 @@
 // (topology, config, traffic) scenarios, each of which is single-threaded
 // and deterministic, so they spread across the pool with results landing in
 // slots indexed by scenario.
+//
+// BatchSnnEvaluator closes the loop at the front of the mapping flow: the
+// spike trains that annotate the synapse graph come from stochastic
+// Poisson-driven simulations, so trustworthy spike statistics need many
+// seeds, not a single-seed point estimate.  Each scenario builds its own
+// Network (STDP mutates weights in place, so instances cannot be shared)
+// and simulates it with its own seeded Rng; results are slot-indexed and
+// bit-identical to serial execution.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,7 @@
 #include "core/partition.hpp"
 #include "noc/simulator.hpp"
 #include "snn/graph.hpp"
+#include "snn/simulator.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snnmap::core {
@@ -90,6 +99,47 @@ class BatchNocEvaluator {
   /// Simulates every scenario; results[i] corresponds to scenarios[i].
   /// Scenario traffic is consumed (moved into the simulators).
   std::vector<noc::NocRunResult> run_all(std::vector<NocScenario> scenarios);
+
+ private:
+  util::ThreadPool pool_;
+};
+
+/// One independent SNN simulation of a batch.  `build` returns a fresh
+/// Network per run (called once, on the worker that simulates the scenario);
+/// it must be deterministic and safe to invoke concurrently with the other
+/// scenarios' builders.
+struct SnnScenario {
+  std::function<snn::Network()> build;
+  snn::SimulationConfig config;
+};
+
+/// Everything one scenario run produces: the spike trains plus the final
+/// synapse weights (the STDP-visible state the trains alone don't expose).
+struct SnnRunResult {
+  snn::SimulationResult result;
+  std::vector<float> final_weights;  ///< synapse order of the built Network
+};
+
+/// Fans independent SNN scenario simulations across a ThreadPool.  Every
+/// scenario is simulated exactly as a standalone Simulator::run would
+/// (results are slot-indexed and bit-identical to serial execution,
+/// independent of submission order); threads = 1 runs inline on the calling
+/// thread.
+class BatchSnnEvaluator {
+ public:
+  /// threads = 0 resolves to hardware_concurrency().
+  explicit BatchSnnEvaluator(std::uint32_t threads = 0);
+
+  std::uint32_t thread_count() const noexcept { return pool_.size(); }
+
+  /// Simulates every scenario; results[i] corresponds to scenarios[i].
+  std::vector<SnnRunResult> run_all(const std::vector<SnnScenario>& scenarios);
+
+  /// Multi-seed sweep convenience: one run of `build` per seed under the
+  /// same config; results[i] corresponds to seeds[i].
+  std::vector<SnnRunResult> run_seeds(std::function<snn::Network()> build,
+                                      snn::SimulationConfig config,
+                                      const std::vector<std::uint64_t>& seeds);
 
  private:
   util::ThreadPool pool_;

@@ -183,6 +183,7 @@ void Network::add_synapse(NeuronId pre, NeuronId post, double weight,
   s.delay_steps = delay_steps;
   s.plastic = plastic;
   synapses_.push_back(s);
+  if (delay_steps > max_delay_steps_) max_delay_steps_ = delay_steps;
   invalidate_index();
 }
 
@@ -206,14 +207,6 @@ Network::GroupId Network::find_group(const std::string& name) const noexcept {
     if (groups_[g].name == name) return g;
   }
   return kNoGroup;
-}
-
-std::uint16_t Network::max_delay_steps() const noexcept {
-  std::uint16_t max_delay = 1;
-  for (const auto& s : synapses_) {
-    if (s.delay_steps > max_delay) max_delay = s.delay_steps;
-  }
-  return max_delay;
 }
 
 void Network::build_index() const {

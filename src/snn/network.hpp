@@ -123,6 +123,10 @@ class Network {
   const Group& group(GroupId g) const { return groups_.at(g); }
   const std::vector<Group>& groups() const noexcept { return groups_; }
   const std::vector<Synapse>& synapses() const noexcept { return synapses_; }
+  /// Mutable access for STDP write-back and experiment-time edits
+  /// (lesioning, reweighting).  A Simulator snapshots synapses at
+  /// construction, so edits made here are only picked up by Simulators
+  /// built afterwards.
   std::vector<Synapse>& mutable_synapses() noexcept { return synapses_; }
 
   /// Group owning a neuron id (linear in group count; groups are few).
@@ -133,7 +137,8 @@ class Network {
   GroupId find_group(const std::string& name) const noexcept;
 
   /// Maximum axonal delay over all synapses (>= 1 even when empty).
-  std::uint16_t max_delay_steps() const noexcept;
+  /// Maintained incrementally by add_synapse, so this is O(1).
+  std::uint16_t max_delay_steps() const noexcept { return max_delay_steps_; }
 
   /// CSR-style fan-out index: synapse indices ordered by pre neuron.
   /// Built lazily; invalidated by any further synapse addition.
@@ -149,6 +154,7 @@ class Network {
   std::vector<Group> groups_;
   std::vector<Synapse> synapses_;
   NeuronId next_id_ = 0;
+  std::uint16_t max_delay_steps_ = 1;
 
   mutable bool index_built_ = false;
   mutable std::vector<std::uint32_t> fanout_offsets_;

@@ -60,12 +60,51 @@ struct NeuronState {
 NeuronState initial_state(NeuronModel model, const LifParams& lif,
                           const IzhikevichParams& izh) noexcept;
 
+// The two step functions are defined inline: the simulator calls them once
+// per neuron per step inside its per-group hot loops, and a cross-TU call
+// would dominate the ~20 flops of actual integration.
+
 /// Advances a LIF neuron by dt_ms under input current; returns true on spike.
-bool step_lif(NeuronState& state, const LifParams& p, double input,
-              double now_ms, double dt_ms) noexcept;
+inline bool step_lif(NeuronState& state, const LifParams& p, double input,
+                     double now_ms, double dt_ms) noexcept {
+  if (now_ms < state.refractory_until_ms) {
+    state.v = p.v_reset;
+    return false;
+  }
+  // Exponential-Euler style update: dv = (-(v - v_rest) + R*I) / tau * dt.
+  const double dv =
+      (-(state.v - p.v_rest) + p.r_m * input) / p.tau_m_ms * dt_ms;
+  state.v += dv;
+  if (state.v >= p.v_thresh) {
+    state.v = p.v_reset;
+    state.refractory_until_ms = now_ms + p.refractory_ms;
+    return true;
+  }
+  return false;
+}
 
 /// Advances an Izhikevich neuron by dt_ms; returns true on spike.
-bool step_izhikevich(NeuronState& state, const IzhikevichParams& p,
-                     double input, double dt_ms) noexcept;
+inline bool step_izhikevich(NeuronState& state, const IzhikevichParams& p,
+                            double input, double dt_ms) noexcept {
+  // Two half-steps for v (as in Izhikevich 2003 / CARLsim) keep the quadratic
+  // term stable at dt = 1 ms.
+  const int substeps = 2;
+  const double h = dt_ms / substeps;
+  bool spiked = false;
+  for (int i = 0; i < substeps; ++i) {
+    state.v += h * (0.04 * state.v * state.v + 5.0 * state.v + 140.0 -
+                    state.u + input);
+    if (state.v >= 30.0) {
+      state.v = p.c;
+      state.u += p.d;
+      spiked = true;
+    }
+  }
+  state.u += dt_ms * p.a * (p.b * state.v - state.u);
+  // Clamp against numerical blow-up under extreme inputs; keeps the
+  // simulator total even when a workload drives neurons unphysically hard.
+  state.v = state.v < -120.0 ? -120.0 : (state.v > 40.0 ? 40.0 : state.v);
+  return spiked;
+}
 
 }  // namespace snnmap::snn

@@ -17,7 +17,7 @@ SpikeTrain generate_poisson_train(double rate_hz, TimeMs duration_ms,
 
 bool poisson_step_spike(double rate_hz, double dt_ms, util::Rng& rng) {
   if (rate_hz <= 0.0) return false;
-  return rng.chance(rate_hz / 1000.0 * dt_ms);
+  return rng.chance(poisson_step_probability(rate_hz, dt_ms));
 }
 
 }  // namespace snnmap::snn

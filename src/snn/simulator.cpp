@@ -1,7 +1,9 @@
 #include "snn/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "snn/poisson.hpp"
 
@@ -15,46 +17,122 @@ double SimulationResult::mean_rate_hz() const noexcept {
 
 Simulator::Simulator(Network& network, SimulationConfig config)
     : network_(network), config_(config), rng_(config.seed) {
-  if (config_.dt_ms <= 0.0) {
-    throw std::invalid_argument("Simulator: dt must be > 0");
+  // !(x > 0) instead of x <= 0 so NaN is rejected too.
+  if (!(config_.dt_ms > 0.0) || !std::isfinite(config_.dt_ms)) {
+    throw std::invalid_argument("Simulator: dt must be a finite value > 0 (got " +
+                                std::to_string(config_.dt_ms) + ")");
+  }
+  if (!(config_.duration_ms >= 0.0) || !std::isfinite(config_.duration_ms)) {
+    throw std::invalid_argument(
+        "Simulator: duration_ms must be finite and >= 0 (got " +
+        std::to_string(config_.duration_ms) + ")");
   }
   const std::uint32_t n = network_.neuron_count();
+  neuron_count_ = n;
   states_.resize(n);
-  model_of_.resize(n);
-  group_of_.resize(n);
+  group_runs_.reserve(network_.group_count());
   for (std::size_t g = 0; g < network_.group_count(); ++g) {
     const Group& grp = network_.group(g);
+    GroupRun run;
+    run.first = grp.first;
+    run.last = grp.last();
+    run.model = grp.model;
+    run.lif = grp.lif;
+    run.izh = grp.izh;
+    run.step_spike_prob =
+        poisson_step_probability(grp.poisson_rate_hz, config_.dt_ms);
+    run.rate_fn = grp.rate_fn;
+    group_runs_.push_back(std::move(run));
     for (NeuronId id = grp.first; id < grp.last(); ++id) {
-      model_of_[id] = grp.model;
-      group_of_[id] = static_cast<std::uint32_t>(g);
       states_[id] = initial_state(grp.model, grp.lif, grp.izh);
     }
   }
-  const std::size_t ring = static_cast<std::size_t>(network_.max_delay_steps()) + 1;
-  pending_.assign(ring, std::vector<double>(n, 0.0));
+
+  // Packed fan-out CSR: one contiguous (post, weight, delay, plastic) record
+  // per synapse in the Network's fan-out order, replacing the
+  // fanout_synapses -> Synapse double indirection in the delivery loop.
+  const auto& offsets = network_.fanout_offsets();
+  const auto& order = network_.fanout_synapses();
+  const auto& synapses = network_.synapses();
+  csr_offsets_.assign(offsets.begin(), offsets.end());
+  csr_post_.resize(synapses.size());
+  csr_weight_.resize(synapses.size());
+  csr_delay_.resize(synapses.size());
+  csr_plastic_.resize(synapses.size());
+  csr_synapse_.assign(order.begin(), order.end());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const Synapse& s = synapses[order[k]];
+    csr_post_[k] = s.post;
+    csr_weight_[k] = s.weight;
+    csr_delay_[k] = s.delay_steps;
+    csr_plastic_[k] = s.plastic ? 1 : 0;
+  }
+  fan_kind_.assign(n, kGeneralFanout);
+  fan_delay_.assign(n, 1);
+  fan_has_plastic_.assign(n, 0);
+  for (NeuronId pre = 0; pre < n; ++pre) {
+    const std::uint32_t begin = csr_offsets_[pre];
+    const std::uint32_t end = csr_offsets_[pre + 1];
+    if (begin == end) continue;
+    bool uniform = true;
+    bool contiguous = true;
+    bool plastic = csr_plastic_[begin] != 0;
+    for (std::uint32_t k = begin + 1; k < end; ++k) {
+      uniform = uniform && csr_delay_[k] == csr_delay_[begin];
+      contiguous = contiguous && csr_post_[k] == csr_post_[k - 1] + 1;
+      plastic = plastic || csr_plastic_[k] != 0;
+    }
+    if (uniform) {
+      fan_kind_[pre] = contiguous ? kContiguousFanout : kUniformFanout;
+      fan_delay_[pre] = csr_delay_[begin];
+    }
+    fan_has_plastic_[pre] = plastic ? 1 : 0;
+  }
+
+  // Ring size from the delays actually present in the CSR, not the
+  // Network's incrementally-maintained max: a caller can legally raise a
+  // delay through mutable_synapses(), and an undersized ring would send the
+  // wrap arithmetic in deliver_spike out of bounds.  Delays lowered to 0
+  // the same way are rejected — a same-slot arrival would reach only the
+  // neurons not yet stepped this dt, an order-dependent half-delivery.
+  std::uint16_t max_delay = network_.max_delay_steps();
+  for (const std::uint16_t d : csr_delay_) {
+    if (d == 0) {
+      throw std::invalid_argument("Simulator: synaptic delay must be >= 1 step");
+    }
+    if (d > max_delay) max_delay = d;
+  }
+  ring_ = static_cast<std::size_t>(max_delay) + 1;
+  pending_.assign(ring_ * n, 0.0);
   external_.assign(n, 0.0);
   if (config_.syn_tau_ms > 0.0) {
     syn_current_.assign(n, 0.0);
     syn_decay_ = std::exp(-config_.dt_ms / config_.syn_tau_ms);
   }
-  spikes_.assign(n, {});
   last_spike_ms_.assign(n, -1.0);
 
-  // Fan-in index over plastic synapses only (for potentiation on post spike).
+  // Fan-in index over plastic synapses only (for potentiation on post
+  // spike), stored as (pre, fan-out slot) so STDP updates hit csr_weight_
+  // directly.  Built in synapse-index order per post neuron — the same
+  // iteration order as the pre-refactor engine.
   plastic_fanin_offsets_.assign(n + 1, 0);
-  const auto& synapses = network_.synapses();
   for (const auto& s : synapses) {
     if (s.plastic) ++plastic_fanin_offsets_[s.post + 1];
   }
   for (std::size_t i = 1; i < plastic_fanin_offsets_.size(); ++i) {
     plastic_fanin_offsets_[i] += plastic_fanin_offsets_[i - 1];
   }
-  plastic_fanin_synapses_.resize(plastic_fanin_offsets_.back());
+  plastic_fanin_pre_.resize(plastic_fanin_offsets_.back());
+  plastic_fanin_slot_.resize(plastic_fanin_offsets_.back());
+  std::vector<std::uint32_t> slot_of(synapses.size());
+  for (std::uint32_t k = 0; k < order.size(); ++k) slot_of[order[k]] = k;
   std::vector<std::uint32_t> cursor(plastic_fanin_offsets_.begin(),
                                     plastic_fanin_offsets_.end() - 1);
   for (std::uint32_t idx = 0; idx < synapses.size(); ++idx) {
     if (synapses[idx].plastic) {
-      plastic_fanin_synapses_[cursor[synapses[idx].post]++] = idx;
+      const std::uint32_t at = cursor[synapses[idx].post]++;
+      plastic_fanin_pre_[at] = synapses[idx].pre;
+      plastic_fanin_slot_[at] = slot_of[idx];
     }
   }
 }
@@ -67,99 +145,182 @@ void Simulator::inject_current(NeuronId neuron, double current) {
 }
 
 void Simulator::deliver_spike(NeuronId neuron) {
-  const auto& offsets = network_.fanout_offsets();
-  const auto& order = network_.fanout_synapses();
-  const auto& synapses = network_.synapses();
-  const std::size_t ring = pending_.size();
-  for (std::uint32_t k = offsets[neuron]; k < offsets[neuron + 1]; ++k) {
-    const Synapse& s = synapses[order[k]];
-    const std::size_t arrive = (slot_ + s.delay_steps) % ring;
-    pending_[arrive][s.post] += static_cast<double>(s.weight);
-    if (config_.enable_stdp && s.plastic) apply_stdp_on_pre(order[k]);
+  // Non-plastic fast path: no STDP checks inside the loop.  Addition order
+  // over k is identical in every branch, so all three are bit-identical.
+  const std::uint32_t begin = csr_offsets_[neuron];
+  const std::uint32_t end = csr_offsets_[neuron + 1];
+  if (begin == end) return;
+  double* pending = pending_.data();
+  const std::size_t n = neuron_count_;
+  const std::size_t ring = ring_;
+  if (fan_kind_[neuron] != kGeneralFanout) {
+    std::size_t arrive = slot_ + fan_delay_[neuron];
+    if (arrive >= ring) arrive -= ring;  // delay <= ring - 1, so one wrap
+    double* base = pending + arrive * n;
+    if (fan_kind_[neuron] == kContiguousFanout) {
+      double* out = base + csr_post_[begin];
+      const float* w = csr_weight_.data() + begin;
+      const std::uint32_t count = end - begin;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        out[j] += static_cast<double>(w[j]);
+      }
+    } else {
+      for (std::uint32_t k = begin; k < end; ++k) {
+        base[csr_post_[k]] += static_cast<double>(csr_weight_[k]);
+      }
+    }
+    return;
+  }
+  for (std::uint32_t k = begin; k < end; ++k) {
+    std::size_t arrive = slot_ + csr_delay_[k];
+    if (arrive >= ring) arrive -= ring;
+    pending[arrive * n + csr_post_[k]] += static_cast<double>(csr_weight_[k]);
   }
 }
 
-void Simulator::apply_stdp_on_pre(std::uint32_t synapse_index) {
-  auto& s = network_.mutable_synapses()[synapse_index];
+void Simulator::deliver_spike_plastic(NeuronId neuron) {
+  double* pending = pending_.data();
+  const std::size_t n = neuron_count_;
+  const std::size_t ring = ring_;
+  const std::uint32_t end = csr_offsets_[neuron + 1];
+  for (std::uint32_t k = csr_offsets_[neuron]; k < end; ++k) {
+    std::size_t arrive = slot_ + csr_delay_[k];
+    if (arrive >= ring) arrive -= ring;
+    pending[arrive * n + csr_post_[k]] += static_cast<double>(csr_weight_[k]);
+    if (csr_plastic_[k]) apply_stdp_on_pre(k);
+  }
+}
+
+void Simulator::apply_stdp_on_pre(std::uint32_t slot) {
   const double w = stdp_update_on_pre(config_.stdp,
-                                      static_cast<double>(s.weight),
-                                      last_spike_ms_[s.post], now_ms_);
-  s.weight = static_cast<float>(w);
+                                      static_cast<double>(csr_weight_[slot]),
+                                      last_spike_ms_[csr_post_[slot]], now_ms_);
+  const float packed = static_cast<float>(w);
+  csr_weight_[slot] = packed;
+  // Write through so the Network's synapse list stays the authoritative,
+  // externally visible weight state at every step.
+  network_.mutable_synapses()[csr_synapse_[slot]].weight = packed;
 }
 
 void Simulator::apply_stdp_on_post(NeuronId post) {
   auto& synapses = network_.mutable_synapses();
-  for (std::uint32_t k = plastic_fanin_offsets_[post];
-       k < plastic_fanin_offsets_[post + 1]; ++k) {
-    Synapse& s = synapses[plastic_fanin_synapses_[k]];
-    const double w = stdp_update_on_post(config_.stdp,
-                                         static_cast<double>(s.weight),
-                                         last_spike_ms_[s.pre], now_ms_);
-    s.weight = static_cast<float>(w);
+  const std::uint32_t end = plastic_fanin_offsets_[post + 1];
+  for (std::uint32_t j = plastic_fanin_offsets_[post]; j < end; ++j) {
+    const std::uint32_t slot = plastic_fanin_slot_[j];
+    const double w = stdp_update_on_post(
+        config_.stdp, static_cast<double>(csr_weight_[slot]),
+        last_spike_ms_[plastic_fanin_pre_[j]], now_ms_);
+    const float packed = static_cast<float>(w);
+    csr_weight_[slot] = packed;
+    synapses[csr_synapse_[slot]].weight = packed;
+  }
+}
+
+void Simulator::on_spike(NeuronId neuron) {
+  events_.push_back({neuron, now_ms_});
+  ++total_spikes_;
+  last_spike_ms_[neuron] = now_ms_;
+  if (config_.enable_stdp) {
+    // Only neurons that actually have plastic outgoing synapses pay the
+    // per-record plastic checks; the rest keep the fast fan-out paths
+    // (identical addition order, so still bit-identical).
+    if (fan_has_plastic_[neuron]) {
+      deliver_spike_plastic(neuron);
+    } else {
+      deliver_spike(neuron);
+    }
+    apply_stdp_on_post(neuron);
+  } else {
+    deliver_spike(neuron);
   }
 }
 
 void Simulator::step() {
-  const std::uint32_t n = network_.neuron_count();
-  std::vector<double>& arriving = pending_[slot_];
+  const std::uint32_t n = neuron_count_;
+  double* arriving = pending_.data() + slot_ * n;
 
   // Exponential synapses: fold this step's arrivals into a decaying current.
   const bool exponential = !syn_current_.empty();
   if (exponential) {
+    const double decay = syn_decay_;
     for (NeuronId i = 0; i < n; ++i) {
-      syn_current_[i] = syn_current_[i] * syn_decay_ + arriving[i];
+      syn_current_[i] = syn_current_[i] * decay + arriving[i];
     }
   }
+  const double* input_base = exponential ? syn_current_.data() : arriving;
+  const double* external = external_.data();
 
-  for (NeuronId i = 0; i < n; ++i) {
-    const Group& grp = network_.group(group_of_[i]);
-    bool spiked = false;
-    const double input =
-        (exponential ? syn_current_[i] : arriving[i]) + external_[i];
-    switch (model_of_[i]) {
-      case NeuronModel::kPoisson: {
-        const double rate =
-            grp.rate_fn ? grp.rate_fn(i - grp.first, now_ms_)
-                        : grp.poisson_rate_hz;
-        spiked = poisson_step_spike(rate, config_.dt_ms, rng_);
+  for (const GroupRun& run : group_runs_) {
+    switch (run.model) {
+      case NeuronModel::kPoisson:
+        if (run.rate_fn) {
+          for (NeuronId i = run.first; i < run.last; ++i) {
+            if (poisson_step_spike(run.rate_fn(i - run.first, now_ms_),
+                                   config_.dt_ms, rng_)) {
+              on_spike(i);
+            }
+          }
+        } else {
+          // Cached constant-rate probability; Rng::chance draws nothing for
+          // p <= 0, exactly like poisson_step_spike's rate <= 0 guard.
+          const double p = run.step_spike_prob;
+          for (NeuronId i = run.first; i < run.last; ++i) {
+            if (rng_.chance(p)) on_spike(i);
+          }
+        }
+        break;
+      case NeuronModel::kLif: {
+        const LifParams& p = run.lif;
+        for (NeuronId i = run.first; i < run.last; ++i) {
+          const double input = input_base[i] + external[i];
+          if (step_lif(states_[i], p, input, now_ms_, config_.dt_ms)) {
+            on_spike(i);
+          }
+        }
         break;
       }
-      case NeuronModel::kLif:
-        spiked = step_lif(states_[i], grp.lif, input, now_ms_, config_.dt_ms);
+      case NeuronModel::kIzhikevich: {
+        const IzhikevichParams& p = run.izh;
+        for (NeuronId i = run.first; i < run.last; ++i) {
+          const double input = input_base[i] + external[i];
+          if (step_izhikevich(states_[i], p, input, config_.dt_ms)) {
+            on_spike(i);
+          }
+        }
         break;
-      case NeuronModel::kIzhikevich:
-        spiked = step_izhikevich(states_[i], grp.izh, input, config_.dt_ms);
-        break;
-    }
-    if (spiked) {
-      spikes_[i].push_back(now_ms_);
-      ++total_spikes_;
-      last_spike_ms_[i] = now_ms_;
-      deliver_spike(i);
-      if (config_.enable_stdp) apply_stdp_on_post(i);
+      }
     }
   }
 
-  std::fill(arriving.begin(), arriving.end(), 0.0);
+  std::fill(arriving, arriving + n, 0.0);
   std::fill(external_.begin(), external_.end(), 0.0);
-  slot_ = (slot_ + 1) % pending_.size();
+  slot_ = slot_ + 1 == ring_ ? 0 : slot_ + 1;
   ++step_count_;
   now_ms_ = static_cast<double>(step_count_) * config_.dt_ms;
 }
 
 SimulationResult Simulator::run() {
-  const auto steps =
-      static_cast<std::uint64_t>(config_.duration_ms / config_.dt_ms + 0.5);
+  // Whole steps covering the full duration: ceil(duration / dt), with a
+  // relative tolerance so an exactly commensurate ratio that lands a hair
+  // above an integer (FP division noise, at any magnitude) doesn't gain a
+  // step.  The previous round-to-nearest under-ran non-commensurate configs
+  // (e.g. 10 ms at dt = 3 ms simulated only 9 ms).
+  const double ratio = config_.duration_ms / config_.dt_ms;
+  const auto steps = static_cast<std::uint64_t>(std::ceil(ratio * (1.0 - 1e-12)));
   for (std::uint64_t i = 0; i < steps; ++i) step();
   return result();
 }
 
 SimulationResult Simulator::result() const {
   SimulationResult r;
-  r.spikes = spikes_;
+  r.spikes = trains_from_events(neuron_count_, events_);
   r.duration_ms = now_ms_;
   r.total_spikes = total_spikes_;
   return r;
+}
+
+std::vector<SpikeTrain> Simulator::spikes() const {
+  return trains_from_events(neuron_count_, events_);
 }
 
 }  // namespace snnmap::snn

@@ -6,9 +6,24 @@
 // adapts plastic synapses in place.  The output — a spike train per neuron —
 // is exactly what the mapping flow needs to build the spike-annotated graph
 // of Sec. III.
+//
+// The hot path is a packed structure-of-arrays engine, bit-identical to the
+// original per-neuron/AoS implementation (pinned by tests/snn/golden_*):
+//
+//  * step() runs one tight loop per group over its contiguous [first, last)
+//    id range, with model parameters, the cached per-step Poisson spike
+//    probability, and the rate_fn branch hoisted out of the inner loop;
+//  * spike delivery walks a per-neuron CSR of (post, weight, delay) records
+//    in fan-out order instead of double-indirecting through the Network's
+//    synapse list, and accumulates into one flat ring x neuron_count pending
+//    buffer;
+//  * spikes are recorded into a flat (neuron, time) event log and
+//    counting-sorted into per-neuron trains only when a result is requested,
+//    so nothing allocates per spike in the steady state.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "snn/network.hpp"
@@ -44,14 +59,26 @@ struct SimulationResult {
 /// One simulation instance; mutates the Network's weights only when STDP is
 /// enabled.  The step API supports custom experiment loops; run() covers the
 /// common case.
+///
+/// Construction is the snapshot point: topology, weights, and delays are
+/// packed into the engine's SoA arrays when the Simulator is built, and
+/// Network edits made after that (mutable_synapses(), add_synapse) are not
+/// seen by an already-running instance — build a fresh Simulator to pick
+/// them up.  STDP weight updates flow the other way: the engine writes them
+/// through to the Network, so the synapse list always shows the live
+/// weights.
 class Simulator {
  public:
+  /// Throws std::invalid_argument when the config is unusable: dt_ms must be
+  /// a finite positive number and duration_ms finite and >= 0.
   Simulator(Network& network, SimulationConfig config);
 
   /// Advances one dt; spikes are recorded internally.
   void step();
 
-  /// Runs for config.duration_ms and returns the recorded trains.
+  /// Runs for config.duration_ms — enough whole steps to cover the duration
+  /// (ceil(duration / dt), so a non-commensurate dt never under-runs) — and
+  /// returns the recorded trains.
   SimulationResult run();
 
   /// Extracts the result accumulated so far (step API).
@@ -59,38 +86,83 @@ class Simulator {
 
   TimeMs now_ms() const noexcept { return now_ms_; }
   std::uint64_t total_spikes() const noexcept { return total_spikes_; }
-  const std::vector<SpikeTrain>& spikes() const noexcept { return spikes_; }
+  /// Per-neuron trains materialized from the internal event log.
+  std::vector<SpikeTrain> spikes() const;
 
   /// Injects an external current into a neuron for the next step only
   /// (used by apps that drive networks with analog stimuli).
   void inject_current(NeuronId neuron, double current);
 
  private:
+  /// Everything step() needs for one group, hoisted out of the inner loop.
+  /// Self-contained (the rate_fn is copied, not pointed at), so later group
+  /// additions to the Network can never invalidate a running engine.
+  struct GroupRun {
+    NeuronId first = 0;
+    NeuronId last = 0;  // one past end
+    NeuronModel model = NeuronModel::kLif;
+    LifParams lif;
+    IzhikevichParams izh;
+    double step_spike_prob = 0.0;  ///< Poisson P(spike per step), constant rate
+    std::function<double(std::uint32_t, double)> rate_fn;  ///< may be null
+  };
+
+  void on_spike(NeuronId neuron);
   void deliver_spike(NeuronId neuron);
-  void apply_stdp_on_pre(std::uint32_t synapse_index);
+  void deliver_spike_plastic(NeuronId neuron);
+  void apply_stdp_on_pre(std::uint32_t slot);
   void apply_stdp_on_post(NeuronId post);
 
   Network& network_;
   SimulationConfig config_;
   util::Rng rng_;
 
+  std::uint32_t neuron_count_ = 0;
+  std::vector<GroupRun> group_runs_;
   std::vector<NeuronState> states_;
-  std::vector<NeuronModel> model_of_;   // flattened per-neuron model
-  std::vector<std::uint32_t> group_of_; // flattened per-neuron group id
 
-  // Delay ring buffer: pending_[slot][neuron] = current arriving at that step.
-  std::vector<std::vector<double>> pending_;
+  // Packed fan-out CSR in Network fan-out order (slot k = k-th outgoing
+  // synapse): csr_offsets_[pre] .. csr_offsets_[pre + 1] index the arrays.
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<NeuronId> csr_post_;
+  std::vector<float> csr_weight_;         ///< live weights (STDP writes here)
+  std::vector<std::uint16_t> csr_delay_;
+  std::vector<std::uint8_t> csr_plastic_;
+  std::vector<std::uint32_t> csr_synapse_;  ///< original synapse index
+
+  // Per-neuron fan-out shape, classified once at construction.  Most
+  // connection patterns produce a single delay per projection (and
+  // connect_full / one-to-one / gaussian_2d produce consecutive post ids),
+  // so delivery usually skips the per-record ring arithmetic — and for
+  // contiguous posts degenerates into a sequential accumulate.
+  enum : std::uint8_t {
+    kGeneralFanout = 0,     ///< mixed delays: per-record ring slot
+    kUniformFanout = 1,     ///< one delay: hoisted ring slot, scattered posts
+    kContiguousFanout = 2,  ///< one delay + consecutive posts: linear run
+  };
+  std::vector<std::uint8_t> fan_kind_;
+  std::vector<std::uint16_t> fan_delay_;  ///< valid unless kGeneralFanout
+  /// 1 if the neuron has any plastic outgoing synapse: only those need the
+  /// per-record plastic checks when STDP is enabled.
+  std::vector<std::uint8_t> fan_has_plastic_;
+
+  // Delay ring buffer, one flat ring x neuron_count block:
+  // pending_[slot * neuron_count_ + neuron] = current arriving at that step.
+  std::vector<double> pending_;
+  std::size_t ring_ = 1;
   std::size_t slot_ = 0;
   std::vector<double> external_;  // one-step external injections
   std::vector<double> syn_current_;  // exponential-synapse state (tau > 0)
   double syn_decay_ = 0.0;           // exp(-dt / tau), 0 when disabled
 
   // STDP bookkeeping.
-  std::vector<double> last_spike_ms_;          // per neuron, -1 = never
+  std::vector<double> last_spike_ms_;  // per neuron, -1 = never
+  // Plastic fan-in per post neuron: pre id + fan-out CSR slot of the synapse.
   std::vector<std::uint32_t> plastic_fanin_offsets_;
-  std::vector<std::uint32_t> plastic_fanin_synapses_;
+  std::vector<NeuronId> plastic_fanin_pre_;
+  std::vector<std::uint32_t> plastic_fanin_slot_;
 
-  std::vector<SpikeTrain> spikes_;
+  std::vector<SpikeEvent> events_;  ///< flat spike log, time order
   TimeMs now_ms_ = 0.0;
   std::uint64_t step_count_ = 0;
   std::uint64_t total_spikes_ = 0;

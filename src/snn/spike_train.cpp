@@ -12,6 +12,20 @@ bool is_valid_train(const SpikeTrain& train) {
   return std::is_sorted(train.begin(), train.end());
 }
 
+std::vector<SpikeTrain> trains_from_events(
+    std::size_t neuron_count, const std::vector<SpikeEvent>& events) {
+  std::vector<SpikeTrain> trains(neuron_count);
+  std::vector<std::size_t> counts(neuron_count, 0);
+  for (const SpikeEvent& e : events) ++counts[e.neuron];
+  for (std::size_t i = 0; i < neuron_count; ++i) {
+    trains[i].reserve(counts[i]);
+  }
+  for (const SpikeEvent& e : events) {
+    trains[e.neuron].push_back(e.time_ms);
+  }
+  return trains;
+}
+
 std::vector<double> inter_spike_intervals(const SpikeTrain& train) {
   std::vector<double> isis;
   if (train.size() < 2) return isis;

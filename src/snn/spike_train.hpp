@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace snnmap::snn {
@@ -16,6 +17,21 @@ using TimeMs = double;
 
 /// A single spike train (sorted spike times of one neuron, in ms).
 using SpikeTrain = std::vector<TimeMs>;
+
+/// One entry of a flat spike event log: which neuron fired, and when.  The
+/// simulator records spikes as a single append-only vector of these (16
+/// bytes, no per-neuron allocation) and scatters them into trains on demand.
+struct SpikeEvent {
+  std::uint32_t neuron = 0;
+  TimeMs time_ms = 0.0;
+};
+
+/// Scatters a time-ordered flat event log into per-neuron spike trains by
+/// counting sort: one pass to size every train exactly, one pass to fill.
+/// Events must be sorted by time (ties in any order); each returned train is
+/// then sorted by construction.  Neuron ids must be < neuron_count.
+std::vector<SpikeTrain> trains_from_events(std::size_t neuron_count,
+                                           const std::vector<SpikeEvent>& events);
 
 /// True if times are sorted (non-decreasing) and non-negative.
 bool is_valid_train(const SpikeTrain& train);

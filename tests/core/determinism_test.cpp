@@ -1,16 +1,22 @@
 // Determinism regression for the parallel batch-evaluation layer: with a
 // fixed seed, every optimizer must produce bit-identical results whether
 // fitness evaluation (PSO/GA) or restart chains (SA) run serially or on a
-// worker pool.  Guards against evaluation-order nondeterminism sneaking into
-// the hot path.
+// worker pool, and batched SNN scenario simulation must match standalone
+// Simulator runs bit for bit regardless of thread count or submission
+// order.  Guards against evaluation-order nondeterminism sneaking into the
+// hot path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/annealing.hpp"
+#include "core/batch_eval.hpp"
 #include "core/genetic.hpp"
 #include "core/pso.hpp"
 #include "snn/graph.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace snnmap::core {
@@ -126,6 +132,97 @@ TEST(Determinism, AnnealingSingleRestartReproducesLegacyChain) {
     EXPECT_EQ(multi.best, single.best);
     EXPECT_EQ(multi.best_cost, single.best_cost);
   }
+}
+
+/// Deterministic little SNN used by the batch-evaluator tests; `variant`
+/// perturbs the wiring seed so scenarios are distinguishable.
+snn::Network batch_snn_network(std::uint64_t variant) {
+  snn::Network net;
+  util::Rng rng(100 + variant);
+  const auto in = net.add_poisson_group("in", 8, 40.0);
+  const auto mid = net.add_lif_group("mid", 12);
+  const auto out = net.add_izhikevich_group(
+      "out", 6, snn::IzhikevichParams::regular_spiking());
+  net.connect_random(in, mid, 0.6, snn::WeightSpec::uniform(8.0, 13.0), rng,
+                     /*delay=*/1, /*plastic=*/true);
+  net.connect_random(mid, out, 0.5, snn::WeightSpec::uniform(6.0, 9.0), rng,
+                     /*delay=*/3);
+  return net;
+}
+
+std::vector<SnnScenario> batch_snn_scenarios() {
+  std::vector<SnnScenario> scenarios;
+  for (std::uint64_t v = 0; v < 6; ++v) {
+    snn::SimulationConfig config;
+    config.duration_ms = 300.0;
+    config.seed = 7 * v + 1;
+    config.enable_stdp = v % 2 == 0;
+    scenarios.push_back({[v] { return batch_snn_network(v); }, config});
+  }
+  return scenarios;
+}
+
+void expect_same_results(const std::vector<SnnRunResult>& a,
+                         const std::vector<SnnRunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.total_spikes, b[i].result.total_spikes) << i;
+    EXPECT_EQ(a[i].result.spikes, b[i].result.spikes) << i;
+    EXPECT_EQ(a[i].final_weights, b[i].final_weights) << i;
+  }
+}
+
+TEST(Determinism, BatchSnnSerialAndParallelMatchBitForBit) {
+  const auto scenarios = batch_snn_scenarios();
+  BatchSnnEvaluator serial(1);
+  BatchSnnEvaluator parallel(4);
+  expect_same_results(serial.run_all(scenarios), parallel.run_all(scenarios));
+}
+
+TEST(Determinism, BatchSnnMatchesStandaloneSimulator) {
+  const auto scenarios = batch_snn_scenarios();
+  BatchSnnEvaluator evaluator(3);
+  const auto batched = evaluator.run_all(scenarios);
+  ASSERT_EQ(batched.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    snn::Network net = scenarios[i].build();
+    snn::Simulator sim(net, scenarios[i].config);
+    const auto standalone = sim.run();
+    EXPECT_EQ(batched[i].result.spikes, standalone.spikes) << i;
+    EXPECT_EQ(batched[i].result.total_spikes, standalone.total_spikes) << i;
+    for (std::size_t s = 0; s < net.synapses().size(); ++s) {
+      EXPECT_EQ(batched[i].final_weights[s], net.synapses()[s].weight);
+    }
+  }
+}
+
+TEST(Determinism, BatchSnnIndependentOfSubmissionOrder) {
+  const auto scenarios = batch_snn_scenarios();
+  std::vector<SnnScenario> reversed(scenarios.rbegin(), scenarios.rend());
+  BatchSnnEvaluator evaluator(4);
+  const auto forward = evaluator.run_all(scenarios);
+  auto backward = evaluator.run_all(reversed);
+  std::reverse(backward.begin(), backward.end());
+  expect_same_results(forward, backward);
+}
+
+TEST(Determinism, BatchSnnSeedSweepMatchesPerSeedRuns) {
+  snn::SimulationConfig config;
+  config.duration_ms = 250.0;
+  const std::vector<std::uint64_t> seeds = {3, 1, 4, 1, 5, 9};
+  BatchSnnEvaluator evaluator(0);  // auto-resolve thread count
+  const auto sweep = evaluator.run_seeds([] { return batch_snn_network(2); },
+                                         config, seeds);
+  ASSERT_EQ(sweep.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    snn::Network net = batch_snn_network(2);
+    config.seed = seeds[i];
+    snn::Simulator sim(net, config);
+    EXPECT_EQ(sweep[i].result.spikes, sim.run().spikes) << "seed " << seeds[i];
+  }
+  // Duplicate seeds (index 1 and 3) must produce identical results.
+  EXPECT_EQ(sweep[1].result.spikes, sweep[3].result.spikes);
+  EXPECT_EQ(sweep[1].final_weights, sweep[3].final_weights);
 }
 
 TEST(Determinism, PsoThreadCountZeroMatchesExplicitCounts) {

@@ -13,11 +13,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "../support/fnv1a.hpp"
 #include "noc/simulator.hpp"
 #include "noc/traffic_patterns.hpp"
 #include "util/rng.hpp"
@@ -42,26 +42,7 @@ struct Digest {
 };
 
 namespace detail {
-
-class Fnv1a {
- public:
-  void mix(std::uint64_t v) noexcept {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xFF;
-      h_ *= 0x100000001B3ULL;
-    }
-  }
-  void mix(double v) noexcept {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    mix(bits);
-  }
-  std::uint64_t value() const noexcept { return h_; }
-
- private:
-  std::uint64_t h_ = 0xCBF29CE484222325ULL;
-};
-
+using Fnv1a = snnmap::test::Fnv1a;
 }  // namespace detail
 
 inline Digest digest_of(const NocRunResult& result) {

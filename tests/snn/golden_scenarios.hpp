@@ -1,0 +1,306 @@
+// Shared scenario definitions for the SNN simulator golden determinism
+// tests.  The fixtures in golden_fixtures.inc were captured from the
+// pre-refactor (PR 2) clock-driven simulator by running
+// snnmap_snn_golden_capture; the golden test replays the identical scenarios
+// on the current engine and requires bit-identical spike trains and final
+// synapse weights.
+//
+// Scenarios only touch the public Network / Simulator API, so they survive
+// internal rewrites.  Every scenario is fully deterministic (util::Rng-seeded
+// wiring and simulation); covered axes: LIF / Izhikevich / Poisson groups and
+// mixes of all three, constant and time-varying Poisson rates, delta and
+// exponential synapses, STDP on and off, delays > 1 up to the ring boundary,
+// inhibition, and a non-unit dt.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "../support/fnv1a.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::snn::golden {
+
+struct Scenario {
+  std::string name;
+  std::function<Network()> build;  ///< deterministic network builder
+  SimulationConfig config;
+};
+
+/// Order-sensitive digest of everything a simulation exposes: the per-neuron
+/// spike trains (sizes and every spike time, bit for bit) and the final
+/// synapse weights (the STDP-visible state).
+struct Digest {
+  std::uint64_t spikes_hash = 0;   ///< all trains, neuron order, time bits
+  std::uint64_t weights_hash = 0;  ///< every synapse weight, synapse order
+  std::uint64_t total_spikes = 0;
+  std::uint64_t nonempty_trains = 0;
+};
+
+namespace detail {
+using Fnv1a = snnmap::test::Fnv1a;
+}  // namespace detail
+
+inline Digest digest_of(const Network& net, const SimulationResult& result) {
+  Digest d;
+  detail::Fnv1a spikes;
+  spikes.mix(static_cast<std::uint64_t>(result.spikes.size()));
+  spikes.mix(result.duration_ms);
+  for (const SpikeTrain& train : result.spikes) {
+    spikes.mix(static_cast<std::uint64_t>(train.size()));
+    for (const TimeMs t : train) spikes.mix(t);
+    if (!train.empty()) ++d.nonempty_trains;
+  }
+  d.spikes_hash = spikes.value();
+
+  detail::Fnv1a weights;
+  weights.mix(static_cast<std::uint64_t>(net.synapses().size()));
+  for (const Synapse& s : net.synapses()) {
+    weights.mix(static_cast<std::uint64_t>(s.pre));
+    weights.mix(static_cast<std::uint64_t>(s.post));
+    weights.mix(s.weight);
+    weights.mix(static_cast<std::uint64_t>(s.delay_steps));
+  }
+  d.weights_hash = weights.value();
+
+  d.total_spikes = result.total_spikes;
+  return d;
+}
+
+/// Runs one scenario start to finish; the Network outlives the run so the
+/// caller digests final (possibly STDP-adapted) weights.
+inline Digest run_scenario(const Scenario& scenario) {
+  Network net = scenario.build();
+  Simulator sim(net, scenario.config);
+  const SimulationResult result = sim.run();
+  return digest_of(net, result);
+}
+
+inline std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+
+  const auto config = [](TimeMs duration_ms, std::uint64_t seed) {
+    SimulationConfig c;
+    c.duration_ms = duration_ms;
+    c.seed = seed;
+    return c;
+  };
+
+  // 1. Pure Poisson population at a constant rate: pins the per-step
+  //    Bernoulli draw order with no downstream dynamics.
+  list.push_back({"poisson_constant_rate", [] {
+                    Network net;
+                    net.add_poisson_group("in", 40, 55.0);
+                    return net;
+                  },
+                  config(500.0, 11)});
+
+  // 2. The paper's synthetic feedforward family: 10 Poisson sources with a
+  //    per-neuron rate ramp (rate_fn) driving two LIF layers, delta synapses.
+  list.push_back({"poisson_lif_feedforward", [] {
+                    Network net;
+                    util::Rng rng(21);
+                    const auto in = net.add_poisson_group("in", 10, 0.0);
+                    net.set_rate_function(in, [](std::uint32_t local, double) {
+                      return 10.0 + 10.0 * static_cast<double>(local);
+                    });
+                    const auto l0 = net.add_lif_group("l0", 60);
+                    const auto l1 = net.add_lif_group("l1", 60);
+                    net.connect_full(in, l0,
+                                     WeightSpec::uniform(10.0, 15.0), rng);
+                    net.connect_random(l0, l1, 0.3,
+                                       WeightSpec::uniform(1.5, 2.3), rng);
+                    return net;
+                  },
+                  config(400.0, 22)});
+
+  // 3. Time-varying Poisson rates (burst envelope) into an Izhikevich layer.
+  list.push_back({"poisson_rate_fn_time_varying", [] {
+                    Network net;
+                    util::Rng rng(31);
+                    const auto in = net.add_poisson_group("in", 12, 30.0);
+                    net.set_rate_function(
+                        in, [](std::uint32_t local, double t_ms) {
+                          const double phase =
+                              t_ms / 100.0 + 0.25 * static_cast<double>(local);
+                          return 40.0 + 35.0 * std::sin(phase);
+                        });
+                    const auto out = net.add_izhikevich_group(
+                        "out", 30, IzhikevichParams::regular_spiking());
+                    net.connect_random(in, out, 0.5,
+                                       WeightSpec::uniform(8.0, 14.0), rng);
+                    return net;
+                  },
+                  config(600.0, 33)});
+
+  // 4. Izhikevich model zoo with mixed axonal delays (1..8 steps) and
+  //    inhibition: regular spiking, fast spiking, chattering.
+  list.push_back({"izhikevich_zoo_mixed_delays", [] {
+                    Network net;
+                    util::Rng rng(41);
+                    const auto in = net.add_poisson_group("in", 16, 45.0);
+                    const auto rs = net.add_izhikevich_group(
+                        "rs", 24, IzhikevichParams::regular_spiking());
+                    const auto fs = net.add_izhikevich_group(
+                        "fs", 12, IzhikevichParams::fast_spiking());
+                    const auto ch = net.add_izhikevich_group(
+                        "ch", 8, IzhikevichParams::chattering());
+                    net.connect_random(in, rs, 0.6,
+                                       WeightSpec::uniform(9.0, 13.0), rng,
+                                       /*delay=*/1);
+                    net.connect_random(in, ch, 0.5,
+                                       WeightSpec::uniform(7.0, 11.0), rng,
+                                       /*delay=*/4);
+                    net.connect_random(rs, fs, 0.4,
+                                       WeightSpec::uniform(4.0, 7.0), rng,
+                                       /*delay=*/3);
+                    net.connect_random(fs, rs, 0.5,
+                                       WeightSpec::uniform(-9.0, -5.0), rng,
+                                       /*delay=*/2);
+                    net.connect_random(ch, rs, 0.3,
+                                       WeightSpec::uniform(2.0, 4.0), rng,
+                                       /*delay=*/8);
+                    return net;
+                  },
+                  config(500.0, 44)});
+
+  // 5. Exponential synapses (tau = 5 ms): temporal summation across steps.
+  list.push_back({"lif_exponential_tau5", [] {
+                    Network net;
+                    util::Rng rng(51);
+                    const auto in = net.add_poisson_group("in", 20, 60.0);
+                    const auto out = net.add_lif_group("out", 40);
+                    net.connect_random(in, out, 0.4,
+                                       WeightSpec::uniform(3.0, 6.0), rng);
+                    return net;
+                  },
+                  [&] {
+                    SimulationConfig c = config(400.0, 55);
+                    c.syn_tau_ms = 5.0;
+                    return c;
+                  }()});
+
+  // 6. STDP on: plastic Poisson -> LIF afferents with lateral inhibition
+  //    (Diehl & Cook shape); the weights hash pins the final plastic state.
+  list.push_back({"stdp_plastic_afferents", [] {
+                    Network net;
+                    util::Rng rng(61);
+                    const auto in = net.add_poisson_group("in", 24, 35.0);
+                    const auto exc = net.add_izhikevich_group(
+                        "exc", 16, IzhikevichParams::regular_spiking());
+                    const auto inh = net.add_izhikevich_group(
+                        "inh", 16, IzhikevichParams::fast_spiking());
+                    net.connect_random(in, exc, 0.7,
+                                       WeightSpec::uniform(1.0, 4.0), rng,
+                                       /*delay=*/1, /*plastic=*/true);
+                    net.connect_one_to_one(exc, inh, WeightSpec::fixed(16.0),
+                                           rng);
+                    net.connect_random(inh, exc, 0.9,
+                                       WeightSpec::fixed(-3.0), rng);
+                    return net;
+                  },
+                  [&] {
+                    SimulationConfig c = config(600.0, 66);
+                    c.enable_stdp = true;
+                    c.stdp.w_max = 8.0;
+                    return c;
+                  }()});
+
+  // 7. STDP with delays > 1 on the plastic pathway plus exponential
+  //    synapses: every hot-path feature enabled at once.
+  list.push_back({"stdp_delays_exponential_mix", [] {
+                    Network net;
+                    util::Rng rng(71);
+                    const auto in = net.add_poisson_group("in", 12, 50.0);
+                    const auto mid = net.add_lif_group("mid", 20);
+                    const auto out = net.add_izhikevich_group(
+                        "out", 10, IzhikevichParams::intrinsically_bursting());
+                    net.connect_random(in, mid, 0.6,
+                                       WeightSpec::uniform(5.0, 9.0), rng,
+                                       /*delay=*/2, /*plastic=*/true);
+                    net.connect_random(mid, out, 0.5,
+                                       WeightSpec::uniform(6.0, 10.0), rng,
+                                       /*delay=*/5, /*plastic=*/true);
+                    net.connect_random(out, mid, 0.3,
+                                       WeightSpec::uniform(-6.0, -3.0), rng,
+                                       /*delay=*/3);
+                    return net;
+                  },
+                  [&] {
+                    SimulationConfig c = config(500.0, 77);
+                    c.enable_stdp = true;
+                    c.stdp.a_plus = 0.02;
+                    c.stdp.w_max = 12.0;
+                    c.syn_tau_ms = 2.0;
+                    return c;
+                  }()});
+
+  // 8. Delay-ring boundary: a synapse at the network's max_delay_steps (the
+  //    last ring slot) must deliver exactly delay steps later.
+  list.push_back({"max_delay_ring_boundary", [] {
+                    Network net;
+                    util::Rng rng(81);
+                    const auto in = net.add_poisson_group("in", 4, 70.0);
+                    const auto out = net.add_lif_group("out", 4);
+                    net.connect_one_to_one(in, out, WeightSpec::fixed(30.0),
+                                           rng, /*delay=*/12);
+                    net.add_synapse(net.group(in).first,
+                                    net.group(out).first + 1, 9.0,
+                                    /*delay=*/1);
+                    return net;
+                  },
+                  config(300.0, 88)});
+
+  // 9. Non-unit dt (0.5 ms, exactly commensurate with the duration): half
+  //    the step probability, twice the steps, Izhikevich substep math at
+  //    h = 0.25 ms.
+  list.push_back({"dt_half_ms", [] {
+                    Network net;
+                    util::Rng rng(91);
+                    const auto in = net.add_poisson_group("in", 10, 40.0);
+                    const auto out = net.add_izhikevich_group(
+                        "out", 20, IzhikevichParams::regular_spiking());
+                    net.connect_random(in, out, 0.5,
+                                       WeightSpec::uniform(10.0, 16.0), rng);
+                    return net;
+                  },
+                  [&] {
+                    SimulationConfig c = config(250.0, 99);
+                    c.dt_ms = 0.5;
+                    return c;
+                  }()});
+
+  // 10. All three models in one network, mixed delays and a silent Poisson
+  //     group (rate 0 draws nothing from the RNG stream).
+  list.push_back({"mixed_models_silent_group", [] {
+                    Network net;
+                    util::Rng rng(101);
+                    const auto in = net.add_poisson_group("in", 8, 65.0);
+                    const auto silent = net.add_poisson_group("silent", 8, 0.0);
+                    const auto lif = net.add_lif_group("lif", 16);
+                    const auto izh = net.add_izhikevich_group(
+                        "izh", 16, IzhikevichParams::fast_spiking());
+                    net.connect_random(in, lif, 0.5,
+                                       WeightSpec::uniform(8.0, 12.0), rng,
+                                       /*delay=*/1);
+                    net.connect_random(silent, lif, 0.5,
+                                       WeightSpec::fixed(40.0), rng);
+                    net.connect_random(lif, izh, 0.4,
+                                       WeightSpec::uniform(6.0, 9.0), rng,
+                                       /*delay=*/6);
+                    net.connect_random(izh, lif, 0.3,
+                                       WeightSpec::uniform(-5.0, -2.0), rng,
+                                       /*delay=*/2);
+                    return net;
+                  },
+                  config(500.0, 110)});
+
+  return list;
+}
+
+}  // namespace snnmap::snn::golden

@@ -1,0 +1,92 @@
+// Golden determinism tests: the SNN simulator must reproduce, bit for bit,
+// the spike trains and final synapse weights captured from the pre-refactor
+// (PR 2 seed) simulator across neuron models, synapse kinds (delta and
+// exponential), STDP on/off, axonal delays up to the ring boundary, and a
+// non-unit dt.  Fixtures are regenerated with the snnmap_snn_golden_capture
+// tool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "golden_scenarios.hpp"
+
+namespace snnmap::snn {
+namespace {
+
+struct GoldenFixture {
+  const char* name;
+  std::uint64_t spikes_hash;
+  std::uint64_t weights_hash;
+  std::uint64_t total_spikes;
+  std::uint64_t nonempty_trains;
+};
+
+constexpr GoldenFixture kGolden[] = {
+#include "golden_fixtures.inc"
+};
+
+const GoldenFixture* find_fixture(const std::string& name) {
+  for (const GoldenFixture& f : kGolden) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+TEST(SnnGolden, EveryScenarioHasAFixture) {
+  const auto scenarios = golden::scenarios();
+  EXPECT_EQ(scenarios.size(), std::size(kGolden));
+  for (const auto& s : scenarios) {
+    EXPECT_NE(find_fixture(s.name), nullptr) << s.name;
+  }
+}
+
+TEST(SnnGolden, BitIdenticalToSeedSimulator) {
+  for (const auto& scenario : golden::scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const GoldenFixture* fixture = find_fixture(scenario.name);
+    ASSERT_NE(fixture, nullptr);
+    const golden::Digest d = golden::run_scenario(scenario);
+    // Scalars first: a drift here localizes the failure far better than a
+    // hash mismatch.
+    EXPECT_EQ(d.total_spikes, fixture->total_spikes);
+    EXPECT_EQ(d.nonempty_trains, fixture->nonempty_trains);
+    EXPECT_EQ(d.spikes_hash, fixture->spikes_hash);
+    EXPECT_EQ(d.weights_hash, fixture->weights_hash);
+  }
+}
+
+TEST(SnnGolden, ScenariosAreReproducibleWithinOneBuild) {
+  // The digests themselves must be a pure function of the scenario: two
+  // back-to-back runs in the same process may not drift (guards against
+  // hidden global state in the engine or the builders).
+  for (const auto& scenario : golden::scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const golden::Digest a = golden::run_scenario(scenario);
+    const golden::Digest b = golden::run_scenario(scenario);
+    EXPECT_EQ(a.spikes_hash, b.spikes_hash);
+    EXPECT_EQ(a.weights_hash, b.weights_hash);
+  }
+}
+
+TEST(SnnGolden, StdpScenarioActuallyMovesWeights) {
+  // Sanity guard on fixture quality: the STDP scenario must exercise the
+  // plasticity path (otherwise the weights hash would pin nothing).
+  for (const auto& scenario : golden::scenarios()) {
+    if (scenario.name != "stdp_plastic_afferents") continue;
+    Network net = scenario.build();
+    const auto before = net.synapses();
+    Simulator sim(net, scenario.config);
+    sim.run();
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      if (net.synapses()[i].weight != before[i].weight) ++moved;
+    }
+    EXPECT_GT(moved, 0u);
+    return;
+  }
+  FAIL() << "stdp scenario missing";
+}
+
+}  // namespace
+}  // namespace snnmap::snn

@@ -1,0 +1,165 @@
+// Property tests for the SoA simulator engine: invariants that must hold
+// for every random network/seed, complementing the exact-replay golden
+// fixtures.  Axes from the engine's contract: STDP clamping, the
+// exponential-synapse limit tau -> 0 degenerating to delta synapses, delay
+// ring boundary arrivals at max_delay_steps, and spike accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::snn {
+namespace {
+
+/// Random recurrent network with plastic synapses everywhere.
+Network random_plastic_network(std::uint64_t seed) {
+  Network net;
+  util::Rng rng(seed);
+  const auto in = net.add_poisson_group(
+      "in", 12, 20.0 + static_cast<double>(rng.below(80)));
+  const auto exc = net.add_izhikevich_group(
+      "exc", 20, IzhikevichParams::regular_spiking());
+  const auto out = net.add_lif_group("out", 10);
+  net.connect_random(in, exc, 0.6, WeightSpec::uniform(2.0, 9.0), rng,
+                     /*delay=*/1, /*plastic=*/true);
+  net.connect_random(exc, out, 0.5, WeightSpec::uniform(3.0, 8.0), rng,
+                     static_cast<std::uint16_t>(1 + rng.below(4)),
+                     /*plastic=*/true);
+  net.connect_random(out, exc, 0.3, WeightSpec::uniform(-6.0, -1.0), rng,
+                     /*delay=*/2, /*plastic=*/true);
+  return net;
+}
+
+TEST(SimulatorProperty, StdpWeightsStayWithinBounds) {
+  // Clamping applies on every STDP update, so weights that start inside
+  // [w_min, w_max] can never leave it, however the random trains land.
+  // Aggressive amplitudes + long runs push many weights onto the rails.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Network net = random_plastic_network(seed);
+    SimulationConfig cfg;
+    cfg.duration_ms = 800.0;
+    cfg.seed = seed * 101;
+    cfg.enable_stdp = true;
+    cfg.stdp.w_min = -6.5;  // covers the builder's initial draws (-6 .. 9)
+    cfg.stdp.w_max = 9.5;
+    cfg.stdp.a_plus = 0.05;
+    cfg.stdp.a_minus = 0.06;
+    for (const Synapse& s : net.synapses()) {
+      ASSERT_GE(s.weight, static_cast<float>(cfg.stdp.w_min));
+      ASSERT_LE(s.weight, static_cast<float>(cfg.stdp.w_max));
+    }
+    Simulator sim(net, cfg);
+    const auto result = sim.run();
+    EXPECT_GT(result.total_spikes, 0u) << "seed " << seed;
+    for (const Synapse& s : net.synapses()) {
+      if (!s.plastic) continue;
+      EXPECT_GE(s.weight, static_cast<float>(cfg.stdp.w_min)) << "seed " << seed;
+      EXPECT_LE(s.weight, static_cast<float>(cfg.stdp.w_max)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SimulatorProperty, ExponentialTauToZeroConvergesToDelta) {
+  // As syn_tau_ms -> 0 the decay factor exp(-dt/tau) underflows to 0, so
+  // the folded current equals the per-step arrivals exactly: the spike
+  // trains must be bit-identical to the delta-synapse (tau = 0) engine.
+  const auto run_with_tau = [](double tau) {
+    Network net;
+    util::Rng rng(17);
+    const auto in = net.add_poisson_group("in", 15, 70.0);
+    const auto mid = net.add_lif_group("mid", 25);
+    const auto out = net.add_izhikevich_group(
+        "out", 15, IzhikevichParams::regular_spiking());
+    net.connect_random(in, mid, 0.5, WeightSpec::uniform(8.0, 14.0), rng);
+    net.connect_random(mid, out, 0.5, WeightSpec::uniform(6.0, 10.0), rng,
+                       /*delay=*/3);
+    SimulationConfig cfg;
+    cfg.duration_ms = 600.0;
+    cfg.seed = 23;
+    cfg.syn_tau_ms = tau;
+    Simulator sim(net, cfg);
+    return sim.run();
+  };
+  const auto delta = run_with_tau(0.0);
+  ASSERT_GT(delta.total_spikes, 0u);
+  for (const double tau : {1e-3, 1e-6, 1e-9}) {
+    const auto exponential = run_with_tau(tau);
+    EXPECT_EQ(exponential.total_spikes, delta.total_spikes) << "tau " << tau;
+    EXPECT_EQ(exponential.spikes, delta.spikes) << "tau " << tau;
+  }
+}
+
+TEST(SimulatorProperty, MaxDelayBoundaryArrivalsAreExact) {
+  // One strong synapse at the network's max delay (the last ring slot):
+  // every post spike must sit exactly delay ms after some pre spike (the
+  // post neuron fires on arrival, or not at all while refractory).
+  for (const int delay_int : {2, 7, 12, 31}) {
+    const auto delay = static_cast<std::uint16_t>(delay_int);
+    Network net;
+    util::Rng rng(5);
+    const auto in = net.add_poisson_group("in", 1, 40.0);
+    const auto out = net.add_lif_group("out", 1);
+    net.connect_one_to_one(in, out, WeightSpec::fixed(40.0), rng, delay);
+    ASSERT_EQ(net.max_delay_steps(), delay);
+    SimulationConfig cfg;
+    cfg.duration_ms = 1500.0;
+    cfg.seed = delay;
+    Simulator sim(net, cfg);
+    const auto result = sim.run();
+    const SpikeTrain& pre = result.spikes[0];
+    const SpikeTrain& post = result.spikes[1];
+    ASSERT_FALSE(pre.empty());
+    ASSERT_FALSE(post.empty()) << "delay " << delay;
+    for (const TimeMs t : post) {
+      const TimeMs emitted = t - static_cast<double>(delay);
+      EXPECT_TRUE(std::binary_search(pre.begin(), pre.end(), emitted))
+          << "delay " << delay << ": post spike at " << t
+          << " has no pre spike at " << emitted;
+    }
+  }
+}
+
+TEST(SimulatorProperty, TotalSpikesEqualsSumOfTrainSizes) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Network net = random_plastic_network(seed + 40);
+    SimulationConfig cfg;
+    cfg.duration_ms = 700.0;
+    cfg.seed = seed;
+    cfg.enable_stdp = seed % 2 == 0;
+    Simulator sim(net, cfg);
+    const auto result = sim.run();
+    std::uint64_t sum = 0;
+    for (const SpikeTrain& train : result.spikes) {
+      EXPECT_TRUE(is_valid_train(train));
+      sum += train.size();
+    }
+    EXPECT_EQ(sum, result.total_spikes) << "seed " << seed;
+    EXPECT_EQ(result.spikes.size(), net.neuron_count());
+  }
+}
+
+TEST(SimulatorProperty, StepApiSpikesMatchRunResult) {
+  // Stepping manually for the same number of steps must produce the same
+  // log as run(); spikes() materializes the same trains as result().
+  Network net = random_plastic_network(9);
+  SimulationConfig cfg;
+  cfg.duration_ms = 300.0;
+  cfg.seed = 3;
+  Simulator by_run(net, cfg);
+  const auto result = by_run.run();
+
+  Network net2 = random_plastic_network(9);
+  Simulator by_step(net2, cfg);
+  for (int i = 0; i < 300; ++i) by_step.step();
+  EXPECT_EQ(by_step.total_spikes(), result.total_spikes);
+  EXPECT_EQ(by_step.spikes(), result.spikes);
+  EXPECT_EQ(by_step.result().spikes, result.spikes);
+}
+
+}  // namespace
+}  // namespace snnmap::snn

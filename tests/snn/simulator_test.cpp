@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "snn/graph.hpp"
 #include "snn/spike_train.hpp"
 
@@ -226,11 +228,8 @@ TEST(Simulator, ExponentialSynapseDecayIsFinite) {
   Simulator sim(net, cfg);
   // Manually push one spike's worth of current via external injection.
   sim.inject_current(0, 50.0);
-  std::size_t spikes = 0;
-  for (int t = 0; t < 300; ++t) {
-    sim.step();
-    spikes = sim.spikes()[0].size();
-  }
+  for (int t = 0; t < 300; ++t) sim.step();
+  const std::size_t spikes = sim.spikes()[0].size();
   // Fires at most a few times right after the pulse, then silence.
   EXPECT_LE(spikes, 5u);
   const auto after = sim.spikes()[0];
@@ -245,6 +244,105 @@ TEST(Simulator, RejectsNonPositiveDt) {
   SimulationConfig cfg;
   cfg.dt_ms = 0.0;
   EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsNonFiniteDt) {
+  Network net;
+  net.add_lif_group("n", 1);
+  SimulationConfig cfg;
+  cfg.dt_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+  cfg.dt_ms = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsInvalidDuration) {
+  Network net;
+  net.add_lif_group("n", 1);
+  SimulationConfig cfg;
+  cfg.duration_ms = -1.0;
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+  cfg.duration_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+  cfg.duration_ms = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+  cfg.duration_ms = 0.0;  // legal: zero steps, empty result
+  Simulator sim(net, cfg);
+  const auto result = sim.run();
+  EXPECT_EQ(result.total_spikes, 0u);
+  EXPECT_DOUBLE_EQ(result.duration_ms, 0.0);
+}
+
+TEST(Simulator, DelayRaisedThroughMutableSynapsesStaysInBounds) {
+  // Regression: mutable_synapses() lets a caller raise a delay after the
+  // Network cached its max; the delay ring must size itself from the
+  // synapses as built, or delivery indexes past the pending buffer
+  // (caught by the ASan CI leg).
+  Network net;
+  const auto in = net.add_poisson_group("in", 1, 200.0);
+  const auto out = net.add_lif_group("out", 1);
+  util::Rng rng(1);
+  net.connect_one_to_one(in, out, WeightSpec::fixed(40.0), rng, /*delay=*/1);
+  net.mutable_synapses()[0].delay_steps = 10;
+  SimulationConfig cfg;
+  cfg.duration_ms = 200.0;
+  Simulator sim(net, cfg);
+  const auto result = sim.run();
+  ASSERT_FALSE(result.spikes[1].empty());
+  // Arrivals honor the raised delay.
+  EXPECT_GE(result.spikes[1].front(), result.spikes[0].front() + 10.0);
+}
+
+TEST(Simulator, DelayLoweredToZeroThroughMutableSynapsesIsRejected) {
+  // The mirror image of the raised-delay case: a zero delay would make a
+  // spike arrive in the slot being consumed, reaching only the neurons not
+  // yet stepped this dt — rejected at construction instead.
+  Network net;
+  const auto in = net.add_poisson_group("in", 1, 100.0);
+  const auto out = net.add_lif_group("out", 1);
+  util::Rng rng(1);
+  net.connect_one_to_one(in, out, WeightSpec::fixed(40.0), rng, /*delay=*/1);
+  net.mutable_synapses()[0].delay_steps = 0;
+  SimulationConfig cfg;
+  EXPECT_THROW(Simulator(net, cfg), std::invalid_argument);
+}
+
+TEST(Simulator, RunCoversNonCommensurateDuration) {
+  // Regression: round-to-nearest used to drop the tail step (10 ms at
+  // dt = 3 ms simulated only 9 ms).  run() must cover the full duration
+  // with whole steps: ceil(10 / 3) = 4 steps = 12 ms.
+  Network net;
+  net.add_poisson_group("in", 5, 100.0);
+  SimulationConfig cfg;
+  cfg.dt_ms = 3.0;
+  cfg.duration_ms = 10.0;
+  Simulator sim(net, cfg);
+  const auto result = sim.run();
+  EXPECT_GE(result.duration_ms, cfg.duration_ms);
+  EXPECT_DOUBLE_EQ(result.duration_ms, 12.0);
+}
+
+TEST(Simulator, RunKeepsCommensurateStepCountExact) {
+  // An exactly commensurate ratio must not gain a step from the ceil.
+  Network net;
+  net.add_poisson_group("in", 2, 50.0);
+  SimulationConfig cfg;
+  cfg.dt_ms = 0.5;
+  cfg.duration_ms = 250.0;
+  Simulator sim(net, cfg);
+  const auto result = sim.run();
+  EXPECT_DOUBLE_EQ(result.duration_ms, 250.0);
+  // dt = 0.1 is not exactly representable; 1000 / 0.1 must still give
+  // exactly 10000 steps, not 10001.
+  Network net2;
+  net2.add_poisson_group("in", 2, 50.0);
+  SimulationConfig cfg2;
+  cfg2.dt_ms = 0.1;
+  cfg2.duration_ms = 1000.0;
+  Simulator sim2(net2, cfg2);
+  const auto result2 = sim2.run();
+  EXPECT_NEAR(result2.duration_ms, 1000.0, 1e-6);
+  EXPECT_LT(result2.duration_ms, 1000.0 + 0.05);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+// Order-sensitive FNV-1a digest shared by the golden-fixture harnesses
+// (tests/noc/golden_scenarios.hpp, tests/snn/golden_scenarios.hpp).  The
+// fixtures committed in each suite's golden_fixtures.inc are hashes produced
+// by this exact algorithm; changing it invalidates every captured fixture.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace snnmap::test {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+  void mix(double v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  void mix(float v) noexcept {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(static_cast<std::uint64_t>(bits));
+  }
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+}  // namespace snnmap::test
