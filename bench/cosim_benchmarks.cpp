@@ -1,0 +1,134 @@
+// BM_CoSimulator: Google-benchmark suite for the closed-loop SNN x NoC
+// co-simulation hot path.
+//
+// Run via scripts/bench.sh, which writes BENCH_cosim.json so the co-sim
+// throughput trajectory is tracked PR over PR.  The headline number is
+// lockstep steps/sec (steps_per_sec counter) on:
+//
+//  * an ideal-budget run (windows drain in-step: measures the lockstep
+//    plumbing — deferred stepping, packet encode, window pump, flush),
+//  * a congested run (small cycle budget: measures carried backlog, late
+//    arrivals and verdict withholding),
+//  * a bounded-receive-queue run (drop accounting on top of congestion),
+//  * a batch sweep through core::BatchCoSimEvaluator.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/batch_eval.hpp"
+#include "core/framework.hpp"
+#include "core/pacman.hpp"
+#include "core/placement.hpp"
+#include "cosim/cosim.hpp"
+#include "hw/architecture.hpp"
+#include "noc/topology.hpp"
+#include "snn/graph.hpp"
+
+namespace {
+
+using namespace snnmap;
+
+struct Mapped {
+  apps::SyntheticConfig workload;
+  hw::Architecture arch;
+  core::Partition partition;
+};
+
+/// The 2x200 synthetic workload pacman-mapped onto 8 x 64 crossbars (tree):
+/// dense cross-crossbar projections, the traffic shape the co-sim loop has
+/// to encode and flush every step.
+const Mapped& mapped_workload() {
+  static const Mapped kMapped = [] {
+    apps::SyntheticConfig workload;
+    workload.layers = 2;
+    workload.neurons_per_layer = 200;
+    workload.seed = 5;
+    workload.duration_ms = 200.0;
+    const snn::SnnGraph graph = apps::build_synthetic(workload);
+    hw::Architecture arch = hw::Architecture::sized_for(
+        graph.neuron_count(), 64, hw::InterconnectKind::kTree);
+    core::Partition partition = core::pacman_partition(graph, arch);
+    return Mapped{workload, arch, std::move(partition)};
+  }();
+  return kMapped;
+}
+
+cosim::CoSimConfig cosim_config(std::uint32_t cycles_per_timestep) {
+  const Mapped& m = mapped_workload();
+  cosim::CoSimConfig config;
+  config.snn = apps::synthetic_sim_config(m.workload);
+  config.cycles_per_timestep = cycles_per_timestep;
+  return config;
+}
+
+void run_cosim(benchmark::State& state, const cosim::CoSimConfig& config) {
+  const Mapped& m = mapped_workload();
+  std::uint64_t steps = 0;
+  double simulated_ms = 0.0;
+  for (auto _ : state) {
+    snn::Network net = apps::build_synthetic_network(m.workload);
+    cosim::CoSimulator sim(net, m.partition,
+                           core::identity_placement(
+                               m.arch.crossbar_count,
+                               noc::Topology::for_architecture(m.arch)),
+                           noc::Topology::for_architecture(m.arch), config);
+    const cosim::CoSimResult result = sim.run();
+    benchmark::DoNotOptimize(result.fidelity.copies_accepted);
+    steps += result.fidelity.steps;
+    simulated_ms += result.snn.duration_ms;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps),
+                         benchmark::Counter::kIsRate);
+  state.counters["sim_ms_per_sec"] =
+      benchmark::Counter(simulated_ms, benchmark::Counter::kIsRate);
+}
+
+void BM_CoSimulator_IdealBudget(benchmark::State& state) {
+  run_cosim(state, cosim_config(2048));
+}
+BENCHMARK(BM_CoSimulator_IdealBudget);
+
+void BM_CoSimulator_Congested(benchmark::State& state) {
+  run_cosim(state, cosim_config(24));
+}
+BENCHMARK(BM_CoSimulator_Congested);
+
+void BM_CoSimulator_BoundedReceiveQueue(benchmark::State& state) {
+  cosim::CoSimConfig config = cosim_config(24);
+  config.receive_queue_depth = 4;
+  run_cosim(state, config);
+}
+BENCHMARK(BM_CoSimulator_BoundedReceiveQueue);
+
+void BM_CoSimulator_BatchCptSweep(benchmark::State& state) {
+  const Mapped& m = mapped_workload();
+  const std::vector<std::uint32_t> budgets = {2048, 64, 24};
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    noc::Topology topology = noc::Topology::for_architecture(m.arch);
+    core::CoSimScenario base{
+        .build = [&m] { return apps::build_synthetic_network(m.workload); },
+        .partition = m.partition,
+        .placement =
+            core::identity_placement(m.arch.crossbar_count, topology),
+        .topology = std::move(topology),
+        .config = cosim_config(2048),
+        .with_ideal_baseline = false};
+    core::BatchCoSimEvaluator evaluator;
+    const auto outcomes = evaluator.run_cpt_sweep(base, budgets);
+    benchmark::DoNotOptimize(outcomes.size());
+    for (const auto& o : outcomes) steps += o.result.fidelity.steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(steps),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoSimulator_BatchCptSweep);
+
+}  // namespace

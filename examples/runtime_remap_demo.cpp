@@ -5,17 +5,34 @@
 // clusters split across crossbars.  The RuntimeRemapper migrates a small
 // budget of neurons per phase and recovers most of the lost efficiency.
 //
-//   ./build/examples/runtime_remap_demo
+// Default mode feeds the remapper the *analytic* phase trace (the spike
+// graph's own trains).  With --cosim, each phase's traffic is first pushed
+// through the cycle-level NoC under the remapper's current mapping and the
+// observed graph is rebuilt from the live delivery log
+// (cosim::observed_graph_from_noc) — so the remapper reacts to arrival
+// times the fabric actually produced, congestion smear included.
+//
+//   ./build/examples/runtime_remap_demo [--cosim]
+#include <cstring>
 #include <iostream>
+#include <utility>
 
 #include "apps/phased.hpp"
 #include "core/cost.hpp"
+#include "core/framework.hpp"
+#include "core/placement.hpp"
 #include "core/pso.hpp"
 #include "core/runtime_remap.hpp"
+#include "cosim/fidelity.hpp"
+#include "noc/simulator.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snnmap;
+  bool cosim_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cosim") == 0) cosim_mode = true;
+  }
 
   apps::PhasedConfig workload;
   workload.clusters = 6;
@@ -40,12 +57,32 @@ int main() {
   budgeted.max_migrations_per_epoch = 12;
   core::RuntimeRemapper remapper(arch, offline, budgeted);
 
+  // Co-sim mode: the observed traffic comes from the live NoC delivery
+  // log, replayed under the remapper's *current* mapping each phase.
+  noc::Topology topology = noc::Topology::for_architecture(arch);
+  const auto placement =
+      core::identity_placement(arch.crossbar_count, topology);
+  if (cosim_mode) {
+    std::cout << "mode: observed traffic from the live NoC delivery log\n";
+  }
+
   util::Table table({"phase", "static map (AER packets)",
                      "remapped (AER packets)", "migrations this phase"});
   for (std::uint32_t phase = 0; phase < 6; ++phase) {
     const auto graph = apps::build_phased_clusters(workload, phase);
     const core::CostModel cost(graph);
-    const auto epoch = remapper.observe_phase(graph);
+    auto observed = graph;
+    if (cosim_mode) {
+      auto traffic = core::build_traffic(graph, remapper.partition(),
+                                         placement, arch.cycles_per_ms,
+                                         /*jitter_cycles=*/32);
+      noc::NocSimulator noc_sim(topology, noc::NocConfig{});
+      const auto run = noc_sim.run(std::move(traffic));
+      observed = cosim::observed_graph_from_noc(
+          graph, remapper.partition(), placement, run.delivered,
+          arch.cycles_per_ms);
+    }
+    const auto epoch = remapper.observe_phase(observed);
     table.begin_row();
     table.cell(static_cast<std::size_t>(phase));
     table.cell(static_cast<std::size_t>(cost.multicast_packet_count(offline)));

@@ -7,16 +7,21 @@
 // <app> is a Table I name (HW, IS, HD, HE, or the full names) or a synthetic
 // topology "MxN".  The effective configuration is echoed so any run can be
 // reproduced from a config file alone.
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/registry.hpp"
 #include "core/analysis.hpp"
+#include "core/batch_eval.hpp"
 #include "core/config_io.hpp"
 #include "core/framework.hpp"
+#include "cosim/cosim.hpp"
+#include "cosim/fidelity.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +41,10 @@ void usage() {
          "  --threads N           fitness-evaluation workers (0 = all "
          "cores, 1 = serial; same result either way)\n"
          "  --csv FILE            also write the report row as CSV\n"
+         "  --cosim               also run closed-loop SNN x NoC "
+         "co-simulation of the mapping and report fidelity\n"
+         "  --cosim-cycles N      NoC cycles per SNN timestep (default "
+         "arch.cycles_per_ms * dt)\n"
          "  --analyze             print per-crossbar load / traffic "
          "analysis\n"
          "  --dump-config         print the effective configuration and "
@@ -81,6 +90,8 @@ int main(int argc, char** argv) {
   std::string interconnect_override;
   bool dump_config = false;
   bool analyze = false;
+  bool cosim = false;
+  std::uint32_t cosim_cycles = 0;  // 0 = derive from the architecture
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +126,12 @@ int main(int argc, char** argv) {
       csv_path = need_value("--csv");
     } else if (arg == "--dump-config") {
       dump_config = true;
+    } else if (arg == "--cosim") {
+      cosim = true;
+    } else if (arg == "--cosim-cycles") {
+      cosim_cycles = static_cast<std::uint32_t>(
+          parse_uint("--cosim-cycles", need_value("--cosim-cycles")));
+      cosim = true;
     } else if (arg == "--analyze") {
       analyze = true;
     } else if (arg == "--verbose") {
@@ -205,6 +222,87 @@ int main(int argc, char** argv) {
                    util::format_double(
                        report.snn_metrics.isi_distortion_max_cycles, 1)});
     std::cout << table.to_ascii();
+    if (cosim) {
+      // Closed-loop co-simulation of the mapping just produced: the same
+      // network, with cross-crossbar synapses carried by the cycle-level
+      // NoC, compared against the same-seed ideal-interconnect run.
+      apps::AppNetwork app_net = apps::build_app_network(app, seed);
+      cosim::CoSimConfig cc;
+      cc.snn = app_net.sim;
+      cc.noc = flow.noc;
+      cc.cycles_per_timestep = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 static_cast<double>(flow.arch.cycles_per_ms) *
+                 app_net.sim.dt_ms));
+      cc = core::cosim_from_config(file_config, cc);
+      if (cosim_cycles != 0) cc.cycles_per_timestep = cosim_cycles;
+
+      // Plastic synapses cannot be remote-cut (their weights live on the
+      // destination crossbar).  When the mapping splits a plastic
+      // projection — e.g. HD's input->excitatory afferents under any
+      // capacity-bound partition — co-simulate with STDP off (frozen
+      // initial weights) instead of refusing the run.
+      if (cc.snn.enable_stdp) {
+        snn::Network probe = app_net.build();
+        const auto& assignment = report.partition.assignment();
+        for (const snn::Synapse& s : probe.synapses()) {
+          if (s.plastic && assignment[s.pre] != assignment[s.post]) {
+            std::cerr << "note: mapping cuts a plastic projection; "
+                         "co-simulating with STDP disabled (frozen initial "
+                         "weights)\n";
+            cc.snn.enable_stdp = false;
+            break;
+          }
+        }
+      }
+
+      noc::Topology cosim_topology =
+          noc::Topology::for_architecture(flow.arch);
+      if (flow.arch.interconnect == hw::InterconnectKind::kMesh) {
+        cosim_topology.set_mesh_routing(flow.mesh_routing);
+      }
+      std::cerr << "co-simulating (" << cc.cycles_per_timestep
+                << " NoC cycles per timestep)...\n";
+      core::CoSimScenario scenario{
+          .build = app_net.build,
+          .partition = report.partition,
+          .placement = report.placement,
+          .topology = std::move(cosim_topology),
+          .config = cc,
+          .with_ideal_baseline = true};
+      core::BatchCoSimEvaluator evaluator(1);
+      const auto outcome = evaluator.run_all({std::move(scenario)});
+      const cosim::CoSimResult& cs = outcome[0].result;
+      const cosim::SpikeDivergence& divergence = outcome[0].divergence;
+
+      util::Table fidelity({"co-sim metric", "value"});
+      fidelity.add_row({"cycles per timestep",
+                        std::to_string(cc.cycles_per_timestep)});
+      fidelity.add_row({"AER packets offered",
+                        std::to_string(cs.fidelity.packets_offered)});
+      fidelity.add_row({"copies offered",
+                        std::to_string(cs.fidelity.copies_offered)});
+      fidelity.add_row({"copies accepted",
+                        std::to_string(cs.fidelity.copies_accepted)});
+      fidelity.add_row({"deadline misses (late windows)",
+                        std::to_string(cs.fidelity.deadline_misses)});
+      fidelity.add_row({"receive-queue drops",
+                        std::to_string(cs.fidelity.receive_drops)});
+      fidelity.add_row({"undelivered at end",
+                        std::to_string(cs.fidelity.undelivered)});
+      fidelity.add_row({"miss fraction",
+                        util::format_double(cs.fidelity.miss_fraction(), 4)});
+      fidelity.add_row({"mean transit (cycles)",
+                        util::format_double(
+                            cs.fidelity.transit_cycles.mean(), 2)});
+      fidelity.add_row({"max transit (cycles)",
+                        util::format_double(
+                            cs.fidelity.transit_cycles.max(), 0)});
+      fidelity.add_row({"spike-train divergence (%)",
+                        util::format_double(divergence.fraction() * 100.0,
+                                            4)});
+      std::cout << '\n' << fidelity.to_ascii();
+    }
     if (analyze) {
       std::cout << '\n'
                 << core::analyze_mapping(graph, report.partition).render();

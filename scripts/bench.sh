@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Simulator perf tracking: runs the BM_NocSimulator and BM_SnnSimulator
-# suites (Release) and writes BENCH_noc.json / BENCH_snn.json at the repo
-# root so the simulated-packets/sec and simulated-ms/sec trajectories are
-# recorded PR over PR.
+# Simulator perf tracking: runs the BM_NocSimulator, BM_SnnSimulator and
+# BM_CoSimulator suites (Release) and writes BENCH_noc.json /
+# BENCH_snn.json / BENCH_cosim.json at the repo root so the
+# simulated-packets/sec, simulated-ms/sec and co-sim steps/sec trajectories
+# are recorded PR over PR.
 #
 #   scripts/bench.sh [extra google-benchmark flags...]
 #
@@ -15,6 +16,7 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 JOBS=${JOBS:-$(nproc)}
 NOC_OUT=${NOC_OUT:-BENCH_noc.json}
 SNN_OUT=${SNN_OUT:-BENCH_snn.json}
+COSIM_OUT=${COSIM_OUT:-BENCH_cosim.json}
 
 configure_log=$(cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -30,7 +32,8 @@ if grep -q "Google Benchmark not found" <<<"$configure_log"; then
   exit 1
 fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target noc_sim_benchmarks --target snn_sim_benchmarks
+  --target noc_sim_benchmarks --target snn_sim_benchmarks \
+  --target cosim_benchmarks
 
 run_suite() {
   local binary=$1
@@ -50,3 +53,4 @@ run_suite() {
 
 run_suite noc_sim_benchmarks "$NOC_OUT" "$@"
 run_suite snn_sim_benchmarks "$SNN_OUT" "$@"
+run_suite cosim_benchmarks "$COSIM_OUT" "$@"

@@ -105,7 +105,8 @@ std::vector<double> make_digit_image(int digit, std::uint64_t seed) {
   return img;
 }
 
-snn::SnnGraph build_digit_recognition(const DigitRecognitionConfig& config) {
+snn::Network build_digit_recognition_network(
+    const DigitRecognitionConfig& config) {
   util::Rng rng(config.seed);
   snn::Network net;
 
@@ -135,13 +136,22 @@ snn::SnnGraph build_digit_recognition(const DigitRecognitionConfig& config) {
   }
   // Lateral inhibition back onto all excitatory neurons (winner-take-all).
   net.connect_random(inh, exc, 0.9, snn::WeightSpec::fixed(-3.0), rng);
+  return net;
+}
 
+snn::SimulationConfig digit_recognition_sim_config(
+    const DigitRecognitionConfig& config) {
   snn::SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.duration_ms = config.duration_ms;
   sim_config.enable_stdp = config.train_stdp;
   sim_config.stdp.w_max = 8.0;
-  snn::Simulator sim(net, sim_config);
+  return sim_config;
+}
+
+snn::SnnGraph build_digit_recognition(const DigitRecognitionConfig& config) {
+  snn::Network net = build_digit_recognition_network(config);
+  snn::Simulator sim(net, digit_recognition_sim_config(config));
   return snn::SnnGraph::from_simulation(net, sim.run());
 }
 

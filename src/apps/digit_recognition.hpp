@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "snn/graph.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
 
 namespace snnmap::apps {
 
@@ -35,5 +37,16 @@ struct DigitRecognitionConfig {
 std::vector<double> make_digit_image(int digit, std::uint64_t seed);
 
 snn::SnnGraph build_digit_recognition(const DigitRecognitionConfig& config = {});
+
+/// The network the graph builder simulates (closed-loop co-simulation
+/// entry point) and the simulation config that extraction uses.  Note the
+/// plastic input->excitatory projection: a co-simulation mapping must keep
+/// it crossbar-local or disable train_stdp — the engine rejects cut
+/// plastic synapses while STDP is enabled (snnmap_cli --cosim falls back
+/// to STDP-off automatically).
+snn::Network build_digit_recognition_network(
+    const DigitRecognitionConfig& config = {});
+snn::SimulationConfig digit_recognition_sim_config(
+    const DigitRecognitionConfig& config = {});
 
 }  // namespace snnmap::apps

@@ -6,8 +6,7 @@
 
 namespace snnmap::apps {
 
-snn::SnnGraph build_edge_detection(const EdgeDetectionConfig& config) {
-  util::Rng rng(config.seed);
+snn::Network build_edge_detection_network(const EdgeDetectionConfig& config) {
   snn::Network net;
   const std::uint32_t pixels = config.width * config.height;
 
@@ -32,12 +31,21 @@ snn::SnnGraph build_edge_detection(const EdgeDetectionConfig& config) {
   net.connect_gaussian_2d(input, edges_group, config.width, config.height,
                           config.surround_radius, config.surround_weight,
                           /*sigma=*/1.6);
+  return net;
+}
 
+snn::SimulationConfig edge_detection_sim_config(
+    const EdgeDetectionConfig& config) {
   snn::SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.duration_ms = config.duration_ms;
   sim_config.syn_tau_ms = 4.0;  // slight temporal integration
-  snn::Simulator sim(net, sim_config);
+  return sim_config;
+}
+
+snn::SnnGraph build_edge_detection(const EdgeDetectionConfig& config) {
+  snn::Network net = build_edge_detection_network(config);
+  snn::Simulator sim(net, edge_detection_sim_config(config));
   return snn::SnnGraph::from_simulation(net, sim.run());
 }
 

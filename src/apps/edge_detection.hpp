@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "snn/graph.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
 
 namespace snnmap::apps {
 
@@ -27,5 +29,12 @@ struct EdgeDetectionConfig {
 };
 
 snn::SnnGraph build_edge_detection(const EdgeDetectionConfig& config = {});
+
+/// The network the graph builder simulates (closed-loop co-simulation
+/// entry point) and the simulation config that extraction uses.
+snn::Network build_edge_detection_network(
+    const EdgeDetectionConfig& config = {});
+snn::SimulationConfig edge_detection_sim_config(
+    const EdgeDetectionConfig& config = {});
 
 }  // namespace snnmap::apps

@@ -84,11 +84,9 @@ std::vector<snn::SpikeTrain> encode_ecg(const std::vector<double>& ecg,
   return trains;
 }
 
-snn::SnnGraph build_heartbeat(const HeartbeatConfig& config,
-                              HeartbeatGroundTruth* truth) {
+snn::Network build_heartbeat_network(const HeartbeatConfig& config) {
   util::Rng rng(config.seed);
-  std::vector<double> r_peaks;
-  const auto ecg = make_ecg(config, &r_peaks);
+  const auto ecg = make_ecg(config);
   const auto encoded =
       encode_ecg(ecg, config.input_channels, config.encoder_delta);
 
@@ -148,14 +146,27 @@ snn::SnnGraph build_heartbeat(const HeartbeatConfig& config,
   // far subthreshold).
   net.connect_random(liq_exc, readout, 0.6,
                      snn::WeightSpec::uniform(3.0, 5.0), rng);
+  return net;
+}
 
+snn::SimulationConfig heartbeat_sim_config(const HeartbeatConfig& config) {
   snn::SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.duration_ms = config.duration_ms;
-  snn::Simulator sim(net, sim_config);
+  return sim_config;
+}
+
+snn::SnnGraph build_heartbeat(const HeartbeatConfig& config,
+                              HeartbeatGroundTruth* truth) {
+  snn::Network net = build_heartbeat_network(config);
+  snn::Simulator sim(net, heartbeat_sim_config(config));
   auto result = sim.run();
 
   if (truth) {
+    // make_ecg is a pure function of the config, so recomputing it here
+    // yields the exact peak times the network's encoder saw.
+    std::vector<double> r_peaks;
+    make_ecg(config, &r_peaks);
     truth->r_peak_times_ms = r_peaks;
     double rr_sum = 0.0;
     for (std::size_t i = 1; i < r_peaks.size(); ++i) {
@@ -164,6 +175,7 @@ snn::SnnGraph build_heartbeat(const HeartbeatConfig& config,
     truth->mean_rr_ms =
         r_peaks.size() > 1 ? rr_sum / static_cast<double>(r_peaks.size() - 1)
                            : config.mean_rr_ms;
+    const auto readout = net.find_group("readout");
     truth->readout_first = net.group(readout).first;
     truth->readout_count = net.group(readout).size;
   }

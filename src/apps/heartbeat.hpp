@@ -54,6 +54,11 @@ std::vector<snn::SpikeTrain> encode_ecg(const std::vector<double>& ecg,
 snn::SnnGraph build_heartbeat(const HeartbeatConfig& config = {},
                               HeartbeatGroundTruth* truth = nullptr);
 
+/// The network the graph builder simulates (closed-loop co-simulation
+/// entry point) and the simulation config that extraction uses.
+snn::Network build_heartbeat_network(const HeartbeatConfig& config = {});
+snn::SimulationConfig heartbeat_sim_config(const HeartbeatConfig& config = {});
+
 /// Estimates the mean RR interval from a readout population spike train via
 /// burst detection (gaps longer than `gap_ms` separate beats).
 double estimate_mean_rr_ms(const snn::SpikeTrain& merged_readout,

@@ -5,7 +5,7 @@
 
 namespace snnmap::apps {
 
-snn::SnnGraph build_hello_world(const HelloWorldConfig& config) {
+snn::Network build_hello_world_network(const HelloWorldConfig& config) {
   util::Rng rng(config.seed);
   snn::Network net;
 
@@ -27,11 +27,19 @@ snn::SnnGraph build_hello_world(const HelloWorldConfig& config) {
   net.connect_one_to_one(input, grid, snn::WeightSpec::uniform(28.0, 34.0),
                          rng);
   net.connect_full(grid, out, snn::WeightSpec::uniform(1.5, 2.5), rng);
+  return net;
+}
 
+snn::SimulationConfig hello_world_sim_config(const HelloWorldConfig& config) {
   snn::SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.duration_ms = config.duration_ms;
-  snn::Simulator sim(net, sim_config);
+  return sim_config;
+}
+
+snn::SnnGraph build_hello_world(const HelloWorldConfig& config) {
+  snn::Network net = build_hello_world_network(config);
+  snn::Simulator sim(net, hello_world_sim_config(config));
   return snn::SnnGraph::from_simulation(net, sim.run());
 }
 

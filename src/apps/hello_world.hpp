@@ -8,6 +8,8 @@
 #include <cstdint>
 
 #include "snn/graph.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
 
 namespace snnmap::apps {
 
@@ -18,5 +20,10 @@ struct HelloWorldConfig {
 
 /// Builds, simulates and extracts the spike graph.
 snn::SnnGraph build_hello_world(const HelloWorldConfig& config = {});
+
+/// The network the graph builder simulates (closed-loop co-simulation
+/// entry point) and the simulation config that extraction uses.
+snn::Network build_hello_world_network(const HelloWorldConfig& config = {});
+snn::SimulationConfig hello_world_sim_config(const HelloWorldConfig& config = {});
 
 }  // namespace snnmap::apps

@@ -29,8 +29,7 @@ std::vector<double> make_test_image(std::uint32_t width, std::uint32_t height,
   return image;
 }
 
-snn::SnnGraph build_image_smoothing(const ImageSmoothingConfig& config) {
-  util::Rng rng(config.seed);
+snn::Network build_image_smoothing_network(const ImageSmoothingConfig& config) {
   snn::Network net;
   const std::uint32_t pixels = config.width * config.height;
 
@@ -51,11 +50,20 @@ snn::SnnGraph build_image_smoothing(const ImageSmoothingConfig& config) {
   net.connect_gaussian_2d(input, smooth, config.width, config.height,
                           config.kernel_radius, /*peak_weight=*/10.0,
                           config.kernel_sigma);
+  return net;
+}
 
+snn::SimulationConfig image_smoothing_sim_config(
+    const ImageSmoothingConfig& config) {
   snn::SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.duration_ms = config.duration_ms;
-  snn::Simulator sim(net, sim_config);
+  return sim_config;
+}
+
+snn::SnnGraph build_image_smoothing(const ImageSmoothingConfig& config) {
+  snn::Network net = build_image_smoothing_network(config);
+  snn::Simulator sim(net, image_smoothing_sim_config(config));
   return snn::SnnGraph::from_simulation(net, sim.run());
 }
 

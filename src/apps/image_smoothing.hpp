@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "snn/graph.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
 
 namespace snnmap::apps {
 
@@ -27,5 +29,12 @@ std::vector<double> make_test_image(std::uint32_t width, std::uint32_t height,
                                     std::uint64_t seed);
 
 snn::SnnGraph build_image_smoothing(const ImageSmoothingConfig& config = {});
+
+/// The network the graph builder simulates (closed-loop co-simulation
+/// entry point) and the simulation config that extraction uses.
+snn::Network build_image_smoothing_network(
+    const ImageSmoothingConfig& config = {});
+snn::SimulationConfig image_smoothing_sim_config(
+    const ImageSmoothingConfig& config = {});
 
 }  // namespace snnmap::apps

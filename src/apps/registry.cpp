@@ -1,6 +1,7 @@
 #include "apps/registry.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "apps/digit_recognition.hpp"
 #include "apps/edge_detection.hpp"
@@ -10,33 +11,61 @@
 #include "apps/synthetic.hpp"
 
 namespace snnmap::apps {
+namespace {
+
+/// Builds an AppInfo whose graph builder is *derived* from the network
+/// builder — graph extraction is by definition "simulate the network and
+/// annotate" — so the two dispatch surfaces come from one registration and
+/// cannot drift.
+AppInfo make_app(std::string name, std::string full_name,
+                 std::string topology,
+                 std::function<AppNetwork(std::uint64_t)> network) {
+  AppInfo info;
+  info.name = std::move(name);
+  info.full_name = std::move(full_name);
+  info.topology = std::move(topology);
+  info.network = network;
+  info.build = [network = std::move(network)](std::uint64_t seed) {
+    const AppNetwork app = network(seed);
+    snn::Network net = app.build();
+    snn::Simulator sim(net, app.sim);
+    return snn::SnnGraph::from_simulation(net, sim.run());
+  };
+  return info;
+}
+
+}  // namespace
 
 const std::vector<AppInfo>& realistic_apps() {
   static const std::vector<AppInfo> kApps = {
-      {"HW", "hello world", "Feedforward (117, 9)",
-       [](std::uint64_t seed) {
-         HelloWorldConfig c;
-         c.seed = seed;
-         return build_hello_world(c);
-       }},
-      {"IS", "image smoothing", "Feedforward (1024, 1024)",
-       [](std::uint64_t seed) {
-         ImageSmoothingConfig c;
-         c.seed = seed;
-         return build_image_smoothing(c);
-       }},
-      {"HD", "handwritten digit", "Unsupervised, recurrent (250, 250)",
-       [](std::uint64_t seed) {
-         DigitRecognitionConfig c;
-         c.seed = seed;
-         return build_digit_recognition(c);
-       }},
-      {"HE", "heartbeat estimation", "Unsupervised, LSM (64, 16)",
-       [](std::uint64_t seed) {
-         HeartbeatConfig c;
-         c.seed = seed;
-         return build_heartbeat(c);
-       }},
+      make_app("HW", "hello world", "Feedforward (117, 9)",
+               [](std::uint64_t seed) -> AppNetwork {
+                 HelloWorldConfig c;
+                 c.seed = seed;
+                 return {[c] { return build_hello_world_network(c); },
+                         hello_world_sim_config(c)};
+               }),
+      make_app("IS", "image smoothing", "Feedforward (1024, 1024)",
+               [](std::uint64_t seed) -> AppNetwork {
+                 ImageSmoothingConfig c;
+                 c.seed = seed;
+                 return {[c] { return build_image_smoothing_network(c); },
+                         image_smoothing_sim_config(c)};
+               }),
+      make_app("HD", "handwritten digit", "Unsupervised, recurrent (250, 250)",
+               [](std::uint64_t seed) -> AppNetwork {
+                 DigitRecognitionConfig c;
+                 c.seed = seed;
+                 return {[c] { return build_digit_recognition_network(c); },
+                         digit_recognition_sim_config(c)};
+               }),
+      make_app("HE", "heartbeat estimation", "Unsupervised, LSM (64, 16)",
+               [](std::uint64_t seed) -> AppNetwork {
+                 HeartbeatConfig c;
+                 c.seed = seed;
+                 return {[c] { return build_heartbeat_network(c); },
+                         heartbeat_sim_config(c)};
+               }),
   };
   return kApps;
 }
@@ -46,12 +75,13 @@ namespace {
 /// Extra (non-Table-I) applications reachable by name.
 const std::vector<AppInfo>& extra_apps() {
   static const std::vector<AppInfo> kApps = {
-      {"ED", "edge detection", "Feedforward DoG (1024, 1024)",
-       [](std::uint64_t seed) {
-         EdgeDetectionConfig c;
-         c.seed = seed;
-         return build_edge_detection(c);
-       }},
+      make_app("ED", "edge detection", "Feedforward DoG (1024, 1024)",
+               [](std::uint64_t seed) -> AppNetwork {
+                 EdgeDetectionConfig c;
+                 c.seed = seed;
+                 return {[c] { return build_edge_detection_network(c); },
+                         edge_detection_sim_config(c)};
+               }),
   };
   return kApps;
 }
@@ -69,6 +99,19 @@ snn::SnnGraph build_app(const std::string& name, std::uint64_t seed) {
   SyntheticConfig config = parse_synthetic_name(name);  // throws if unknown
   config.seed = seed;
   return build_synthetic(config);
+}
+
+AppNetwork build_app_network(const std::string& name, std::uint64_t seed) {
+  for (const auto& app : realistic_apps()) {
+    if (name == app.name || name == app.full_name) return app.network(seed);
+  }
+  for (const auto& app : extra_apps()) {
+    if (name == app.name || name == app.full_name) return app.network(seed);
+  }
+  SyntheticConfig config = parse_synthetic_name(name);  // throws if unknown
+  config.seed = seed;
+  return {[config] { return build_synthetic_network(config); },
+          synthetic_sim_config(config)};
 }
 
 bool is_known_app(const std::string& name) {

@@ -9,14 +9,29 @@
 #include <vector>
 
 #include "snn/graph.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
 
 namespace snnmap::apps {
+
+/// An application as a live network: what closed-loop co-simulation needs
+/// (the spike graph alone cannot react to congested delivery).  `build`
+/// returns the exact network the app's graph extraction simulates and `sim`
+/// the matching simulation config, so a co-sim run under an ideal
+/// interconnect reproduces the app's analytic spike trains bit for bit.
+struct AppNetwork {
+  std::function<snn::Network()> build;
+  snn::SimulationConfig sim;
+};
 
 struct AppInfo {
   std::string name;         ///< canonical short name (e.g. "HW")
   std::string full_name;    ///< paper name (e.g. "hello world")
   std::string topology;     ///< Table I topology string
   std::function<snn::SnnGraph(std::uint64_t seed)> build;
+  /// Live-network counterpart of `build` (same seed -> same network);
+  /// registered alongside it so the two dispatch surfaces cannot drift.
+  std::function<AppNetwork(std::uint64_t seed)> network;
 };
 
 /// The four realistic applications of Table I, in paper order.
@@ -29,5 +44,9 @@ snn::SnnGraph build_app(const std::string& name, std::uint64_t seed);
 
 /// True if `name` resolves (realistic or synthetic).
 bool is_known_app(const std::string& name);
+
+/// Resolves any build_app name to its network builder.  Throws
+/// std::invalid_argument on unknown names.
+AppNetwork build_app_network(const std::string& name, std::uint64_t seed);
 
 }  // namespace snnmap::apps

@@ -7,7 +7,7 @@
 
 namespace snnmap::apps {
 
-snn::SnnGraph build_synthetic(const SyntheticConfig& config) {
+snn::Network build_synthetic_network(const SyntheticConfig& config) {
   if (config.layers == 0 || config.neurons_per_layer == 0) {
     throw std::invalid_argument("build_synthetic: empty topology");
   }
@@ -46,11 +46,19 @@ snn::SnnGraph build_synthetic(const SyntheticConfig& config) {
                                               140.0 / layer_fan),
                      rng);
   }
+  return net;
+}
 
+snn::SimulationConfig synthetic_sim_config(const SyntheticConfig& config) {
   snn::SimulationConfig sim_config;
   sim_config.seed = config.seed;
   sim_config.duration_ms = config.duration_ms;
-  snn::Simulator sim(net, sim_config);
+  return sim_config;
+}
+
+snn::SnnGraph build_synthetic(const SyntheticConfig& config) {
+  snn::Network net = build_synthetic_network(config);
+  snn::Simulator sim(net, synthetic_sim_config(config));
   return snn::SnnGraph::from_simulation(net, sim.run());
 }
 

@@ -25,6 +25,11 @@ struct SyntheticConfig {
 
 snn::SnnGraph build_synthetic(const SyntheticConfig& config);
 
+/// The network the graph builder simulates (closed-loop co-simulation
+/// entry point) and the simulation config that extraction uses.
+snn::Network build_synthetic_network(const SyntheticConfig& config);
+snn::SimulationConfig synthetic_sim_config(const SyntheticConfig& config);
+
 /// Parses "synth_MxN" / "MxN" (e.g. "synth_3x200", "1x600"); throws
 /// std::invalid_argument on malformed names.
 SyntheticConfig parse_synthetic_name(const std::string& name);

@@ -73,6 +73,53 @@ std::vector<SnnRunResult> BatchSnnEvaluator::run_all(
   return results;
 }
 
+BatchCoSimEvaluator::BatchCoSimEvaluator(std::uint32_t threads)
+    : pool_(threads) {}
+
+std::vector<CoSimOutcome> BatchCoSimEvaluator::run_all(
+    std::vector<CoSimScenario> scenarios) {
+  std::vector<CoSimOutcome> results(scenarios.size());
+  pool_.parallel_for(scenarios.size(), [&](std::uint32_t, std::size_t i) {
+    CoSimScenario& sc = scenarios[i];
+    snn::Network net = sc.build();
+    cosim::CoSimulator sim(net, sc.partition, sc.placement,
+                           std::move(sc.topology), sc.config);
+    results[i].result = sim.run();
+    if (sc.with_ideal_baseline) {
+      snn::Network reference = sc.build();
+      snn::Simulator ideal(reference, sc.config.snn);
+      results[i].divergence = cosim::spike_divergence(
+          ideal.run().spikes, results[i].result.snn.spikes);
+    }
+  });
+  return results;
+}
+
+std::vector<CoSimOutcome> BatchCoSimEvaluator::run_cpt_sweep(
+    const CoSimScenario& base,
+    const std::vector<std::uint32_t>& cycles_per_timestep) {
+  std::vector<CoSimScenario> scenarios;
+  scenarios.reserve(cycles_per_timestep.size());
+  for (const std::uint32_t cpt : cycles_per_timestep) {
+    CoSimScenario sc = base;
+    sc.config.cycles_per_timestep = cpt;
+    scenarios.push_back(std::move(sc));
+  }
+  return run_all(std::move(scenarios));
+}
+
+std::vector<CoSimOutcome> BatchCoSimEvaluator::run_seeds(
+    const CoSimScenario& base, const std::vector<std::uint64_t>& seeds) {
+  std::vector<CoSimScenario> scenarios;
+  scenarios.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    CoSimScenario sc = base;
+    sc.config.snn.seed = seed;
+    scenarios.push_back(std::move(sc));
+  }
+  return run_all(std::move(scenarios));
+}
+
 std::vector<SnnRunResult> BatchSnnEvaluator::run_seeds(
     std::function<snn::Network()> build, snn::SimulationConfig config,
     const std::vector<std::uint64_t>& seeds) {

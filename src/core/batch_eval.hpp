@@ -23,6 +23,12 @@
 // Network (STDP mutates weights in place, so instances cannot be shared)
 // and simulates it with its own seeded Rng; results are slot-indexed and
 // bit-identical to serial execution.
+// BatchCoSimEvaluator fans whole closed-loop co-simulations
+// (cosim::CoSimulator) the same way: every scenario owns its Network,
+// mapping, topology, and config, runs single-threaded, and lands in a slot
+// indexed by scenario — bit-identical across thread counts and submission
+// orders, which the fidelity sweeps (mappings x seeds x architectures x
+// cycles_per_timestep) rely on.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,9 @@
 
 #include "core/cost.hpp"
 #include "core/partition.hpp"
+#include "core/placement.hpp"
+#include "cosim/cosim.hpp"
+#include "cosim/fidelity.hpp"
 #include "noc/simulator.hpp"
 #include "snn/graph.hpp"
 #include "snn/simulator.hpp"
@@ -139,6 +148,59 @@ class BatchSnnEvaluator {
   /// same config; results[i] corresponds to seeds[i].
   std::vector<SnnRunResult> run_seeds(std::function<snn::Network()> build,
                                       snn::SimulationConfig config,
+                                      const std::vector<std::uint64_t>& seeds);
+
+ private:
+  util::ThreadPool pool_;
+};
+
+/// One independent closed-loop co-simulation of a batch.  `build` returns a
+/// fresh Network per run (STDP and the co-sim cut marks are per-instance
+/// state); it must be deterministic and safe to invoke concurrently with
+/// the other scenarios' builders.
+struct CoSimScenario {
+  std::function<snn::Network()> build;
+  Partition partition;
+  Placement placement;
+  noc::Topology topology;
+  cosim::CoSimConfig config;
+  /// Also run the same-seed open-loop snn::Simulator and report the
+  /// spike-train divergence against it (doubles the SNN work; disable for
+  /// pure throughput sweeps).
+  bool with_ideal_baseline = true;
+};
+
+/// Closed-loop run + its divergence from the ideal interconnect.
+struct CoSimOutcome {
+  cosim::CoSimResult result;
+  /// Zero-initialized when the scenario disabled the baseline run.
+  cosim::SpikeDivergence divergence;
+};
+
+/// Fans independent co-simulations across a ThreadPool.  Every scenario
+/// runs exactly as a standalone cosim::CoSimulator would (results are
+/// slot-indexed and bit-identical to serial execution, independent of
+/// submission order); threads = 1 runs inline on the calling thread.
+class BatchCoSimEvaluator {
+ public:
+  /// threads = 0 resolves to hardware_concurrency().
+  explicit BatchCoSimEvaluator(std::uint32_t threads = 0);
+
+  std::uint32_t thread_count() const noexcept { return pool_.size(); }
+
+  /// Runs every scenario; results[i] corresponds to scenarios[i].
+  /// Scenarios are consumed (topologies move into the simulators).
+  std::vector<CoSimOutcome> run_all(std::vector<CoSimScenario> scenarios);
+
+  /// Fidelity sweep convenience: one run of `base` per cycles_per_timestep
+  /// value (the shrinking-fabric axis); results[i] corresponds to
+  /// cycles_per_timestep[i].
+  std::vector<CoSimOutcome> run_cpt_sweep(
+      const CoSimScenario& base,
+      const std::vector<std::uint32_t>& cycles_per_timestep);
+
+  /// Multi-seed sweep: one run of `base` per SNN seed.
+  std::vector<CoSimOutcome> run_seeds(const CoSimScenario& base,
                                       const std::vector<std::uint64_t>& seeds);
 
  private:

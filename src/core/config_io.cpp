@@ -120,6 +120,31 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
   return flow;
 }
 
+cosim::CoSimConfig cosim_from_config(const util::Config& config,
+                                     cosim::CoSimConfig base) {
+  base.cycles_per_timestep = static_cast<std::uint32_t>(
+      config.int_or("cosim.cycles_per_timestep",
+                    base.cycles_per_timestep));
+  // "unbounded" (the default) serializes as the sentinel; any positive
+  // depth bounds the queue and 0 is rejected by the CoSimulator.
+  base.receive_queue_depth = static_cast<std::uint32_t>(
+      config.int_or("cosim.receive_queue_depth",
+                    base.receive_queue_depth));
+  base.injection_jitter_cycles = static_cast<std::uint32_t>(
+      config.int_or("cosim.injection_jitter_cycles",
+                    base.injection_jitter_cycles));
+  return base;
+}
+
+void cosim_to_config(const cosim::CoSimConfig& cosim, util::Config& config) {
+  config.set("cosim.cycles_per_timestep",
+             std::to_string(cosim.cycles_per_timestep));
+  config.set("cosim.receive_queue_depth",
+             std::to_string(cosim.receive_queue_depth));
+  config.set("cosim.injection_jitter_cycles",
+             std::to_string(cosim.injection_jitter_cycles));
+}
+
 void mapping_flow_to_config(const MappingFlowConfig& flow,
                             util::Config& config) {
   config.set("arch.crossbars", std::to_string(flow.arch.crossbar_count));

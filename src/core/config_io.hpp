@@ -29,11 +29,18 @@
 //     seed: 42
 //
 // Unknown keys are ignored; absent keys keep their defaults.
+// The closed-loop co-simulation knobs bind under a `cosim:` section:
+//
+//   cosim:
+//     cycles_per_timestep: 1000
+//     receive_queue_depth: 64     # omit for an unbounded (no-drop) queue
+//     injection_jitter_cycles: 0
 #pragma once
 
 #include <string>
 
 #include "core/framework.hpp"
+#include "cosim/cosim.hpp"
 #include "util/config.hpp"
 
 namespace snnmap::core {
@@ -51,5 +58,15 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config);
 /// Serializes the effective configuration (round-trips via the parser).
 void mapping_flow_to_config(const MappingFlowConfig& flow,
                             util::Config& config);
+
+/// Overlays the `cosim.*` keys onto `base` (absent keys keep base values).
+/// Only the co-sim-specific scalars are bound here; the embedded snn / noc
+/// sub-configs stay whatever the caller put in `base` — the CLI derives
+/// them from the app's simulation config and the flow's NoC section.
+cosim::CoSimConfig cosim_from_config(const util::Config& config,
+                                     cosim::CoSimConfig base = {});
+
+/// Serializes the co-sim scalars (round-trips via cosim_from_config).
+void cosim_to_config(const cosim::CoSimConfig& cosim, util::Config& config);
 
 }  // namespace snnmap::core

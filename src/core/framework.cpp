@@ -7,20 +7,10 @@
 
 #include "core/neutrams.hpp"
 #include "core/pacman.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace snnmap::core {
-namespace {
-
-/// Deterministic per-spike hash for injection jitter (splitmix64 finalizer).
-std::uint64_t spike_hash(std::uint64_t neuron, std::uint64_t index) noexcept {
-  std::uint64_t z = neuron * 0x9E3779B97F4A7C15ULL + index + 1;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 const char* to_string(PartitionerKind kind) noexcept {
   switch (kind) {
@@ -92,7 +82,7 @@ std::vector<noc::SpikePacketEvent> build_traffic(
       const auto base = static_cast<std::uint64_t>(
           std::floor(train[s] * static_cast<double>(cycles_per_ms)));
       const std::uint64_t jitter =
-          jitter_cycles ? spike_hash(i, s) % jitter_cycles : 0;
+          jitter_cycles ? util::spike_jitter_hash(i, s) % jitter_cycles : 0;
       ev.emit_cycle = base + jitter;
       // The SNN step index; same-step spikes are unordered for the
       // disorder metric.

@@ -1,0 +1,284 @@
+#include "cosim/cosim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace snnmap::cosim {
+namespace {
+
+/// Rewrites `config.noc` into the effective lockstep interconnect config
+/// (what CoSimulator::config() reports and the internal NocSimulator
+/// runs).  Runs before any validation, so it must tolerate garbage inputs
+/// (the member constructors reject them right after).
+CoSimConfig with_lockstep_noc(CoSimConfig config) {
+  // The closed loop *consumes* the delivery log; streaming mode would
+  // starve it.  Forced rather than rejected: every other NocConfig field
+  // keeps its meaning.
+  config.noc.collect_delivered = true;
+  // max_cycles is a drain bound for one-shot traces; in lockstep mode the
+  // virtual timeline is steps x cycles_per_timestep by construction, so a
+  // long-but-healthy run must not trip it.  Raise it to cover the run (a
+  // congested fabric carrying backlog to the end *is* the measured
+  // behavior); a larger user-provided bound is kept.  max_cycles == 0
+  // stays 0: it is a degenerate config the NocSimulator constructor
+  // rejects, and raising it here would mask that error.
+  const std::uint32_t cpt = config.cycles_per_timestep;
+  if (cpt != 0 && config.noc.max_cycles != 0) {
+    const std::uint64_t span = snn::simulation_step_count(config.snn) + 2;
+    if (span <= noc::kNoCycleLimit / cpt) {
+      config.noc.max_cycles =
+          std::max<std::uint64_t>(config.noc.max_cycles, span * cpt);
+    }
+  }
+  return config;
+}
+
+std::uint64_t key_of(std::uint32_t source, noc::TileId tile) noexcept {
+  return (static_cast<std::uint64_t>(source) << 32) | tile;
+}
+
+}  // namespace
+
+CoSimulator::CoSimulator(snn::Network& network,
+                         const core::Partition& partition,
+                         const core::Placement& placement,
+                         noc::Topology topology, CoSimConfig config)
+    : config_(with_lockstep_noc(std::move(config))),
+      sim_(network, config_.snn),
+      noc_(std::move(topology), config_.noc) {
+  if (config_.cycles_per_timestep == 0) {
+    throw std::invalid_argument(
+        "CoSimulator: cycles_per_timestep must be >= 1 (a zero-cycle window "
+        "could never carry a packet)");
+  }
+  if (config_.receive_queue_depth == 0) {
+    throw std::invalid_argument(
+        "CoSimulator: receive_queue_depth must be >= 1 (use "
+        "kUnboundedReceiveQueue to disable drops)");
+  }
+  if (config_.injection_jitter_cycles >= config_.cycles_per_timestep) {
+    throw std::invalid_argument(
+        "CoSimulator: injection_jitter_cycles must be below "
+        "cycles_per_timestep (a spike must be offered within its own "
+        "window)");
+  }
+  const std::uint32_t n = network.neuron_count();
+  if (partition.neuron_count() != n) {
+    throw std::invalid_argument(
+        "CoSimulator: partition covers " +
+        std::to_string(partition.neuron_count()) + " neurons, network has " +
+        std::to_string(n));
+  }
+  if (!partition.is_complete()) {
+    throw std::invalid_argument(
+        "CoSimulator: partition must assign every neuron");
+  }
+  if (placement.size() != partition.crossbar_count()) {
+    throw std::invalid_argument(
+        "CoSimulator: placement size must match the crossbar count");
+  }
+  std::vector<std::uint8_t> tile_used(noc_.topology().tile_count(), 0);
+  for (const noc::TileId tile : placement) {
+    if (tile >= tile_used.size()) {
+      throw std::invalid_argument("CoSimulator: placement tile out of range");
+    }
+    if (tile_used[tile]) {
+      throw std::invalid_argument(
+          "CoSimulator: placement maps two crossbars to one tile");
+    }
+    tile_used[tile] = 1;
+  }
+
+  // Cut mask + per-neuron transport tables, all in the Network's fan-out
+  // order so flush verdicts align with the engine's enumeration.
+  const auto& part = partition.assignment();
+  const auto& synapses = network.synapses();
+  const auto& offsets = network.fanout_offsets();
+  const auto& order = network.fanout_synapses();
+  std::vector<std::uint8_t> cut(synapses.size(), 0);
+  for (std::size_t s = 0; s < synapses.size(); ++s) {
+    cut[s] = part[synapses[s].pre] != part[synapses[s].post] ? 1 : 0;
+  }
+
+  source_tile_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    source_tile_[i] = placement[part[i]];
+  }
+  remote_offsets_.assign(n + 1, 0);
+  dest_offsets_.assign(n + 1, 0);
+  std::vector<noc::TileId> tiles_scratch;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tiles_scratch.clear();
+    for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const snn::Synapse& syn = synapses[order[k]];
+      if (!cut[order[k]]) continue;
+      const noc::TileId tile = placement[part[syn.post]];
+      remote_tile_.push_back(tile);
+      remote_post_.push_back(syn.post);
+      remote_weight_.push_back(syn.weight);
+      remote_delay_.push_back(syn.delay_steps);
+      tiles_scratch.push_back(tile);
+    }
+    remote_offsets_[i + 1] =
+        static_cast<std::uint32_t>(remote_tile_.size());
+    std::sort(tiles_scratch.begin(), tiles_scratch.end());
+    tiles_scratch.erase(
+        std::unique(tiles_scratch.begin(), tiles_scratch.end()),
+        tiles_scratch.end());
+    dest_tiles_.insert(dest_tiles_.end(), tiles_scratch.begin(),
+                       tiles_scratch.end());
+    dest_offsets_[i + 1] = static_cast<std::uint32_t>(dest_tiles_.size());
+  }
+
+  sim_.cut_remote_synapses(cut);  // throws on live-STDP plastic cuts
+
+  steps_ = snn::simulation_step_count(config_.snn);
+}
+
+CoSimResult CoSimulator::run() {
+  if (ran_) {
+    throw std::logic_error(
+        "CoSimulator: run() is one-shot (the SNN engine's state is "
+        "consumed); build a fresh CoSimulator for another run");
+  }
+  ran_ = true;
+  const std::uint64_t cpt = config_.cycles_per_timestep;
+  const std::uint32_t jitter = config_.injection_jitter_cycles;
+  const bool bounded =
+      config_.receive_queue_depth != kUnboundedReceiveQueue;
+
+  CoSimResult out;
+  FidelityReport& fid = out.fidelity;
+  fid.steps = steps_;
+  fid.per_step_transit.assign(steps_, util::Accumulator{});
+  fid.per_step_misses.assign(steps_, 0);
+  fid.transit_hist = util::Histogram(
+      0.0, static_cast<double>(std::max<std::uint64_t>(cpt * 4, 64)), 64);
+
+  noc_.begin();
+  std::vector<std::uint64_t> emit_counter(source_tile_.size(), 0);
+  std::vector<std::uint32_t> window_accepts(noc_.topology().tile_count(), 0);
+  std::vector<noc::TileId> touched_tiles;
+  std::unordered_set<std::uint64_t> in_window;  // (source, tile) delivered
+  std::vector<snn::Simulator::RemoteVerdict> verdicts;
+  std::vector<noc::SpikePacketEvent> window_traffic;
+  bool warned_halt = false;
+
+  for (std::uint64_t t = 0; t < steps_; ++t) {
+    // 1. Integrate step t with deliveries deferred.
+    sim_.step_deferred();
+    const std::vector<snn::NeuronId>& spikes = sim_.deferred_spikes();
+
+    // 2. Encode this step's remote fan-out as AER multicast packets.
+    window_traffic.clear();
+    for (const snn::NeuronId i : spikes) {
+      const std::uint32_t db = dest_offsets_[i];
+      const std::uint32_t de = dest_offsets_[i + 1];
+      if (db == de) continue;  // purely local fan-out
+      noc::SpikePacketEvent ev;
+      ev.source_neuron = i;
+      ev.source_tile = source_tile_[i];
+      ev.emit_step = t;
+      ev.emit_cycle =
+          t * cpt +
+          (jitter != 0
+               ? util::spike_jitter_hash(i, emit_counter[i]) % jitter
+               : 0);
+      ++emit_counter[i];
+      ev.dest_tiles.assign(dest_tiles_.begin() + db,
+                           dest_tiles_.begin() + de);
+      ++fid.packets_offered;
+      fid.copies_offered += de - db;
+      window_traffic.push_back(std::move(ev));
+    }
+    if (!window_traffic.empty()) {
+      noc_.enqueue(std::move(window_traffic));
+      window_traffic.clear();
+    }
+
+    // 3. Advance the fabric one window.
+    if (!noc_.halted()) {
+      noc_.run_until((t + 1) * cpt);
+    } else if (!warned_halt) {
+      util::log_warn(
+          "CoSimulator: NoC hit max_cycles; remaining traffic counts as "
+          "undelivered");
+      warned_halt = true;
+    }
+
+    // 4. Convert deliveries back to synaptic arrivals.  In-window copies
+    //    (emitted this step) flush with exact local timing; late copies
+    //    re-enter the destination crossbar now, which stretches their
+    //    effective synaptic delay by the windows they spent in flight.
+    for (const noc::TileId tile : touched_tiles) window_accepts[tile] = 0;
+    touched_tiles.clear();
+    in_window.clear();
+    const auto delivered = noc_.drain_delivered();
+    for (const noc::DeliveredSpike& d : delivered) {
+      const std::uint64_t transit = d.recv_cycle - d.emit_cycle;
+      const std::uint64_t arrival_step = (d.recv_cycle - 1) / cpt;
+      ++fid.copies_arrived;
+      fid.transit_cycles.add(static_cast<double>(transit));
+      fid.transit_hist.add(static_cast<double>(transit));
+      fid.per_step_transit[arrival_step].add(static_cast<double>(transit));
+
+      if (bounded) {
+        if (window_accepts[d.dest_tile] == 0) {
+          touched_tiles.push_back(d.dest_tile);
+        }
+        if (++window_accepts[d.dest_tile] > config_.receive_queue_depth) {
+          ++fid.receive_drops;
+          continue;  // dropped at the decoder: these events never happen
+        }
+      }
+      ++fid.copies_accepted;
+      if (d.emit_step == t) {
+        in_window.insert(key_of(d.source_neuron, d.dest_tile));
+      } else {
+        ++fid.deadline_misses;
+        ++fid.per_step_misses[d.emit_step];
+        // Late arrival: apply this packet's fan-out records on the
+        // destination crossbar with local synaptic timing from *now*.
+        const std::uint32_t rb = remote_offsets_[d.source_neuron];
+        const std::uint32_t re = remote_offsets_[d.source_neuron + 1];
+        for (std::uint32_t r = rb; r < re; ++r) {
+          if (remote_tile_[r] != d.dest_tile) continue;
+          sim_.inject_remote(remote_post_[r],
+                             static_cast<double>(remote_weight_[r]),
+                             remote_delay_[r]);
+        }
+      }
+    }
+
+    // 5. Flush step t: local records deliver unconditionally; cut records
+    //    deliver exactly when their packet copy landed in-window.
+    verdicts.clear();
+    verdicts.reserve(sim_.deferred_remote_records());
+    for (const snn::NeuronId i : spikes) {
+      const std::uint32_t rb = remote_offsets_[i];
+      const std::uint32_t re = remote_offsets_[i + 1];
+      for (std::uint32_t r = rb; r < re; ++r) {
+        verdicts.push_back(
+            in_window.count(key_of(i, remote_tile_[r])) != 0
+                ? snn::Simulator::RemoteVerdict::kDeliver
+                : snn::Simulator::RemoteVerdict::kWithhold);
+      }
+    }
+    sim_.flush_deferred(verdicts);
+  }
+
+  out.snn = sim_.result();
+  fid.total_spikes = out.snn.total_spikes;
+  fid.undelivered = fid.copies_offered - fid.copies_arrived;
+  out.noc = noc_.finish().stats;
+  return out;
+}
+
+}  // namespace snnmap::cosim

@@ -1,0 +1,135 @@
+// Closed-loop SNN x NoC co-simulation.
+//
+// The open-loop flow (core/framework.hpp, Fig. 4) simulates the SNN in
+// isolation, flattens its spikes into an AER trace, and replays that trace
+// through the NoC — so interconnect latency, congestion, and back-pressure
+// never affect when a spike actually *arrives* at its post-synaptic
+// crossbar.  The co-simulator closes that loop: it advances the SNN and the
+// NoC in lockstep windows of `cycles_per_timestep` interconnect cycles per
+// SNN step, so a mapping's congestion becomes a *behavioral* outcome
+// (stretched effective synaptic delays, and — under a bounded receive
+// queue — dropped spikes) instead of a latency statistic.
+//
+// Lockstep contract (one SNN step t):
+//   1. The SNN integrates step t with deliveries deferred
+//      (snn::Simulator::step_deferred).
+//   2. Each spiking neuron with cross-crossbar fan-out becomes one AER
+//      multicast packet, injected at cycle t * cycles_per_timestep (plus
+//      optional deterministic encoder jitter).
+//   3. The NoC advances to cycle (t + 1) * cycles_per_timestep
+//      (noc::NocSimulator::run_until); flits that do not arrive keep
+//      flowing in later windows.
+//   4. Each delivery converts back to synaptic arrivals on the destination
+//      crossbar: a copy received during window t' applies its fan-out
+//      records at step t' + delay — i.e. NoC transit beyond the emission
+//      window stretches the effective synaptic delay by (t' - t) steps.
+//      In-window arrivals (t' == t) keep their exact local timing, so an
+//      ideal interconnect (every packet lands in-step, drops disabled)
+//      reproduces the standalone snn::Simulator run bit for bit.
+//   5. Under a bounded receive queue, a destination crossbar accepts at
+//      most `receive_queue_depth` packet copies per window; the excess is
+//      dropped — those synaptic events never happen.
+//
+// Everything is deterministic: the SNN's RNG stream is untouched by
+// transport, NoC arbitration is deterministic, and drops follow the
+// delivery-log order, so batch fan-out (core::BatchCoSimEvaluator) is
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/placement.hpp"
+#include "cosim/fidelity.hpp"
+#include "noc/simulator.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+
+namespace snnmap::cosim {
+
+/// receive_queue_depth value disabling the bounded receive queue.
+inline constexpr std::uint32_t kUnboundedReceiveQueue =
+    static_cast<std::uint32_t>(-1);
+
+struct CoSimConfig {
+  /// SNN step engine settings (dt, duration, seed, synapse model, STDP).
+  snn::SimulationConfig snn;
+  /// Interconnect settings.  collect_delivered is forced on — the closed
+  /// loop *is* a consumer of the delivery log — and max_cycles is raised
+  /// (never lowered) to cover the run's whole lockstep timeline of
+  /// steps x cycles_per_timestep virtual cycles, so it stays a safety
+  /// bound rather than a mid-run cliff.
+  noc::NocConfig noc;
+  /// Interconnect cycles budgeted per SNN timestep (the time-multiplexing
+  /// ratio; hw::Architecture::cycles_per_ms * dt_ms for a 1 ms step).
+  /// Shrinking it models a slower fabric: packets start missing their
+  /// emission window and spike timing degrades.
+  std::uint32_t cycles_per_timestep = 1000;
+  /// Packet copies a destination crossbar accepts per window before
+  /// dropping (kUnboundedReceiveQueue = never drop).  0 is invalid: a
+  /// crossbar that can never accept a packet is not a queue but a wall.
+  std::uint32_t receive_queue_depth = kUnboundedReceiveQueue;
+  /// Spread same-step injections over [0, jitter) cycles with a
+  /// deterministic per-spike hash (encoder serialization); must stay below
+  /// cycles_per_timestep so a spike is offered within its own window.
+  std::uint32_t injection_jitter_cycles = 0;
+};
+
+/// Everything one closed-loop run produces.
+struct CoSimResult {
+  snn::SimulationResult snn;  ///< spike trains under congested delivery
+  FidelityReport fidelity;
+  noc::NocStats noc;          ///< conventional interconnect statistics
+};
+
+/// One closed-loop co-simulation instance over a mapped network.
+///
+/// The mapping (partition + placement) decides which synapses are
+/// "remote-cut": a synapse whose pre and post neurons live on different
+/// crossbars is carried by the NoC instead of delivered locally
+/// (snn::Simulator::cut_remote_synapses).  Plastic synapses must stay
+/// crossbar-local (the engine throws otherwise).
+class CoSimulator {
+ public:
+  /// Validates the config (throws std::invalid_argument on
+  /// cycles_per_timestep == 0, receive_queue_depth == 0, jitter >=
+  /// cycles_per_timestep, and — via the sub-simulators — NaN/negative
+  /// durations and degenerate NoC configs) and the mapping (incomplete
+  /// partition, size mismatches, out-of-range or duplicate tiles).
+  CoSimulator(snn::Network& network, const core::Partition& partition,
+              const core::Placement& placement, noc::Topology topology,
+              CoSimConfig config);
+
+  /// Runs the whole lockstep loop (ceil(duration / dt) steps, like
+  /// snn::Simulator::run) and returns trains + fidelity + NoC stats.
+  /// One-shot — the SNN engine's state is consumed; a second call throws
+  /// std::logic_error.
+  CoSimResult run();
+
+  /// The *effective* configuration: `noc.collect_delivered` forced on and
+  /// `noc.max_cycles` raised to the lockstep timeline, exactly as the
+  /// internal NocSimulator runs it.
+  const CoSimConfig& config() const noexcept { return config_; }
+  std::uint64_t total_steps() const noexcept { return steps_; }
+
+ private:
+  CoSimConfig config_;
+  snn::Simulator sim_;
+  noc::NocSimulator noc_;
+  std::uint64_t steps_ = 0;
+  bool ran_ = false;
+
+  // Per-neuron mapping tables, all in the Network's fan-out (CSR) order so
+  // the verdict stream aligns with the engine's cut-record enumeration.
+  std::vector<noc::TileId> source_tile_;     // neuron -> home tile
+  std::vector<std::uint32_t> remote_offsets_;  // neuron -> cut-record range
+  std::vector<noc::TileId> remote_tile_;       // per cut record
+  std::vector<snn::NeuronId> remote_post_;
+  std::vector<float> remote_weight_;
+  std::vector<std::uint16_t> remote_delay_;
+  std::vector<std::uint32_t> dest_offsets_;  // neuron -> distinct dest tiles
+  std::vector<noc::TileId> dest_tiles_;      // sorted per neuron
+};
+
+}  // namespace snnmap::cosim

@@ -1,0 +1,82 @@
+// Fidelity metrics for closed-loop co-simulation: how faithfully did the
+// interconnect transport the SNN's spikes, and how far did the resulting
+// dynamics drift from an ideal (zero-congestion) interconnect?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/placement.hpp"
+#include "noc/metrics.hpp"
+#include "snn/graph.hpp"
+#include "snn/spike_train.hpp"
+#include "util/stats.hpp"
+
+namespace snnmap::cosim {
+
+/// Transport-level fidelity of one closed-loop run.  "Copies" are
+/// (packet, destination-crossbar) pairs — the unit the receive queue and
+/// the delivery log account in.
+struct FidelityReport {
+  std::uint64_t steps = 0;            ///< SNN steps simulated
+  std::uint64_t total_spikes = 0;     ///< all SNN spikes (local + remote)
+  std::uint64_t packets_offered = 0;  ///< multicast packets entering the NoC
+  std::uint64_t copies_offered = 0;
+  std::uint64_t copies_arrived = 0;   ///< reached a destination decoder
+  std::uint64_t copies_accepted = 0;  ///< applied to the dynamics
+  std::uint64_t receive_drops = 0;    ///< bounded-receive-queue rejections
+  std::uint64_t undelivered = 0;      ///< still in flight when the run ended
+  /// Accepted copies that arrived after their emission window — each one
+  /// stretched its synaptic delay by at least a full timestep.
+  std::uint64_t deadline_misses = 0;
+
+  util::Accumulator transit_cycles;  ///< recv - emit, per arrived copy
+  util::Histogram transit_hist{0.0, 1.0, 1};  ///< rebuilt per run
+  /// Transit accumulator per *arrival* step (latency the crossbar saw that
+  /// step); empty accumulators mark windows with no arrivals.
+  std::vector<util::Accumulator> per_step_transit;
+  /// Deadline misses per *emission* step.
+  std::vector<std::uint32_t> per_step_misses;
+
+  /// Copies that failed to arrive within their window, over everything
+  /// offered (misses + drops + undelivered; 0 when nothing was offered).
+  double miss_fraction() const noexcept;
+  double drop_fraction() const noexcept;
+};
+
+/// Exact spike-train divergence between two runs of the same network:
+/// multiset intersection of (neuron, spike time) events.  Spike times are
+/// step-grid multiples of dt, so exact double comparison is meaningful.
+struct SpikeDivergence {
+  std::uint64_t matched = 0;     ///< identical (neuron, time) events
+  std::uint64_t only_ideal = 0;  ///< events only in the reference run
+  std::uint64_t only_cosim = 0;  ///< events only in the co-sim run
+  /// Symmetric difference over the union; 0 = bit-identical dynamics,
+  /// 1 = no shared spikes.
+  double fraction() const noexcept;
+  bool identical() const noexcept {
+    return only_ideal == 0 && only_cosim == 0;
+  }
+};
+
+/// Compares per-neuron trains (reference first).  Throws
+/// std::invalid_argument when the neuron counts differ.
+SpikeDivergence spike_divergence(
+    const std::vector<snn::SpikeTrain>& ideal,
+    const std::vector<snn::SpikeTrain>& cosim);
+
+/// Re-annotates a spike graph with *observed* traffic from a live NoC
+/// delivery log: every source neuron that shipped packets gets its train
+/// rebuilt from the packets' first-copy arrival times (recv_cycle /
+/// cycles_per_ms, clamped to the graph duration), while purely-local
+/// sources keep their analytic trains.  This is the feedback signal the
+/// run-time remapper consumes in co-sim mode: it optimizes against what
+/// the fabric actually delivered, congestion smear included.
+snn::SnnGraph observed_graph_from_noc(
+    const snn::SnnGraph& analytic, const core::Partition& partition,
+    const core::Placement& placement,
+    const std::vector<noc::DeliveredSpike>& delivered,
+    std::uint32_t cycles_per_ms);
+
+}  // namespace snnmap::cosim

@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "util/log.hpp"
 
 namespace snnmap::noc {
+namespace {
+
+/// Source-neuron ids below this use the flat sequence-counter array (grown
+/// lazily to the largest id seen); larger ids fall back to the hash map.
+constexpr std::uint32_t kDenseSequenceLimit = 1u << 20;
+
+}  // namespace
 
 const char* to_string(SelectionStrategy selection) noexcept {
   switch (selection) {
@@ -62,16 +68,64 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
   for (TileId t = 0; t < topology_.tile_count(); ++t) {
     tile_router_[t] = topology_.router_of_tile(t);
   }
+  begin();
 }
 
-NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
-  NocRunResult result;
-  NocStats& stats = result.stats;
+void NocSimulator::begin() {
+  const std::uint32_t n = topology_.router_count();
+  if (topology_.route_table().empty()) {
+    // Only reachable with >= 255 ports on one router; such fabrics are far
+    // beyond anything the cycle loop is meant for.
+    throw std::invalid_argument(
+        "NocSimulator: topology has no packed route table (router with >= "
+        "255 ports)");
+  }
+  routers_.clear();
+  routers_.reserve(n);
+  for (RouterId r = 0; r < n; ++r) {
+    routers_.emplace_back(r, topology_.port_count(r), config_.buffer_depth);
+  }
+  traffic_.clear();
+  next_event_ = 0;
+  seq_flat_.clear();
+  seq_map_.clear();
+  arena_.clear();
+  arena_live_ = 0;
+  active_.assign((n + 63) / 64, 0);
+  staged_.clear();
+  staged_count_.assign(port_base_[n], 0);
+  staged_touched_.clear();
+  link_flits_.assign(port_base_[n], 0);
+  now_ = 0;
+  in_flight_ = 0;
+  halted_ = false;
+  stats_ = NocStats{};
+  delivered_.clear();
+}
 
+void NocSimulator::enqueue(std::vector<SpikePacketEvent> traffic) {
+  std::size_t new_dests = 0;
+  for (const auto& ev : traffic) new_dests += ev.dest_tiles.size();
+  // Injected events are dead history (make_flit copied their dests into
+  // the arena); reclaim the prefix once it dominates the queue so a long
+  // windowed session holds O(one window) of traffic, not the whole run's.
+  if (next_event_ >= 64 && next_event_ * 2 >= traffic_.size()) {
+    traffic_.erase(traffic_.begin(),
+                   traffic_.begin() + static_cast<std::ptrdiff_t>(next_event_));
+    next_event_ = 0;
+  }
+  if (traffic_.empty()) {
+    traffic_ = std::move(traffic);
+  } else {
+    traffic_.insert(traffic_.end(),
+                    std::make_move_iterator(traffic.begin()),
+                    std::make_move_iterator(traffic.end()));
+  }
   // Events with identical keys keep introsort's (deterministic) tie
   // permutation: sequence numbers are assigned in this order, so the golden
   // streams pin it.  Do not replace with a keyed/stable sort.
-  std::sort(traffic.begin(), traffic.end(),
+  std::sort(traffic_.begin() + static_cast<std::ptrdiff_t>(next_event_),
+            traffic_.end(),
             [](const SpikePacketEvent& a, const SpikePacketEvent& b) {
               if (a.emit_cycle != b.emit_cycle)
                 return a.emit_cycle < b.emit_cycle;
@@ -79,404 +133,404 @@ NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
                 return a.source_tile < b.source_tile;
               return a.source_neuron < b.source_neuron;
             });
-
-  const std::uint32_t n = topology_.router_count();
-  const auto& table = topology_.route_table();
-  if (table.empty()) {
-    // Only reachable with >= 255 ports on one router; such fabrics are far
-    // beyond anything the cycle loop is meant for.
-    throw std::invalid_argument(
-        "NocSimulator: topology has no packed route table (router with >= "
-        "255 ports)");
-  }
-
-  std::vector<Router> routers;
-  routers.reserve(n);
-  for (RouterId r = 0; r < n; ++r) {
-    routers.emplace_back(r, topology_.port_count(r), config_.buffer_depth);
-  }
-
-  // Per-source-neuron sequence counters: a flat array when the ids are
-  // reasonably dense (the mapping flow emits graph-indexed neurons), with a
-  // hashed fallback for pathological sparse id spaces.
-  std::uint32_t max_neuron = 0;
-  std::size_t total_dests = 0;
-  for (const auto& ev : traffic) {
-    max_neuron = std::max(max_neuron, ev.source_neuron);
-    total_dests += ev.dest_tiles.size();
-  }
-  std::vector<std::uint32_t> seq_flat;
-  std::unordered_map<std::uint32_t, std::uint32_t> seq_map;
-  const bool dense_neurons =
-      static_cast<std::uint64_t>(max_neuron) <
-      static_cast<std::uint64_t>(traffic.size()) * 4 + 1024;
-  if (dense_neurons) {
-    seq_flat.assign(static_cast<std::size_t>(max_neuron) + 1, 0);
-  }
-  const auto sequence_of = [&](std::uint32_t neuron) -> std::uint32_t& {
-    return dense_neurons ? seq_flat[neuron] : seq_map[neuron];
-  };
-
-  // Pooled destination arena: every in-flight flit's destination set is a
-  // (begin, count) range.  Forks append the forked subset and shrink the
-  // head's range in place; dead ranges are reclaimed by compaction once
-  // they dominate the pool.
-  std::vector<TileId> arena;
-  arena.reserve(total_dests * 2);
-  std::size_t arena_live = 0;
-  std::vector<TileId> match;  // dests served via the current output port
-  std::vector<TileId> keep;   // dests staying with the head flit
+  arena_.reserve(arena_.size() + new_dests * 2);
   if (config_.collect_delivered) {
     // Exactly one delivered copy per (event, destination) on a drained run.
-    result.delivered.reserve(total_dests);
+    delivered_.reserve(delivered_.size() + new_dests);
   }
+}
 
-  // Active-router worklist: one bit per router, scanned in id order so the
-  // arbitration order (and therefore every golden stream) matches the full
-  // per-router scan exactly, while idle routers cost nothing.
-  std::vector<std::uint64_t> active((n + 63) / 64, 0);
-  const auto mark_active = [&](RouterId r) {
-    active[r >> 6] |= 1ULL << (r & 63);
-  };
+std::uint32_t& NocSimulator::sequence_of(std::uint32_t neuron) {
+  if (neuron < kDenseSequenceLimit) {
+    if (neuron >= seq_flat_.size()) {
+      seq_flat_.resize(std::max<std::size_t>(neuron + 1,
+                                             seq_flat_.size() * 2),
+                       0);
+    }
+    return seq_flat_[neuron];
+  }
+  return seq_map_[neuron];
+}
 
-  struct StagedMove {
-    RouterId to_router;
-    std::uint32_t to_port;
-    Flit flit;
-  };
-  std::vector<StagedMove> staged;
-  // staged_count[port_base_[r] + p] = arrivals already bound for that input
-  // FIFO this cycle; reset via the touched list, not a full sweep.
-  std::vector<std::uint32_t> staged_count(port_base_[n], 0);
-  std::vector<std::uint32_t> staged_touched;
-  // Flit traversals per directed link (router, out port).
-  std::vector<std::uint64_t> link_flits(port_base_[n], 0);
-
-  std::size_t next_event = 0;
-  std::uint64_t now = 0;
-  std::size_t in_flight = 0;
-
-  const auto make_flit = [&](const SpikePacketEvent& ev, const TileId* dests,
+Flit NocSimulator::make_flit(const SpikePacketEvent& ev, const TileId* dests,
                              std::uint32_t count) {
-    Flit f;
-    f.source_neuron = ev.source_neuron;
-    f.source_tile = ev.source_tile;
-    f.emit_cycle = ev.emit_cycle;
-    f.emit_step = ev.emit_step;
-    f.sequence = sequence_of(ev.source_neuron);
-    f.dest_begin = static_cast<std::uint32_t>(arena.size());
-    f.dest_count = count;
-    arena.insert(arena.end(), dests, dests + count);
-    arena_live += count;
-    f.payload = aer_encode({ev.source_neuron & kAerMaxNeuron,
-                            ev.source_tile & kAerMaxCrossbar,
-                            static_cast<std::uint32_t>(ev.emit_cycle)});
-    return f;
-  };
+  Flit f;
+  f.source_neuron = ev.source_neuron;
+  f.source_tile = ev.source_tile;
+  f.emit_cycle = ev.emit_cycle;
+  f.emit_step = ev.emit_step;
+  f.sequence = sequence_of(ev.source_neuron);
+  f.dest_begin = static_cast<std::uint32_t>(arena_.size());
+  f.dest_count = count;
+  arena_.insert(arena_.end(), dests, dests + count);
+  arena_live_ += count;
+  f.payload = aer_encode({ev.source_neuron & kAerMaxNeuron,
+                          ev.source_tile & kAerMaxCrossbar,
+                          aer_timestamp(ev.emit_cycle)});
+  return f;
+}
 
-  while (true) {
-    // ---- 1. Inject all packets emitted this cycle.
-    while (next_event < traffic.size() &&
-           traffic[next_event].emit_cycle <= now) {
-      const SpikePacketEvent& ev = traffic[next_event];
-      if (ev.dest_tiles.empty()) {
-        throw std::invalid_argument(
-            "NocSimulator: packet event with no destinations");
-      }
-      if (ev.source_tile >= tile_router_.size()) {
+void NocSimulator::inject_due() {
+  const auto mark_active = [&](RouterId r) {
+    active_[r >> 6] |= 1ULL << (r & 63);
+  };
+  while (next_event_ < traffic_.size() &&
+         traffic_[next_event_].emit_cycle <= now_) {
+    const SpikePacketEvent& ev = traffic_[next_event_];
+    if (ev.dest_tiles.empty()) {
+      throw std::invalid_argument(
+          "NocSimulator: packet event with no destinations");
+    }
+    if (ev.source_tile >= tile_router_.size()) {
+      throw std::out_of_range("Topology: tile id out of range");
+    }
+    for (const TileId dest : ev.dest_tiles) {
+      if (dest >= tile_router_.size()) {
         throw std::out_of_range("Topology: tile id out of range");
       }
-      for (const TileId dest : ev.dest_tiles) {
-        if (dest >= tile_router_.size()) {
-          throw std::out_of_range("Topology: tile id out of range");
-        }
-      }
-      const RouterId src_router = tile_router_[ev.source_tile];
-      Router& src = routers[src_router];
-      ++stats.packets_injected;
-      if (config_.multicast) {
-        src.push(src.port_count(),
-                 make_flit(ev, ev.dest_tiles.data(),
-                           static_cast<std::uint32_t>(ev.dest_tiles.size())));
-        ++stats.flits_injected;
-        stats.global_energy_pj += config_.energy.aer_codec_pj;
-        ++in_flight;
-      } else {
-        // Source-replicated unicast: one independent copy per destination.
-        for (const TileId dest : ev.dest_tiles) {
-          src.push(src.port_count(), make_flit(ev, &dest, 1));
-          ++stats.flits_injected;
-          stats.global_energy_pj += config_.energy.aer_codec_pj;
-          ++in_flight;
-        }
-      }
-      ++sequence_of(ev.source_neuron);
-      mark_active(src_router);
-      ++next_event;
     }
+    const RouterId src_router = tile_router_[ev.source_tile];
+    Router& src = routers_[src_router];
+    ++stats_.packets_injected;
+    if (config_.multicast) {
+      src.push(src.port_count(),
+               make_flit(ev, ev.dest_tiles.data(),
+                         static_cast<std::uint32_t>(ev.dest_tiles.size())));
+      ++stats_.flits_injected;
+      stats_.global_energy_pj += config_.energy.aer_codec_pj;
+      ++in_flight_;
+    } else {
+      // Source-replicated unicast: one independent copy per destination.
+      for (const TileId dest : ev.dest_tiles) {
+        src.push(src.port_count(), make_flit(ev, &dest, 1));
+        ++stats_.flits_injected;
+        stats_.global_energy_pj += config_.energy.aer_codec_pj;
+        ++in_flight_;
+      }
+    }
+    ++sequence_of(ev.source_neuron);
+    mark_active(src_router);
+    ++next_event_;
+  }
+}
 
-    if (in_flight == 0) {
-      if (next_event >= traffic.size()) break;  // drained
+void NocSimulator::maybe_compact_arena() {
+  // Compact the destination arena once dead ranges dominate it.
+  if (arena_.size() > 4096 && arena_.size() > 4 * (arena_live_ + 1)) {
+    std::vector<TileId> compacted;
+    compacted.reserve(arena_live_);
+    for (Router& router : routers_) {
+      router.for_each_flit([&](Flit& f) {
+        const auto begin = static_cast<std::uint32_t>(compacted.size());
+        compacted.insert(compacted.end(), arena_.begin() + f.dest_begin,
+                         arena_.begin() + f.dest_begin + f.dest_count);
+        f.dest_begin = begin;
+      });
+    }
+    arena_ = std::move(compacted);
+  }
+}
+
+void NocSimulator::simulate_cycle() {
+  const std::uint32_t n = topology_.router_count();
+  const auto& table = topology_.route_table();
+  const std::uint64_t now = now_;
+
+  // ---- Arbitration: each output port of each router moves <= 1 flit.
+  staged_.clear();
+  for (const std::uint32_t idx : staged_touched_) staged_count_[idx] = 0;
+  staged_touched_.clear();
+
+  for (std::size_t w = 0; w < active_.size(); ++w) {
+    std::uint64_t bits = active_[w];
+    while (bits != 0) {
+      const auto r = static_cast<RouterId>((w << 6) +
+                                           std::countr_zero(bits));
+      bits &= bits - 1;
+      Router& router = routers_[r];
+      const std::uint32_t ports = router.port_count();
+      const std::uint32_t base = port_base_[r];
+      const Topology::RouteEntry* route_row =
+          table.data() + static_cast<std::size_t>(r) * n;
+
+      for (std::uint32_t out = 0; out <= ports; ++out) {
+        const bool local = out == ports;
+        RouterId nb = 0;
+        std::uint32_t nb_port = 0;
+        std::uint32_t nb_slot = 0;
+        if (!local) {
+          nb = neighbor_[base + out];
+          nb_port = reverse_port_[base + out];
+          nb_slot = port_base_[nb] + nb_port;
+          // Backpressure is per output this cycle; check it once instead
+          // of per input.
+          if (!routers_[nb].can_accept(nb_port, staged_count_[nb_slot])) {
+            continue;
+          }
+        }
+        // Round-robin over the non-empty input queues for this output:
+        // rotating the occupancy mask by the round-robin pointer makes
+        // ascending bit positions enumerate inputs in (start + k) %
+        // inputs order (inputs <= 64 and all mask bits sit below
+        // `inputs`, so the wrap around bit 63 is exactly the wrap around
+        // `inputs`).
+        const std::uint32_t start = router.rr_pointer(out);
+        std::uint64_t pending = std::rotr(router.occupied_mask(), start);
+        while (pending != 0) {
+          const std::uint32_t in =
+              (start + static_cast<std::uint32_t>(
+                           std::countr_zero(pending))) & 63U;
+          pending &= pending - 1;
+          Flit& head = router.head(in);
+          if (head.dest_count == 0) continue;  // fully served, pops below
+
+          const auto deliver = [&](TileId dest) {
+            DeliveredSpike d;
+            d.source_neuron = head.source_neuron;
+            d.source_tile = head.source_tile;
+            d.dest_tile = dest;
+            d.emit_cycle = head.emit_cycle;
+            d.emit_step = head.emit_step;
+            d.recv_cycle = now + 1;
+            d.sequence = head.sequence;
+            if (config_.collect_delivered) {
+              delivered_.push_back(d);
+            }
+            ++stats_.copies_delivered;
+            stats_.latency_cycles.add(static_cast<double>(d.latency()));
+            stats_.max_latency_cycles =
+                std::max(stats_.max_latency_cycles, d.latency());
+          };
+          const auto charge_ejection = [&] {
+            ++stats_.router_traversals;
+            stats_.global_energy_pj +=
+                config_.energy.router_flit_pj + config_.energy.aer_codec_pj;
+          };
+          // Stages `copy` through this output and charges the hop.
+          const auto forward = [&](const Flit& copy) {
+            staged_.push_back({nb, nb_port, copy});
+            if (staged_count_[nb_slot]++ == 0) {
+              staged_touched_.push_back(nb_slot);
+            }
+            ++in_flight_;
+            ++stats_.link_hops;
+            ++stats_.router_traversals;
+            ++link_flits_[base + out];
+            stats_.global_energy_pj +=
+                config_.energy.link_hop_pj + config_.energy.router_flit_pj;
+          };
+
+          if (head.dest_count == 1) {
+            // Single-destination fast path: no subset to partition, and
+            // the flit's arena range transfers to the forwarded copy
+            // untouched.  Also the only case where the adaptive turn
+            // models leave a choice to the selection strategy.
+            const TileId dest = arena_[head.dest_begin];
+            const RouterId dst_router = tile_router_[dest];
+            if (dst_router == r) {
+              if (!local) continue;
+              deliver(dest);
+              charge_ejection();
+              --arena_live_;
+            } else {
+              if (local) continue;
+              const Topology::RouteEntry& e = route_row[dst_router];
+              std::uint32_t chosen = e.port[0];
+              if (e.count > 1) {
+                // Selection strategy: pick among the turn model's legal
+                // candidates.
+                if (config_.selection ==
+                    SelectionStrategy::kFirstCandidate) {
+                  for (std::uint32_t c = 0; c < e.count; ++c) {
+                    const std::uint32_t cand = base + e.port[c];
+                    const std::uint32_t cand_slot =
+                        port_base_[neighbor_[cand]] + reverse_port_[cand];
+                    if (routers_[neighbor_[cand]].can_accept(
+                            reverse_port_[cand], staged_count_[cand_slot])) {
+                      chosen = e.port[c];
+                      break;
+                    }
+                  }
+                } else {  // kBufferLevel: most free downstream (ties: 1st)
+                  std::size_t best_free = 0;
+                  for (std::uint32_t c = 0; c < e.count; ++c) {
+                    const std::uint32_t cand = base + e.port[c];
+                    const std::uint32_t cand_port = reverse_port_[cand];
+                    const std::size_t used =
+                        routers_[neighbor_[cand]].queue_size(cand_port) +
+                        staged_count_[port_base_[neighbor_[cand]] +
+                                      cand_port];
+                    const std::size_t free =
+                        used >= config_.buffer_depth
+                            ? 0
+                            : config_.buffer_depth - used;
+                    if (free > best_free) {
+                      best_free = free;
+                      chosen = e.port[c];
+                    }
+                  }
+                }
+              }
+              if (chosen != out) continue;
+              forward(head);  // range ownership moves to the copy
+            }
+            head.dest_count = 0;
+            router.advance_rr(out);
+            break;  // this output port is used for this cycle
+          }
+
+          // Multi-destination flit: partition the remaining dests against
+          // this output port — local ejections when out is the local
+          // port, otherwise remote dests routed through out.  Multicast
+          // always takes each destination's first candidate, so the
+          // partition is a pure table scan.
+          match_.clear();
+          keep_.clear();
+          const TileId* dests = arena_.data() + head.dest_begin;
+          for (std::uint32_t d = 0; d < head.dest_count; ++d) {
+            const TileId dest = dests[d];
+            const RouterId dst_router = tile_router_[dest];
+            const bool served = dst_router == r
+                                    ? local
+                                    : !local &&
+                                          route_row[dst_router].port[0] ==
+                                              out;
+            (served ? match_ : keep_).push_back(dest);
+          }
+          if (match_.empty()) continue;
+
+          if (local) {
+            // Deliver every destination attached here (one tile per
+            // router).
+            for (const TileId dest : match_) deliver(dest);
+            charge_ejection();
+            arena_live_ -= match_.size();
+          } else {
+            Flit copy = head;
+            if (keep_.empty()) {
+              // Whole set forwards through one port: transfer the range.
+            } else {
+              copy.dest_begin = static_cast<std::uint32_t>(arena_.size());
+              copy.dest_count = static_cast<std::uint32_t>(match_.size());
+              arena_.insert(arena_.end(), match_.begin(), match_.end());
+            }
+            forward(copy);
+          }
+          // Served destinations leave the head flit (order preserved);
+          // it pops once empty.
+          if (!keep_.empty()) {
+            std::copy(keep_.begin(), keep_.end(),
+                      arena_.begin() + head.dest_begin);
+          }
+          head.dest_count = static_cast<std::uint32_t>(keep_.size());
+          router.advance_rr(out);
+          break;  // this output port is used for this cycle
+        }
+      }
+      // Pop head flits whose destinations have all been served, and
+      // retire fully drained routers from the worklist.
+      std::uint64_t occupied = router.occupied_mask();
+      while (occupied != 0) {
+        const auto in =
+            static_cast<std::uint32_t>(std::countr_zero(occupied));
+        occupied &= occupied - 1;
+        if (router.head(in).dest_count == 0) {
+          router.pop(in);
+          --in_flight_;
+        }
+      }
+      if (router.all_queues_empty()) {
+        active_[w] &= ~(1ULL << (r & 63));
+      }
+    }
+  }
+
+  // ---- Commit staged inter-router moves.
+  for (const StagedMove& move : staged_) {
+    routers_[move.to_router].push(move.to_port, move.flit);
+    active_[move.to_router >> 6] |= 1ULL << (move.to_router & 63);
+  }
+}
+
+std::uint64_t NocSimulator::run_until(std::uint64_t cycle_limit) {
+  while (!halted_) {
+    if (now_ >= cycle_limit) break;
+    // ---- 1. Inject all packets emitted this cycle.
+    inject_due();
+
+    if (in_flight_ == 0) {
+      if (next_event_ >= traffic_.size()) {
+        // Drained and no traffic queued.  A bounded window still accounts
+        // its full span of virtual time; an unbounded run ends "now".
+        if (cycle_limit != kNoCycleLimit) now_ = cycle_limit;
+        break;
+      }
       // Fast-forward idle gaps between traffic bursts.
-      now = traffic[next_event].emit_cycle;
+      now_ = std::min(traffic_[next_event_].emit_cycle, cycle_limit);
       continue;
     }
-    if (now >= config_.max_cycles) {
-      stats.drained = false;
-      util::log_warn("NocSimulator: max_cycles reached with ", in_flight,
+    if (now_ >= config_.max_cycles) {
+      stats_.drained = false;
+      halted_ = true;
+      util::log_warn("NocSimulator: max_cycles reached with ", in_flight_,
                      " flits in flight");
       break;
     }
 
-    // Compact the destination arena once dead ranges dominate it.
-    if (arena.size() > 4096 && arena.size() > 4 * (arena_live + 1)) {
-      std::vector<TileId> compacted;
-      compacted.reserve(arena_live);
-      for (Router& router : routers) {
-        router.for_each_flit([&](Flit& f) {
-          const auto begin = static_cast<std::uint32_t>(compacted.size());
-          compacted.insert(compacted.end(), arena.begin() + f.dest_begin,
-                           arena.begin() + f.dest_begin + f.dest_count);
-          f.dest_begin = begin;
-        });
-      }
-      arena = std::move(compacted);
-    }
+    maybe_compact_arena();
 
-    // ---- 2. Arbitration: each output port of each router moves <= 1 flit.
-    staged.clear();
-    for (const std::uint32_t idx : staged_touched) staged_count[idx] = 0;
-    staged_touched.clear();
-
-    for (std::size_t w = 0; w < active.size(); ++w) {
-      std::uint64_t bits = active[w];
-      while (bits != 0) {
-        const auto r = static_cast<RouterId>((w << 6) +
-                                             std::countr_zero(bits));
-        bits &= bits - 1;
-        Router& router = routers[r];
-        const std::uint32_t ports = router.port_count();
-        const std::uint32_t base = port_base_[r];
-        const Topology::RouteEntry* route_row =
-            table.data() + static_cast<std::size_t>(r) * n;
-
-        for (std::uint32_t out = 0; out <= ports; ++out) {
-          const bool local = out == ports;
-          RouterId nb = 0;
-          std::uint32_t nb_port = 0;
-          std::uint32_t nb_slot = 0;
-          if (!local) {
-            nb = neighbor_[base + out];
-            nb_port = reverse_port_[base + out];
-            nb_slot = port_base_[nb] + nb_port;
-            // Backpressure is per output this cycle; check it once instead
-            // of per input.
-            if (!routers[nb].can_accept(nb_port, staged_count[nb_slot])) {
-              continue;
-            }
-          }
-          // Round-robin over the non-empty input queues for this output:
-          // rotating the occupancy mask by the round-robin pointer makes
-          // ascending bit positions enumerate inputs in (start + k) %
-          // inputs order (inputs <= 64 and all mask bits sit below
-          // `inputs`, so the wrap around bit 63 is exactly the wrap around
-          // `inputs`).
-          const std::uint32_t start = router.rr_pointer(out);
-          std::uint64_t pending = std::rotr(router.occupied_mask(), start);
-          while (pending != 0) {
-            const std::uint32_t in =
-                (start + static_cast<std::uint32_t>(
-                             std::countr_zero(pending))) & 63U;
-            pending &= pending - 1;
-            Flit& head = router.head(in);
-            if (head.dest_count == 0) continue;  // fully served, pops below
-
-            const auto deliver = [&](TileId dest) {
-              DeliveredSpike d;
-              d.source_neuron = head.source_neuron;
-              d.source_tile = head.source_tile;
-              d.dest_tile = dest;
-              d.emit_cycle = head.emit_cycle;
-              d.emit_step = head.emit_step;
-              d.recv_cycle = now + 1;
-              d.sequence = head.sequence;
-              if (config_.collect_delivered) {
-                result.delivered.push_back(d);
-              }
-              ++stats.copies_delivered;
-              stats.latency_cycles.add(static_cast<double>(d.latency()));
-              stats.max_latency_cycles =
-                  std::max(stats.max_latency_cycles, d.latency());
-            };
-            const auto charge_ejection = [&] {
-              ++stats.router_traversals;
-              stats.global_energy_pj +=
-                  config_.energy.router_flit_pj + config_.energy.aer_codec_pj;
-            };
-            // Stages `copy` through this output and charges the hop.
-            const auto forward = [&](const Flit& copy) {
-              staged.push_back({nb, nb_port, copy});
-              if (staged_count[nb_slot]++ == 0) {
-                staged_touched.push_back(nb_slot);
-              }
-              ++in_flight;
-              ++stats.link_hops;
-              ++stats.router_traversals;
-              ++link_flits[base + out];
-              stats.global_energy_pj +=
-                  config_.energy.link_hop_pj + config_.energy.router_flit_pj;
-            };
-
-            if (head.dest_count == 1) {
-              // Single-destination fast path: no subset to partition, and
-              // the flit's arena range transfers to the forwarded copy
-              // untouched.  Also the only case where the adaptive turn
-              // models leave a choice to the selection strategy.
-              const TileId dest = arena[head.dest_begin];
-              const RouterId dst_router = tile_router_[dest];
-              if (dst_router == r) {
-                if (!local) continue;
-                deliver(dest);
-                charge_ejection();
-                --arena_live;
-              } else {
-                if (local) continue;
-                const Topology::RouteEntry& e = route_row[dst_router];
-                std::uint32_t chosen = e.port[0];
-                if (e.count > 1) {
-                  // Selection strategy: pick among the turn model's legal
-                  // candidates.
-                  if (config_.selection ==
-                      SelectionStrategy::kFirstCandidate) {
-                    for (std::uint32_t c = 0; c < e.count; ++c) {
-                      const std::uint32_t cand = base + e.port[c];
-                      const std::uint32_t cand_slot =
-                          port_base_[neighbor_[cand]] + reverse_port_[cand];
-                      if (routers[neighbor_[cand]].can_accept(
-                              reverse_port_[cand], staged_count[cand_slot])) {
-                        chosen = e.port[c];
-                        break;
-                      }
-                    }
-                  } else {  // kBufferLevel: most free downstream (ties: 1st)
-                    std::size_t best_free = 0;
-                    for (std::uint32_t c = 0; c < e.count; ++c) {
-                      const std::uint32_t cand = base + e.port[c];
-                      const std::uint32_t cand_port = reverse_port_[cand];
-                      const std::size_t used =
-                          routers[neighbor_[cand]].queue_size(cand_port) +
-                          staged_count[port_base_[neighbor_[cand]] +
-                                       cand_port];
-                      const std::size_t free =
-                          used >= config_.buffer_depth
-                              ? 0
-                              : config_.buffer_depth - used;
-                      if (free > best_free) {
-                        best_free = free;
-                        chosen = e.port[c];
-                      }
-                    }
-                  }
-                }
-                if (chosen != out) continue;
-                forward(head);  // range ownership moves to the copy
-              }
-              head.dest_count = 0;
-              router.advance_rr(out);
-              break;  // this output port is used for this cycle
-            }
-
-            // Multi-destination flit: partition the remaining dests against
-            // this output port — local ejections when out is the local
-            // port, otherwise remote dests routed through out.  Multicast
-            // always takes each destination's first candidate, so the
-            // partition is a pure table scan.
-            match.clear();
-            keep.clear();
-            const TileId* dests = arena.data() + head.dest_begin;
-            for (std::uint32_t d = 0; d < head.dest_count; ++d) {
-              const TileId dest = dests[d];
-              const RouterId dst_router = tile_router_[dest];
-              const bool served = dst_router == r
-                                      ? local
-                                      : !local &&
-                                            route_row[dst_router].port[0] ==
-                                                out;
-              (served ? match : keep).push_back(dest);
-            }
-            if (match.empty()) continue;
-
-            if (local) {
-              // Deliver every destination attached here (one tile per
-              // router).
-              for (const TileId dest : match) deliver(dest);
-              charge_ejection();
-              arena_live -= match.size();
-            } else {
-              Flit copy = head;
-              if (keep.empty()) {
-                // Whole set forwards through one port: transfer the range.
-              } else {
-                copy.dest_begin = static_cast<std::uint32_t>(arena.size());
-                copy.dest_count = static_cast<std::uint32_t>(match.size());
-                arena.insert(arena.end(), match.begin(), match.end());
-              }
-              forward(copy);
-            }
-            // Served destinations leave the head flit (order preserved);
-            // it pops once empty.
-            if (!keep.empty()) {
-              std::copy(keep.begin(), keep.end(),
-                        arena.begin() + head.dest_begin);
-            }
-            head.dest_count = static_cast<std::uint32_t>(keep.size());
-            router.advance_rr(out);
-            break;  // this output port is used for this cycle
-          }
-        }
-        // Pop head flits whose destinations have all been served, and
-        // retire fully drained routers from the worklist.
-        std::uint64_t occupied = router.occupied_mask();
-        while (occupied != 0) {
-          const auto in =
-              static_cast<std::uint32_t>(std::countr_zero(occupied));
-          occupied &= occupied - 1;
-          if (router.head(in).dest_count == 0) {
-            router.pop(in);
-            --in_flight;
-          }
-        }
-        if (router.all_queues_empty()) {
-          active[w] &= ~(1ULL << (r & 63));
-        }
-      }
-    }
-
-    // ---- 3. Commit staged inter-router moves.
-    for (const StagedMove& move : staged) {
-      routers[move.to_router].push(move.to_port, move.flit);
-      mark_active(move.to_router);
-    }
-
-    ++now;
+    // ---- 2/3. One cycle of arbitration + staged-move commits.
+    simulate_cycle();
+    ++now_;
   }
+  return now_;
+}
 
-  stats.duration_cycles = now;
-  stats.link_flits.clear();
+std::uint64_t NocSimulator::run_cycles(std::uint64_t cycles) {
+  const std::uint64_t limit =
+      cycles > kNoCycleLimit - now_ ? kNoCycleLimit : now_ + cycles;
+  return run_until(limit);
+}
+
+std::vector<DeliveredSpike> NocSimulator::drain_delivered() {
+  std::vector<DeliveredSpike> out;
+  out.swap(delivered_);
+  return out;
+}
+
+NocRunResult NocSimulator::finish() {
+  NocRunResult result;
+  stats_.duration_cycles = now_;
+  // "Drained" keeps its one-shot meaning for sessions: all offered traffic
+  // completed.  A bounded window that left flits in flight (or queued
+  // events uninjected) did not drain, max_cycles halt or not.
+  stats_.drained = !halted_ && idle();
+  stats_.link_flits.clear();
+  const std::uint32_t n = topology_.router_count();
   for (RouterId r = 0; r < n; ++r) {
     for (std::uint32_t o = 0; o < topology_.port_count(r); ++o) {
-      const std::uint64_t flits = link_flits[port_base_[r] + o];
+      const std::uint64_t flits = link_flits_[port_base_[r] + o];
       if (flits == 0) continue;
-      stats.link_flits.emplace_back(
-          (static_cast<std::uint64_t>(r) << 32) | neighbor_[port_base_[r] + o],
+      stats_.link_flits.emplace_back(
+          (static_cast<std::uint64_t>(r) << 32) |
+              neighbor_[port_base_[r] + o],
           flits);
     }
   }
-  std::sort(stats.link_flits.begin(), stats.link_flits.end());
+  std::sort(stats_.link_flits.begin(), stats_.link_flits.end());
+  result.stats = stats_;
+  result.delivered = drain_delivered();
   if (config_.collect_delivered) {
     result.snn = compute_snn_metrics(result.delivered);
   }
   return result;
+}
+
+NocRunResult NocSimulator::run(std::vector<SpikePacketEvent> traffic) {
+  begin();
+  enqueue(std::move(traffic));
+  run_until(kNoCycleLimit);
+  return finish();
 }
 
 }  // namespace snnmap::noc

@@ -17,7 +17,9 @@
 // (pinned by tests/noc/golden_test.cpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "hw/energy_model.hpp"
@@ -74,6 +76,10 @@ struct NocRunResult {
   std::vector<DeliveredSpike> delivered;
 };
 
+/// Sentinel for run_until(): no cycle bound (run to drain / max_cycles).
+inline constexpr std::uint64_t kNoCycleLimit =
+    static_cast<std::uint64_t>(-1);
+
 class NocSimulator {
  public:
   /// Throws std::invalid_argument on degenerate configs (buffer_depth == 0
@@ -83,13 +89,83 @@ class NocSimulator {
 
   /// Simulates the trace to completion (or max_cycles).  The trace is sorted
   /// by emit_cycle internally; sequence numbers are assigned per source
-  /// neuron in emission order.
+  /// neuron in emission order.  Exactly equivalent to
+  /// begin() + enqueue(traffic) + run_until(kNoCycleLimit) + finish() — the
+  /// golden streams (tests/noc/golden_test.cpp) pin that equivalence.
   NocRunResult run(std::vector<SpikePacketEvent> traffic);
+
+  // --- incremental session API (closed-loop co-simulation) ---------------
+  //
+  // A session interleaves traffic injection with bounded cycle advances so a
+  // caller (cosim::CoSimulator) can couple the fabric to another simulator
+  // in lockstep windows:
+  //
+  //   sim.begin();
+  //   for each window: { sim.enqueue(events); sim.run_until(window_end);
+  //                      consume sim.drain_delivered(); }
+  //   NocRunResult tail = sim.finish();
+  //
+  // Flits left in flight at a window boundary simply carry into the next
+  // run_until call — that carried backlog is exactly the congestion signal
+  // the co-simulation measures.
+
+  /// Resets the session: empty fabric, zeroed stats, cycle 0.
+  void begin();
+
+  /// Queues traffic events.  The not-yet-injected tail is (re)sorted with
+  /// the same comparator run() uses; events with emit_cycle <= now() are
+  /// injected at the next simulated cycle.
+  void enqueue(std::vector<SpikePacketEvent> traffic);
+
+  /// Advances the fabric until now() reaches `cycle_limit`, all queued and
+  /// in-flight traffic drains, or max_cycles is hit (halted()).  Idle spans
+  /// (no flits buffered, no traffic due) are fast-forwarded.  Returns now().
+  std::uint64_t run_until(std::uint64_t cycle_limit);
+
+  /// run_until(now() + cycles), saturating at kNoCycleLimit.
+  std::uint64_t run_cycles(std::uint64_t cycles);
+
+  /// Moves out the deliveries observed since the last drain (delivery
+  /// order).  Deliveries drained here are no longer visible to the
+  /// log-derived SnnMetrics finish() computes; aggregate NocStats are
+  /// unaffected.  Empty in streaming mode (collect_delivered = false).
+  std::vector<DeliveredSpike> drain_delivered();
+
+  /// Finalizes the session: duration, per-link flit summary, and SnnMetrics
+  /// over the (un-drained) delivery log.  stats.drained keeps its one-shot
+  /// meaning — true only when every offered packet completed (nothing
+  /// queued, nothing in flight, no max_cycles halt).  The session stays
+  /// consumed until the next begin().
+  NocRunResult finish();
+
+  std::uint64_t now() const noexcept { return now_; }
+  /// Flit copies currently buffered in the fabric.
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  /// True when nothing is buffered and no queued traffic remains.
+  bool idle() const noexcept {
+    return in_flight_ == 0 && next_event_ >= traffic_.size();
+  }
+  /// True once max_cycles was reached with traffic still in flight; further
+  /// run_until calls are no-ops and finish() reports drained = false.
+  bool halted() const noexcept { return halted_; }
 
   const Topology& topology() const noexcept { return topology_; }
   const NocConfig& config() const noexcept { return config_; }
 
  private:
+  struct StagedMove {
+    RouterId to_router;
+    std::uint32_t to_port;
+    Flit flit;
+  };
+
+  std::uint32_t& sequence_of(std::uint32_t neuron);
+  Flit make_flit(const SpikePacketEvent& event, const TileId* dests,
+                 std::uint32_t count);
+  void inject_due();
+  void maybe_compact_arena();
+  void simulate_cycle();
+
   Topology topology_;
   NocConfig config_;
   // Flat per-port geometry, hoisted out of the cycle loop: global port index
@@ -99,6 +175,39 @@ class NocSimulator {
   std::vector<RouterId> neighbor_;           // neighbor router per port
   std::vector<std::uint32_t> reverse_port_;  // input port at that neighbor
   std::vector<RouterId> tile_router_;        // tile -> attached router
+
+  // --- session state (reset by begin(); see run() for the semantics) -----
+  std::vector<Router> routers_;
+  std::vector<SpikePacketEvent> traffic_;  // queued events, sorted tail
+  std::size_t next_event_ = 0;             // first not-yet-injected event
+  // Per-source-neuron sequence counters: flat array grown on demand for the
+  // dense graph-indexed id space, hashed fallback for pathological ids.
+  std::vector<std::uint32_t> seq_flat_;
+  std::unordered_map<std::uint32_t, std::uint32_t> seq_map_;
+  // Pooled destination arena: every in-flight flit's destination set is a
+  // (begin, count) range.  Forks append the forked subset and shrink the
+  // head's range in place; dead ranges are reclaimed by compaction once
+  // they dominate the pool.
+  std::vector<TileId> arena_;
+  std::size_t arena_live_ = 0;
+  std::vector<TileId> match_;  // dests served via the current output port
+  std::vector<TileId> keep_;   // dests staying with the head flit
+  // Active-router worklist: one bit per router, scanned in id order so the
+  // arbitration order (and therefore every golden stream) matches the full
+  // per-router scan exactly, while idle routers cost nothing.
+  std::vector<std::uint64_t> active_;
+  std::vector<StagedMove> staged_;
+  // staged_count_[port_base_[r] + p] = arrivals already bound for that input
+  // FIFO this cycle; reset via the touched list, not a full sweep.
+  std::vector<std::uint32_t> staged_count_;
+  std::vector<std::uint32_t> staged_touched_;
+  // Flit traversals per directed link (router, out port).
+  std::vector<std::uint64_t> link_flits_;
+  std::uint64_t now_ = 0;
+  std::size_t in_flight_ = 0;
+  bool halted_ = false;
+  NocStats stats_;
+  std::vector<DeliveredSpike> delivered_;
 };
 
 }  // namespace snnmap::noc

@@ -103,6 +103,9 @@ Simulator::Simulator(Network& network, SimulationConfig config)
     if (d > max_delay) max_delay = d;
   }
   ring_ = static_cast<std::size_t>(max_delay) + 1;
+  csr_cut_.assign(csr_delay_.size(), 0);
+  cut_count_.assign(n, 0);
+  fan_has_cut_.assign(n, 0);
   pending_.assign(ring_ * n, 0.0);
   external_.assign(n, 0.0);
   if (config_.syn_tau_ms > 0.0) {
@@ -235,9 +238,23 @@ void Simulator::on_spike(NeuronId neuron) {
   }
 }
 
-void Simulator::step() {
+template <bool kDeferred>
+void Simulator::step_impl() {
   const std::uint32_t n = neuron_count_;
   double* arriving = pending_.data() + slot_ * n;
+
+  // Fires one neuron: inline delivery on the normal path, a recorded id on
+  // the deferred (co-simulation) path.  Deferral is exact because on_spike
+  // only writes future ring slots / STDP state the remaining integration
+  // never reads (see the seam contract in the header).
+  const auto fire = [&](NeuronId i) {
+    if constexpr (kDeferred) {
+      deferred_spikes_.push_back(i);
+      pending_remote_records_ += cut_count_[i];
+    } else {
+      on_spike(i);
+    }
+  };
 
   // Exponential synapses: fold this step's arrivals into a decaying current.
   const bool exponential = !syn_current_.empty();
@@ -257,7 +274,7 @@ void Simulator::step() {
           for (NeuronId i = run.first; i < run.last; ++i) {
             if (poisson_step_spike(run.rate_fn(i - run.first, now_ms_),
                                    config_.dt_ms, rng_)) {
-              on_spike(i);
+              fire(i);
             }
           }
         } else {
@@ -265,7 +282,7 @@ void Simulator::step() {
           // p <= 0, exactly like poisson_step_spike's rate <= 0 guard.
           const double p = run.step_spike_prob;
           for (NeuronId i = run.first; i < run.last; ++i) {
-            if (rng_.chance(p)) on_spike(i);
+            if (rng_.chance(p)) fire(i);
           }
         }
         break;
@@ -274,7 +291,7 @@ void Simulator::step() {
         for (NeuronId i = run.first; i < run.last; ++i) {
           const double input = input_base[i] + external[i];
           if (step_lif(states_[i], p, input, now_ms_, config_.dt_ms)) {
-            on_spike(i);
+            fire(i);
           }
         }
         break;
@@ -284,7 +301,7 @@ void Simulator::step() {
         for (NeuronId i = run.first; i < run.last; ++i) {
           const double input = input_base[i] + external[i];
           if (step_izhikevich(states_[i], p, input, config_.dt_ms)) {
-            on_spike(i);
+            fire(i);
           }
         }
         break;
@@ -292,6 +309,12 @@ void Simulator::step() {
     }
   }
 
+  if constexpr (!kDeferred) finish_step();
+}
+
+void Simulator::finish_step() {
+  const std::uint32_t n = neuron_count_;
+  double* arriving = pending_.data() + slot_ * n;
   std::fill(arriving, arriving + n, 0.0);
   std::fill(external_.begin(), external_.end(), 0.0);
   slot_ = slot_ + 1 == ring_ ? 0 : slot_ + 1;
@@ -299,14 +322,152 @@ void Simulator::step() {
   now_ms_ = static_cast<double>(step_count_) * config_.dt_ms;
 }
 
+void Simulator::step() {
+  if (in_deferred_step_) {
+    throw std::logic_error(
+        "Simulator: step() with a deferred step open (flush_deferred first)");
+  }
+  step_impl<false>();
+}
+
+void Simulator::step_deferred() {
+  if (in_deferred_step_) {
+    throw std::logic_error(
+        "Simulator: step_deferred() with a deferred step already open");
+  }
+  deferred_spikes_.clear();
+  pending_remote_records_ = 0;
+  in_deferred_step_ = true;
+  step_impl<true>();
+}
+
+void Simulator::cut_remote_synapses(const std::vector<std::uint8_t>& cut) {
+  if (step_count_ != 0 || in_deferred_step_) {
+    throw std::logic_error(
+        "Simulator: cut_remote_synapses must run before the first step");
+  }
+  if (cut.size() != network_.synapses().size()) {
+    throw std::invalid_argument(
+        "Simulator: cut mask size must match the synapse count");
+  }
+  cut_count_.assign(neuron_count_, 0);
+  fan_has_cut_.assign(neuron_count_, 0);
+  for (std::size_t k = 0; k < csr_cut_.size(); ++k) {
+    const bool is_cut = cut[csr_synapse_[k]] != 0;
+    // The plastic flag is inert while STDP is off (delivery takes the
+    // non-plastic paths and weights never change), so cutting such a
+    // synapse is safe; only live STDP bookkeeping forbids it.
+    if (is_cut && csr_plastic_[k] && config_.enable_stdp) {
+      throw std::invalid_argument(
+          "Simulator: a plastic synapse cannot be remote-cut while STDP is "
+          "enabled (its weight would live on the remote crossbar, outside "
+          "the local STDP bookkeeping)");
+    }
+    csr_cut_[k] = is_cut ? 1 : 0;
+  }
+  for (NeuronId pre = 0; pre < neuron_count_; ++pre) {
+    std::uint32_t count = 0;
+    for (std::uint32_t k = csr_offsets_[pre]; k < csr_offsets_[pre + 1]; ++k) {
+      count += csr_cut_[k];
+    }
+    cut_count_[pre] = count;
+    fan_has_cut_[pre] = count != 0 ? 1 : 0;
+  }
+}
+
+void Simulator::inject_remote(NeuronId post, double weight,
+                              std::uint16_t delay_steps) {
+  if (!in_deferred_step_) {
+    throw std::logic_error(
+        "Simulator: inject_remote is only legal inside an open deferred "
+        "step (between step_deferred and flush_deferred)");
+  }
+  if (post >= neuron_count_) {
+    throw std::out_of_range("Simulator: inject_remote neuron out of range");
+  }
+  if (delay_steps == 0 || delay_steps >= ring_) {
+    throw std::invalid_argument(
+        "Simulator: inject_remote delay must be >= 1 and within the delay "
+        "ring");
+  }
+  std::size_t arrive = slot_ + delay_steps;
+  if (arrive >= ring_) arrive -= ring_;
+  pending_[arrive * neuron_count_ + post] += weight;
+}
+
+void Simulator::deliver_spike_filtered(NeuronId neuron,
+                                       const RemoteVerdict* verdicts,
+                                       std::size_t& cursor) {
+  double* pending = pending_.data();
+  const std::size_t n = neuron_count_;
+  const std::size_t ring = ring_;
+  const bool stdp = config_.enable_stdp;
+  const std::uint32_t end = csr_offsets_[neuron + 1];
+  for (std::uint32_t k = csr_offsets_[neuron]; k < end; ++k) {
+    if (csr_cut_[k] &&
+        verdicts[cursor++] == RemoteVerdict::kWithhold) {
+      continue;
+    }
+    std::size_t arrive = slot_ + csr_delay_[k];
+    if (arrive >= ring) arrive -= ring;
+    pending[arrive * n + csr_post_[k]] += static_cast<double>(csr_weight_[k]);
+    if (stdp && csr_plastic_[k]) apply_stdp_on_pre(k);
+  }
+}
+
+void Simulator::replay_spike(NeuronId neuron, const RemoteVerdict* verdicts,
+                             std::size_t& cursor) {
+  // Mirrors on_spike exactly, substituting the verdict-aware delivery for
+  // neurons with cut records (the per-record loop adds in the same slot
+  // order as every fast path, so the replay stays bit-identical).
+  events_.push_back({neuron, now_ms_});
+  ++total_spikes_;
+  last_spike_ms_[neuron] = now_ms_;
+  if (fan_has_cut_[neuron]) {
+    deliver_spike_filtered(neuron, verdicts, cursor);
+    if (config_.enable_stdp) apply_stdp_on_post(neuron);
+  } else if (config_.enable_stdp) {
+    if (fan_has_plastic_[neuron]) {
+      deliver_spike_plastic(neuron);
+    } else {
+      deliver_spike(neuron);
+    }
+    apply_stdp_on_post(neuron);
+  } else {
+    deliver_spike(neuron);
+  }
+}
+
+void Simulator::flush_deferred(const std::vector<RemoteVerdict>& verdicts) {
+  if (!in_deferred_step_) {
+    throw std::logic_error(
+        "Simulator: flush_deferred without an open deferred step");
+  }
+  if (verdicts.size() != pending_remote_records_) {
+    throw std::invalid_argument(
+        "Simulator: flush_deferred verdict count mismatch (expected " +
+        std::to_string(pending_remote_records_) + ", got " +
+        std::to_string(verdicts.size()) + ")");
+  }
+  std::size_t cursor = 0;
+  for (const NeuronId s : deferred_spikes_) {
+    replay_spike(s, verdicts.data(), cursor);
+  }
+  in_deferred_step_ = false;
+  finish_step();
+}
+
+std::uint64_t simulation_step_count(const SimulationConfig& config) noexcept {
+  // The previous round-to-nearest under-ran non-commensurate configs
+  // (e.g. 10 ms at dt = 3 ms simulated only 9 ms); see the header for the
+  // ceil-with-tolerance contract.
+  const double ratio = config.duration_ms / config.dt_ms;
+  if (!std::isfinite(ratio) || ratio < 0.0) return 0;
+  return static_cast<std::uint64_t>(std::ceil(ratio * (1.0 - 1e-12)));
+}
+
 SimulationResult Simulator::run() {
-  // Whole steps covering the full duration: ceil(duration / dt), with a
-  // relative tolerance so an exactly commensurate ratio that lands a hair
-  // above an integer (FP division noise, at any magnitude) doesn't gain a
-  // step.  The previous round-to-nearest under-ran non-commensurate configs
-  // (e.g. 10 ms at dt = 3 ms simulated only 9 ms).
-  const double ratio = config_.duration_ms / config_.dt_ms;
-  const auto steps = static_cast<std::uint64_t>(std::ceil(ratio * (1.0 - 1e-12)));
+  const std::uint64_t steps = simulation_step_count(config_);
   for (std::uint64_t i = 0; i < steps; ++i) step();
   return result();
 }

@@ -56,6 +56,15 @@ struct SimulationResult {
   double mean_rate_hz() const noexcept;
 };
 
+/// Whole steps covering config.duration_ms: ceil(duration / dt) with a
+/// relative tolerance so an exactly commensurate ratio that lands a hair
+/// above an integer (FP division noise, at any magnitude) doesn't gain a
+/// step.  The one step-count rule — Simulator::run() and the co-simulator's
+/// lockstep loop both use it, so their timelines can never drift.  Returns
+/// 0 for non-finite/negative ratios (the Simulator constructor rejects
+/// such configs with a real error).
+std::uint64_t simulation_step_count(const SimulationConfig& config) noexcept;
+
 /// One simulation instance; mutates the Network's weights only when STDP is
 /// enabled.  The step API supports custom experiment loops; run() covers the
 /// common case.
@@ -93,6 +102,72 @@ class Simulator {
   /// (used by apps that drive networks with analog stimuli).
   void inject_current(NeuronId neuron, double current);
 
+  // --- co-simulation seam (src/cosim/) -----------------------------------
+  //
+  // The closed-loop co-simulator owns spike *transport*: it marks the
+  // cross-crossbar ("cut") synapses, steps the engine with deliveries
+  // deferred, ships the step's spikes over the NoC, and then flushes the
+  // step with a per-cut-record verdict:
+  //
+  //   sim.cut_remote_synapses(mask);            // once, before any step
+  //   loop: sim.step_deferred();
+  //         ... advance the NoC one window; apply late arrivals through
+  //             sim.inject_remote(...) ...
+  //         sim.flush_deferred(verdicts);       // finishes the step
+  //
+  // Deferral is exact: deliveries only touch future ring slots (delay >= 1)
+  // and never feed back into the current step's integration, so replaying
+  // every spike's delivery/STDP sequence at flush time — in the same
+  // (neuron, fan-out slot) order the inline path uses — produces the same
+  // bits.  With every verdict kDeliver, step_deferred() + flush_deferred()
+  // is therefore bit-identical to step() (pinned by the cosim test suite).
+
+  /// Per-cut-record transport verdict consumed by flush_deferred().
+  enum class RemoteVerdict : std::uint8_t {
+    kDeliver,   ///< packet arrived within its emission window: local timing
+    kWithhold,  ///< in flight or dropped: the co-simulator handles it later
+  };
+
+  /// Marks synapses (by Network synapse index) whose deliveries the
+  /// co-simulator carries over the interconnect.  Must be called before the
+  /// first step; throws std::invalid_argument on a size mismatch or when a
+  /// marked synapse is plastic while STDP is enabled (a cut synapse's
+  /// weight lives on the remote crossbar, out of reach of the local
+  /// pair-based STDP bookkeeping; with STDP off the flag is inert and the
+  /// cut is safe).
+  void cut_remote_synapses(const std::vector<std::uint8_t>& cut);
+
+  /// Like step(), but records the step's spikes without delivering them and
+  /// leaves the step open until flush_deferred().
+  void step_deferred();
+
+  /// Neurons that fired during the open deferred step, in firing order
+  /// (ascending id — groups are laid out contiguously).
+  const std::vector<NeuronId>& deferred_spikes() const noexcept {
+    return deferred_spikes_;
+  }
+
+  /// Number of cut fan-out records across the open step's spikes — the
+  /// verdict count flush_deferred() expects.
+  std::size_t deferred_remote_records() const noexcept {
+    return pending_remote_records_;
+  }
+
+  /// An externally-timed weighted arrival (a packet decoded by this
+  /// crossbar during the open step): `post` receives `weight` exactly
+  /// `delay_steps` steps after the open step — the timing a local spike in
+  /// this step would have.  Only legal between step_deferred() and
+  /// flush_deferred(); delay_steps must be within the engine's delay ring
+  /// (>= 1, <= the max synaptic delay).
+  void inject_remote(NeuronId post, double weight, std::uint16_t delay_steps);
+
+  /// Closes the open deferred step: replays every spike's delivery/STDP
+  /// sequence in the inline order, consuming one verdict per cut record
+  /// (enumerated spike order, then fan-out slot order), then performs the
+  /// end-of-step bookkeeping.  Throws when no step is open or the verdict
+  /// count mismatches deferred_remote_records().
+  void flush_deferred(const std::vector<RemoteVerdict>& verdicts);
+
  private:
   /// Everything step() needs for one group, hoisted out of the inner loop.
   /// Self-contained (the rate_fn is copied, not pointed at), so later group
@@ -108,6 +183,21 @@ class Simulator {
   };
 
   void on_spike(NeuronId neuron);
+  /// Integration + spiking shared by step() and step_deferred(); a deferred
+  /// step records spike ids instead of calling on_spike and leaves the
+  /// end-of-step bookkeeping to flush_deferred().
+  template <bool kDeferred>
+  void step_impl();
+  /// Clears this step's consumed inputs and advances the ring/clock (the
+  /// tail of the inline step()).
+  void finish_step();
+  /// on_spike with per-cut-record verdicts (flush replay path).
+  void replay_spike(NeuronId neuron, const RemoteVerdict* verdicts,
+                    std::size_t& cursor);
+  /// General-order delivery that skips withheld cut records; addition order
+  /// matches deliver_spike/deliver_spike_plastic bit for bit.
+  void deliver_spike_filtered(NeuronId neuron, const RemoteVerdict* verdicts,
+                              std::size_t& cursor);
   void deliver_spike(NeuronId neuron);
   void deliver_spike_plastic(NeuronId neuron);
   void apply_stdp_on_pre(std::uint32_t slot);
@@ -145,6 +235,15 @@ class Simulator {
   /// 1 if the neuron has any plastic outgoing synapse: only those need the
   /// per-record plastic checks when STDP is enabled.
   std::vector<std::uint8_t> fan_has_plastic_;
+
+  // Co-simulation seam state (inert unless cut_remote_synapses /
+  // step_deferred are used).
+  std::vector<std::uint8_t> csr_cut_;      ///< per fan-out slot, 1 = cut
+  std::vector<std::uint32_t> cut_count_;   ///< cut records per pre neuron
+  std::vector<std::uint8_t> fan_has_cut_;  ///< 1 = any cut outgoing record
+  std::vector<NeuronId> deferred_spikes_;
+  std::size_t pending_remote_records_ = 0;
+  bool in_deferred_step_ = false;
 
   // Delay ring buffer, one flat ring x neuron_count block:
   // pending_[slot * neuron_count_ + neuron] = current arriving at that step.

@@ -1,0 +1,21 @@
+// Deterministic mixing helpers shared across the trace builders.
+#pragma once
+
+#include <cstdint>
+
+namespace snnmap::util {
+
+/// splitmix64-finalizer hash of a (neuron, per-neuron spike index) pair —
+/// the deterministic per-spike jitter source.  The open-loop trace builder
+/// (core::build_traffic) and the closed-loop co-simulator's encoder both
+/// draw from this one definition so their injection jitter can never
+/// silently diverge.
+inline constexpr std::uint64_t spike_jitter_hash(std::uint64_t neuron,
+                                                 std::uint64_t index) noexcept {
+  std::uint64_t z = neuron * 0x9E3779B97F4A7C15ULL + index + 1;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace snnmap::util

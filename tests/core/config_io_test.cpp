@@ -128,6 +128,38 @@ TEST(ConfigIo, BadInterconnectNameThrows) {
   EXPECT_THROW(mapping_flow_from_config(cfg), std::invalid_argument);
 }
 
+TEST(ConfigIo, CosimKeysOverlayDefaults) {
+  const auto cfg = util::Config::parse(
+      "cosim:\n"
+      "  cycles_per_timestep: 250\n"
+      "  receive_queue_depth: 32\n"
+      "  injection_jitter_cycles: 8\n");
+  const auto cosim = cosim_from_config(cfg);
+  EXPECT_EQ(cosim.cycles_per_timestep, 250u);
+  EXPECT_EQ(cosim.receive_queue_depth, 32u);
+  EXPECT_EQ(cosim.injection_jitter_cycles, 8u);
+
+  // Absent keys keep the caller's base values.
+  cosim::CoSimConfig base;
+  base.cycles_per_timestep = 777;
+  const auto overlaid = cosim_from_config(util::Config::parse(""), base);
+  EXPECT_EQ(overlaid.cycles_per_timestep, 777u);
+  EXPECT_EQ(overlaid.receive_queue_depth, cosim::kUnboundedReceiveQueue);
+}
+
+TEST(ConfigIo, CosimKeysRoundTripThroughDump) {
+  cosim::CoSimConfig cosim;
+  cosim.cycles_per_timestep = 123;
+  cosim.receive_queue_depth = 9;
+  cosim.injection_jitter_cycles = 4;
+  util::Config out;
+  cosim_to_config(cosim, out);
+  const auto back = cosim_from_config(util::Config::parse(out.dump()));
+  EXPECT_EQ(back.cycles_per_timestep, 123u);
+  EXPECT_EQ(back.receive_queue_depth, 9u);
+  EXPECT_EQ(back.injection_jitter_cycles, 4u);
+}
+
 TEST(ConfigIo, AnnealingAndGeneticKeys) {
   const auto cfg = util::Config::parse(
       "annealing:\n"

@@ -13,7 +13,10 @@
 #include "core/annealing.hpp"
 #include "core/batch_eval.hpp"
 #include "core/genetic.hpp"
+#include "core/placement.hpp"
 #include "core/pso.hpp"
+#include "cosim/cosim.hpp"
+#include "noc/topology.hpp"
 #include "snn/graph.hpp"
 #include "snn/network.hpp"
 #include "snn/simulator.hpp"
@@ -223,6 +226,111 @@ TEST(Determinism, BatchSnnSeedSweepMatchesPerSeedRuns) {
   // Duplicate seeds (index 1 and 3) must produce identical results.
   EXPECT_EQ(sweep[1].result.spikes, sweep[3].result.spikes);
   EXPECT_EQ(sweep[1].final_weights, sweep[3].final_weights);
+}
+
+/// Like batch_snn_network but without plastic synapses: the half/half
+/// partition below cuts the in->mid projection, and cut synapses must not
+/// be plastic (their weights would live on the remote crossbar).
+snn::Network batch_cosim_network(std::uint64_t variant) {
+  snn::Network net;
+  util::Rng rng(100 + variant);
+  const auto in = net.add_poisson_group("in", 8, 40.0);
+  const auto mid = net.add_lif_group("mid", 12);
+  const auto out = net.add_izhikevich_group(
+      "out", 6, snn::IzhikevichParams::regular_spiking());
+  net.connect_random(in, mid, 0.6, snn::WeightSpec::uniform(8.0, 13.0), rng,
+                     /*delay=*/1);
+  net.connect_random(mid, out, 0.5, snn::WeightSpec::uniform(6.0, 9.0), rng,
+                     /*delay=*/3);
+  return net;
+}
+
+/// Co-sim scenario batch over the deterministic little SNNs: two crossbars
+/// (first half / second half of the ids), varying seeds and cycle budgets —
+/// including congested ones, where transport actually reorders work.
+std::vector<CoSimScenario> batch_cosim_scenarios() {
+  std::vector<CoSimScenario> scenarios;
+  for (std::uint64_t v = 0; v < 6; ++v) {
+    snn::Network probe = batch_cosim_network(v);
+    const std::uint32_t n = probe.neuron_count();
+    Partition partition(n, 2);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      partition.assign(i, i < n / 2 ? 0 : 1);
+    }
+    noc::Topology topology = noc::Topology::ring(2);
+    CoSimScenario sc{
+        .build = [v] { return batch_cosim_network(v); },
+        .partition = std::move(partition),
+        .placement = identity_placement(2, topology),
+        .topology = std::move(topology),
+        .config = {},
+        .with_ideal_baseline = true};
+    sc.config.snn.duration_ms = 250.0;
+    sc.config.snn.seed = 7 * v + 1;
+    sc.config.cycles_per_timestep = v % 2 == 0 ? 512 : 3;  // ideal / congested
+    if (v == 5) sc.config.receive_queue_depth = 1;
+    scenarios.push_back(std::move(sc));
+  }
+  return scenarios;
+}
+
+void expect_same_cosim_results(const std::vector<CoSimOutcome>& a,
+                               const std::vector<CoSimOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.snn.total_spikes, b[i].result.snn.total_spikes)
+        << i;
+    EXPECT_EQ(a[i].result.snn.spikes, b[i].result.snn.spikes) << i;
+    EXPECT_EQ(a[i].result.fidelity.copies_accepted,
+              b[i].result.fidelity.copies_accepted)
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.deadline_misses,
+              b[i].result.fidelity.deadline_misses)
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.receive_drops,
+              b[i].result.fidelity.receive_drops)
+        << i;
+    EXPECT_EQ(a[i].divergence.matched, b[i].divergence.matched) << i;
+    EXPECT_EQ(a[i].divergence.only_ideal, b[i].divergence.only_ideal) << i;
+    EXPECT_EQ(a[i].divergence.only_cosim, b[i].divergence.only_cosim) << i;
+  }
+}
+
+TEST(Determinism, BatchCoSimSerialAndParallelMatchBitForBit) {
+  BatchCoSimEvaluator serial(1);
+  BatchCoSimEvaluator parallel(4);
+  expect_same_cosim_results(serial.run_all(batch_cosim_scenarios()),
+                            parallel.run_all(batch_cosim_scenarios()));
+}
+
+TEST(Determinism, BatchCoSimMatchesStandaloneCoSimulator) {
+  auto scenarios = batch_cosim_scenarios();
+  BatchCoSimEvaluator evaluator(3);
+  const auto batched = evaluator.run_all(batch_cosim_scenarios());
+  ASSERT_EQ(batched.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    snn::Network net = scenarios[i].build();
+    cosim::CoSimulator sim(net, scenarios[i].partition,
+                           scenarios[i].placement,
+                           std::move(scenarios[i].topology),
+                           scenarios[i].config);
+    const auto standalone = sim.run();
+    EXPECT_EQ(batched[i].result.snn.spikes, standalone.snn.spikes) << i;
+    EXPECT_EQ(batched[i].result.fidelity.copies_accepted,
+              standalone.fidelity.copies_accepted)
+        << i;
+  }
+}
+
+TEST(Determinism, BatchCoSimIndependentOfSubmissionOrder) {
+  auto forward_scenarios = batch_cosim_scenarios();
+  auto reversed_scenarios = batch_cosim_scenarios();
+  std::reverse(reversed_scenarios.begin(), reversed_scenarios.end());
+  BatchCoSimEvaluator evaluator(4);
+  const auto forward = evaluator.run_all(std::move(forward_scenarios));
+  auto backward = evaluator.run_all(std::move(reversed_scenarios));
+  std::reverse(backward.begin(), backward.end());
+  expect_same_cosim_results(forward, backward);
 }
 
 TEST(Determinism, PsoThreadCountZeroMatchesExplicitCounts) {

@@ -1,0 +1,432 @@
+// CoSimulator unit tests: config/mapping validation parity with the other
+// engines, the lockstep loop's fidelity accounting, congestion-induced
+// divergence, bounded-receive-queue drops, and the snn::Simulator deferred
+// seam's own contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_eval.hpp"
+#include "core/partition.hpp"
+#include "core/placement.hpp"
+#include "cosim/cosim.hpp"
+#include "cosim/fidelity.hpp"
+#include "noc/topology.hpp"
+#include "snn/network.hpp"
+#include "snn/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace snnmap::cosim {
+namespace {
+
+/// Two Poisson-driven LIF populations wired across both directions, with a
+/// multi-step delay so remote timing matters.
+snn::Network two_block_network(std::uint64_t wiring_seed = 5) {
+  snn::Network net;
+  util::Rng rng(wiring_seed);
+  const auto in = net.add_poisson_group("in", 12, 60.0);
+  const auto a = net.add_lif_group("a", 12);
+  const auto b = net.add_lif_group("b", 12);
+  net.connect_random(in, a, 0.7, snn::WeightSpec::uniform(9.0, 14.0), rng);
+  net.connect_random(a, b, 0.5, snn::WeightSpec::uniform(8.0, 12.0), rng,
+                     /*delay=*/2);
+  net.connect_random(b, a, 0.4, snn::WeightSpec::uniform(-4.0, -2.0), rng,
+                     /*delay=*/3);
+  return net;
+}
+
+/// in + a on crossbar 0, b on crossbar 1: the a<->b projections are cut.
+core::Partition two_block_partition(const snn::Network& net) {
+  core::Partition partition(net.neuron_count(), 2);
+  for (snn::NeuronId i = 0; i < net.neuron_count(); ++i) {
+    partition.assign(i, i < 24 ? 0 : 1);
+  }
+  return partition;
+}
+
+CoSimConfig base_config(double duration_ms = 200.0,
+                        std::uint32_t cpt = 4096) {
+  CoSimConfig config;
+  config.snn.duration_ms = duration_ms;
+  config.snn.seed = 9;
+  config.cycles_per_timestep = cpt;
+  return config;
+}
+
+CoSimResult run_two_block(const CoSimConfig& config) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  noc::Topology topology = noc::Topology::ring(2);
+  const auto placement = core::identity_placement(2, topology);
+  CoSimulator sim(net, partition, placement, std::move(topology), config);
+  return sim.run();
+}
+
+TEST(CoSimConfig, RejectsZeroCyclesPerTimestep) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  noc::Topology topology = noc::Topology::ring(2);
+  const auto placement = core::identity_placement(2, topology);
+  auto config = base_config();
+  config.cycles_per_timestep = 0;
+  EXPECT_THROW(
+      CoSimulator(net, partition, placement, std::move(topology), config),
+      std::invalid_argument);
+}
+
+TEST(CoSimConfig, RejectsZeroReceiveQueueDepth) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  noc::Topology topology = noc::Topology::ring(2);
+  const auto placement = core::identity_placement(2, topology);
+  auto config = base_config();
+  config.receive_queue_depth = 0;
+  EXPECT_THROW(
+      CoSimulator(net, partition, placement, std::move(topology), config),
+      std::invalid_argument);
+}
+
+TEST(CoSimConfig, RejectsJitterAtOrBeyondWindow) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  const auto placement =
+      core::identity_placement(2, noc::Topology::ring(2));
+  auto config = base_config();
+  config.cycles_per_timestep = 100;
+  config.injection_jitter_cycles = 100;
+  EXPECT_THROW(
+      CoSimulator(net, partition, placement, noc::Topology::ring(2), config),
+      std::invalid_argument);
+}
+
+TEST(CoSimConfig, RejectsNanAndNegativeDurations) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  const auto placement =
+      core::identity_placement(2, noc::Topology::ring(2));
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(), -1.0,
+                           std::numeric_limits<double>::infinity()}) {
+    auto config = base_config();
+    config.snn.duration_ms = bad;
+    EXPECT_THROW(CoSimulator(net, partition, placement,
+                             noc::Topology::ring(2), config),
+                 std::invalid_argument)
+        << bad;
+  }
+  auto config = base_config();
+  config.snn.dt_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(CoSimulator(net, partition, placement, noc::Topology::ring(2),
+                           config),
+               std::invalid_argument);
+}
+
+TEST(CoSimConfig, RejectsDegenerateNocConfigs) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  const auto placement =
+      core::identity_placement(2, noc::Topology::ring(2));
+  auto config = base_config();
+  config.noc.buffer_depth = 0;
+  EXPECT_THROW(CoSimulator(net, partition, placement, noc::Topology::ring(2),
+                           config),
+               std::invalid_argument);
+  config = base_config();
+  config.noc.max_cycles = 0;
+  EXPECT_THROW(CoSimulator(net, partition, placement, noc::Topology::ring(2),
+                           config),
+               std::invalid_argument);
+}
+
+TEST(CoSimConfig, RejectsBrokenMappings) {
+  snn::Network net = two_block_network();
+  noc::Topology topology = noc::Topology::ring(2);
+  const auto placement = core::identity_placement(2, topology);
+  const auto config = base_config();
+
+  // Incomplete partition.
+  core::Partition incomplete(net.neuron_count(), 2);
+  EXPECT_THROW(CoSimulator(net, incomplete, placement, noc::Topology::ring(2),
+                           config),
+               std::invalid_argument);
+  // Wrong neuron count.
+  core::Partition wrong_size(net.neuron_count() + 1, 2);
+  for (snn::NeuronId i = 0; i <= net.neuron_count(); ++i) {
+    wrong_size.assign(i, 0);
+  }
+  EXPECT_THROW(CoSimulator(net, wrong_size, placement, noc::Topology::ring(2),
+                           config),
+               std::invalid_argument);
+  const auto partition = two_block_partition(net);
+  // Placement size mismatch.
+  EXPECT_THROW(CoSimulator(net, partition, core::Placement{0},
+                           noc::Topology::ring(2), config),
+               std::invalid_argument);
+  // Out-of-range tile.
+  EXPECT_THROW(CoSimulator(net, partition, core::Placement{0, 7},
+                           noc::Topology::ring(2), config),
+               std::invalid_argument);
+  // Duplicate tiles.
+  EXPECT_THROW(CoSimulator(net, partition, core::Placement{1, 1},
+                           noc::Topology::ring(2), config),
+               std::invalid_argument);
+}
+
+TEST(CoSimConfig, RejectsCutPlasticSynapsesOnlyWhileStdpIsLive) {
+  snn::Network net = two_block_network();
+  // Make one cross-block synapse plastic: a (12..23) -> b (24..35).
+  for (auto& s : net.mutable_synapses()) {
+    if (s.pre >= 12 && s.pre < 24 && s.post >= 24) {
+      s.plastic = true;
+      break;
+    }
+  }
+  const auto partition = two_block_partition(net);
+  const auto placement =
+      core::identity_placement(2, noc::Topology::ring(2));
+  auto config = base_config();
+  config.snn.enable_stdp = true;
+  EXPECT_THROW(CoSimulator(net, partition, placement, noc::Topology::ring(2),
+                           config),
+               std::invalid_argument);
+  // With STDP off the plastic flag is inert and the cut is legal.
+  snn::Network frozen = net;
+  EXPECT_NO_THROW(CoSimulator(frozen, partition, placement,
+                              noc::Topology::ring(2), base_config()));
+}
+
+TEST(CoSimulator, IdealBudgetMatchesStandaloneBitForBit) {
+  const auto config = base_config();
+  const auto result = run_two_block(config);
+
+  snn::Network reference = two_block_network();
+  const auto ideal = snn::Simulator(reference, config.snn).run();
+
+  EXPECT_GT(result.fidelity.packets_offered, 0u);
+  EXPECT_EQ(result.fidelity.deadline_misses, 0u);
+  EXPECT_EQ(result.fidelity.receive_drops, 0u);
+  EXPECT_EQ(result.fidelity.undelivered, 0u);
+  EXPECT_EQ(result.snn.total_spikes, ideal.total_spikes);
+  EXPECT_EQ(result.snn.spikes, ideal.spikes);
+  EXPECT_TRUE(
+      spike_divergence(ideal.spikes, result.snn.spikes).identical());
+}
+
+TEST(CoSimulator, FidelityAccountingIsConsistent) {
+  const auto result = run_two_block(base_config());
+  const auto& f = result.fidelity;
+  EXPECT_EQ(f.copies_offered,
+            f.copies_accepted + f.receive_drops + f.undelivered);
+  EXPECT_EQ(f.copies_arrived, f.copies_accepted + f.receive_drops);
+  EXPECT_EQ(f.steps, 200u);
+  EXPECT_EQ(f.per_step_transit.size(), f.steps);
+  EXPECT_EQ(f.per_step_misses.size(), f.steps);
+  EXPECT_EQ(f.transit_cycles.count(), f.copies_arrived);
+  EXPECT_EQ(result.noc.copies_delivered, f.copies_arrived);
+}
+
+TEST(CoSimulator, ShrinkingBudgetDegradesFidelity) {
+  const auto ideal = run_two_block(base_config());
+  const auto congested = run_two_block(base_config(200.0, /*cpt=*/2));
+
+  EXPECT_EQ(ideal.fidelity.deadline_misses, 0u);
+  EXPECT_GT(congested.fidelity.deadline_misses +
+                congested.fidelity.undelivered,
+            0u);
+
+  snn::Network reference = two_block_network();
+  const auto baseline =
+      snn::Simulator(reference, base_config().snn).run();
+  const auto divergence =
+      spike_divergence(baseline.spikes, congested.snn.spikes);
+  EXPECT_FALSE(divergence.identical());
+  EXPECT_GT(divergence.fraction(), 0.0);
+}
+
+TEST(CoSimulator, BoundedReceiveQueueDropsCopies) {
+  auto config = base_config(200.0, /*cpt=*/2);
+  config.receive_queue_depth = 1;
+  const auto result = run_two_block(config);
+  EXPECT_GT(result.fidelity.receive_drops, 0u);
+  EXPECT_EQ(result.fidelity.copies_offered,
+            result.fidelity.copies_accepted + result.fidelity.receive_drops +
+                result.fidelity.undelivered);
+}
+
+TEST(CoSimulator, LockstepTimelineOutrunsAOneShotMaxCyclesBound) {
+  // max_cycles is a drain bound for one-shot traces; a healthy lockstep
+  // run whose virtual timeline exceeds it must not halt mid-flight (the
+  // CoSimulator raises the bound to cover steps x cycles_per_timestep).
+  auto config = base_config(200.0, /*cpt=*/4096);
+  config.noc.max_cycles = 10;  // << 200 * 4096 virtual cycles
+  const auto result = run_two_block(config);
+  EXPECT_GT(result.fidelity.copies_accepted, 0u);
+  EXPECT_EQ(result.fidelity.undelivered, 0u);
+  EXPECT_EQ(result.fidelity.deadline_misses, 0u);
+}
+
+TEST(CoSimulator, RunIsOneShot) {
+  snn::Network net = two_block_network();
+  const auto partition = two_block_partition(net);
+  noc::Topology topology = noc::Topology::ring(2);
+  const auto placement = core::identity_placement(2, topology);
+  CoSimulator sim(net, partition, placement, std::move(topology),
+                  base_config(50.0));
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(CoSimulator, PurelyLocalMappingShipsNothing) {
+  snn::Network net = two_block_network();
+  core::Partition partition(net.neuron_count(), 1);
+  for (snn::NeuronId i = 0; i < net.neuron_count(); ++i) {
+    partition.assign(i, 0);
+  }
+  noc::Topology topology = noc::Topology::ring(2);
+  CoSimulator sim(net, partition, core::Placement{0}, std::move(topology),
+                  base_config());
+  const auto result = sim.run();
+  EXPECT_EQ(result.fidelity.packets_offered, 0u);
+
+  snn::Network reference = two_block_network();
+  const auto ideal = snn::Simulator(reference, base_config().snn).run();
+  EXPECT_EQ(result.snn.spikes, ideal.spikes);
+}
+
+TEST(SpikeDivergence, CountsAndFraction) {
+  const std::vector<snn::SpikeTrain> a = {{1.0, 2.0, 3.0}, {}, {5.0}};
+  const std::vector<snn::SpikeTrain> b = {{1.0, 2.5, 3.0}, {4.0}, {5.0}};
+  const auto d = spike_divergence(a, b);
+  EXPECT_EQ(d.matched, 3u);
+  EXPECT_EQ(d.only_ideal, 1u);
+  EXPECT_EQ(d.only_cosim, 2u);
+  EXPECT_DOUBLE_EQ(d.fraction(), 3.0 / 6.0);
+  EXPECT_FALSE(d.identical());
+  EXPECT_THROW(spike_divergence(a, {{1.0}}), std::invalid_argument);
+}
+
+// --- the snn::Simulator deferred seam itself ----------------------------
+
+TEST(DeferredSeam, AllDeliverVerdictsMatchInlineStepBitForBit) {
+  // Even with cut synapses marked, a flush where every packet "arrived
+  // in-window" must reproduce the inline engine exactly.
+  snn::Network inline_net = two_block_network();
+  snn::SimulationConfig config;
+  config.duration_ms = 150.0;
+  config.seed = 4;
+  snn::Simulator inline_sim(inline_net, config);
+  const auto inline_result = inline_sim.run();
+
+  snn::Network deferred_net = two_block_network();
+  snn::Simulator deferred(deferred_net, config);
+  std::vector<std::uint8_t> cut(deferred_net.synapses().size(), 0);
+  const auto& synapses = deferred_net.synapses();
+  for (std::size_t s = 0; s < synapses.size(); ++s) {
+    cut[s] = (synapses[s].pre < 24) != (synapses[s].post < 24) ? 1 : 0;
+  }
+  deferred.cut_remote_synapses(cut);
+  for (int step = 0; step < 150; ++step) {
+    deferred.step_deferred();
+    const std::vector<snn::Simulator::RemoteVerdict> verdicts(
+        deferred.deferred_remote_records(),
+        snn::Simulator::RemoteVerdict::kDeliver);
+    deferred.flush_deferred(verdicts);
+  }
+  EXPECT_EQ(deferred.result().spikes, inline_result.spikes);
+  EXPECT_EQ(deferred.total_spikes(), inline_result.total_spikes);
+}
+
+TEST(DeferredSeam, WithholdSuppressesExactlyTheCutDeliveries) {
+  // Withholding every cut record must equal simulating a network where the
+  // cut synapses have zero weight.
+  snn::Network zeroed = two_block_network();
+  for (auto& s : zeroed.mutable_synapses()) {
+    if ((s.pre < 24) != (s.post < 24)) s.weight = 0.0F;
+  }
+  snn::SimulationConfig config;
+  config.duration_ms = 150.0;
+  config.seed = 4;
+  snn::Simulator zero_sim(zeroed, config);
+  const auto zero_result = zero_sim.run();
+
+  snn::Network net = two_block_network();
+  snn::Simulator deferred(net, config);
+  std::vector<std::uint8_t> cut(net.synapses().size(), 0);
+  const auto& synapses = net.synapses();
+  for (std::size_t s = 0; s < synapses.size(); ++s) {
+    cut[s] = (synapses[s].pre < 24) != (synapses[s].post < 24) ? 1 : 0;
+  }
+  deferred.cut_remote_synapses(cut);
+  for (int step = 0; step < 150; ++step) {
+    deferred.step_deferred();
+    const std::vector<snn::Simulator::RemoteVerdict> verdicts(
+        deferred.deferred_remote_records(),
+        snn::Simulator::RemoteVerdict::kWithhold);
+    deferred.flush_deferred(verdicts);
+  }
+  EXPECT_EQ(deferred.result().spikes, zero_result.spikes);
+}
+
+TEST(DeferredSeam, InjectRemoteFiresAQuietNeuron) {
+  // One silent LIF neuron; a strong injected arrival must fire it exactly
+  // `delay` steps after the open step.
+  snn::Network net;
+  net.add_lif_group("only", 1);
+  net.add_synapse(0, 0, 0.0, /*delay=*/4);  // sizes the delay ring
+  snn::SimulationConfig config;
+  config.duration_ms = 10.0;
+  snn::Simulator sim(net, config);
+
+  sim.step_deferred();  // step 0 open
+  sim.inject_remote(0, 60.0, 3);
+  sim.flush_deferred({});
+  for (int step = 1; step < 10; ++step) {
+    sim.step_deferred();
+    sim.flush_deferred({});
+  }
+  const auto spikes = sim.spikes();
+  ASSERT_EQ(spikes[0].size(), 1u);
+  // Arrival at step 0 + 3 fires during that step; the spike is stamped
+  // with the step's start time.
+  EXPECT_DOUBLE_EQ(spikes[0][0], 3.0);
+}
+
+TEST(DeferredSeam, GuardsMisuse) {
+  snn::Network net = two_block_network();
+  snn::SimulationConfig config;
+  snn::Simulator sim(net, config);
+  // Flush without an open step.
+  EXPECT_THROW(sim.flush_deferred({}), std::logic_error);
+  // inject_remote outside an open step.
+  EXPECT_THROW(sim.inject_remote(0, 1.0, 1), std::logic_error);
+  // Wrong mask size.
+  EXPECT_THROW(sim.cut_remote_synapses({1, 0}), std::invalid_argument);
+
+  sim.step_deferred();
+  // step()/step_deferred() while a step is open.
+  EXPECT_THROW(sim.step(), std::logic_error);
+  EXPECT_THROW(sim.step_deferred(), std::logic_error);
+  // Bad inject delays.
+  EXPECT_THROW(sim.inject_remote(0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(sim.inject_remote(0, 1.0, 200), std::invalid_argument);
+  EXPECT_THROW(sim.inject_remote(net.neuron_count(), 1.0, 1),
+               std::out_of_range);
+  // Verdict count mismatch (records pending but none supplied... or the
+  // inverse: supply one too many).
+  std::vector<snn::Simulator::RemoteVerdict> extra(
+      sim.deferred_remote_records() + 1,
+      snn::Simulator::RemoteVerdict::kDeliver);
+  EXPECT_THROW(sim.flush_deferred(extra), std::invalid_argument);
+  // Cutting after stepping is rejected.
+  sim.flush_deferred(std::vector<snn::Simulator::RemoteVerdict>(
+      sim.deferred_remote_records(), snn::Simulator::RemoteVerdict::kDeliver));
+  EXPECT_THROW(
+      sim.cut_remote_synapses(
+          std::vector<std::uint8_t>(net.synapses().size(), 0)),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace snnmap::cosim

@@ -57,6 +57,34 @@ TEST(Aer, EncodingIsInjectiveOnDistinctEvents) {
   EXPECT_NE(b.bits, c.bits);
 }
 
+TEST(Aer, TimestampWrapsAtTwoToTheThirtyTwo) {
+  // Co-sim cycle counts (steps x cycles_per_timestep) can exceed the
+  // 32-bit timestamp field; the wrap contract is cycle mod 2^32.
+  EXPECT_EQ(aer_timestamp(0), 0u);
+  EXPECT_EQ(aer_timestamp(kAerTimeWrap - 1), 0xFFFFFFFFu);
+  EXPECT_EQ(aer_timestamp(kAerTimeWrap), 0u);
+  EXPECT_EQ(aer_timestamp(kAerTimeWrap + 5), 5u);
+  EXPECT_EQ(aer_timestamp(3 * kAerTimeWrap + 17), 17u);
+}
+
+TEST(Aer, RoundTripsAtTheWrapBoundary) {
+  // Every 64-bit cycle folds to a representable timestamp that encodes and
+  // decodes exactly; two cycles one wrap apart are indistinguishable on
+  // the wire (documented ambiguity — bookkeeping rides 64-bit counters).
+  for (const std::uint64_t cycle :
+       {kAerTimeWrap - 1, kAerTimeWrap, kAerTimeWrap + 1,
+        7 * kAerTimeWrap + 12345}) {
+    const AerEvent back =
+        aer_decode(aer_encode({42, 3, aer_timestamp(cycle)}));
+    EXPECT_EQ(back.timestamp, static_cast<std::uint32_t>(cycle))
+        << "cycle " << cycle;
+    EXPECT_EQ(back.source_neuron, 42u);
+    EXPECT_EQ(back.source_crossbar, 3u);
+  }
+  EXPECT_EQ(aer_encode({42, 3, aer_timestamp(kAerTimeWrap + 9)}),
+            aer_encode({42, 3, aer_timestamp(9)}));
+}
+
 /// Property sweep: round-trip across a structured grid of field values.
 class AerRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
 

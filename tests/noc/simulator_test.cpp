@@ -321,5 +321,134 @@ TEST(NocSimulator, ThroughputReflectsDeliveries) {
   EXPECT_GT(result.stats.throughput_aer_per_ms(1000), 0.0);
 }
 
+// --- incremental session API (the co-simulation seam) --------------------
+
+/// Deterministic multi-tile burst trace with distinct sort keys.
+std::vector<SpikePacketEvent> session_trace(std::uint64_t window,
+                                            std::uint64_t base_cycle) {
+  std::vector<SpikePacketEvent> traffic;
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    SpikePacketEvent e = event(base_cycle + k % 3, 10 * window + k,
+                               k % 4, {TileId{(k + 5) % 9}, TileId{8}});
+    if (e.source_tile == 8) e.source_tile = 7;
+    e.dest_tiles.erase(
+        std::remove(e.dest_tiles.begin(), e.dest_tiles.end(), e.source_tile),
+        e.dest_tiles.end());
+    e.emit_step = window;
+    traffic.push_back(std::move(e));
+  }
+  return traffic;
+}
+
+TEST(NocSimulatorSession, WindowedRunMatchesOneShotRun) {
+  // The same trace, simulated (a) in one run() call and (b) as a session
+  // of bounded windows with per-window enqueue + drain, must produce the
+  // identical delivery log and aggregate statistics.
+  std::vector<SpikePacketEvent> all;
+  std::vector<std::vector<SpikePacketEvent>> windows;
+  const std::uint64_t kWindow = 25;
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    auto chunk = session_trace(w, w * kWindow);
+    windows.push_back(chunk);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+
+  NocSimulator one_shot(Topology::mesh(3, 3), NocConfig{});
+  const auto expected = one_shot.run(all);
+  ASSERT_TRUE(expected.stats.drained);
+
+  NocSimulator session(Topology::mesh(3, 3), NocConfig{});
+  session.begin();
+  std::vector<DeliveredSpike> log;
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    session.enqueue(windows[w]);
+    session.run_until((w + 1) * kWindow);
+    const auto chunk = session.drain_delivered();
+    log.insert(log.end(), chunk.begin(), chunk.end());
+  }
+  session.run_until(kNoCycleLimit);  // drain the tail
+  const auto tail = session.drain_delivered();
+  log.insert(log.end(), tail.begin(), tail.end());
+  const auto finished = session.finish();
+
+  ASSERT_EQ(log.size(), expected.delivered.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].source_neuron, expected.delivered[i].source_neuron);
+    EXPECT_EQ(log[i].dest_tile, expected.delivered[i].dest_tile);
+    EXPECT_EQ(log[i].emit_cycle, expected.delivered[i].emit_cycle);
+    EXPECT_EQ(log[i].recv_cycle, expected.delivered[i].recv_cycle);
+    EXPECT_EQ(log[i].sequence, expected.delivered[i].sequence);
+  }
+  EXPECT_EQ(finished.stats.copies_delivered,
+            expected.stats.copies_delivered);
+  EXPECT_EQ(finished.stats.link_hops, expected.stats.link_hops);
+  EXPECT_EQ(finished.stats.router_traversals,
+            expected.stats.router_traversals);
+  EXPECT_EQ(finished.stats.link_flits, expected.stats.link_flits);
+  EXPECT_DOUBLE_EQ(finished.stats.global_energy_pj,
+                   expected.stats.global_energy_pj);
+  EXPECT_DOUBLE_EQ(finished.stats.latency_cycles.mean(),
+                   expected.stats.latency_cycles.mean());
+  EXPECT_TRUE(finished.stats.drained);
+}
+
+TEST(NocSimulatorSession, RunUntilAdvancesVirtualTimeWhenIdle) {
+  NocSimulator sim(Topology::mesh(2, 2), NocConfig{});
+  sim.begin();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.run_until(100), 100u);  // idle window: time still passes
+  EXPECT_EQ(sim.now(), 100u);
+  sim.enqueue({event(250, 1, 0, {3})});
+  EXPECT_FALSE(sim.idle());
+  EXPECT_EQ(sim.run_until(200), 200u);  // event is beyond the window
+  EXPECT_TRUE(sim.drain_delivered().empty());
+  sim.run_until(400);
+  EXPECT_TRUE(sim.idle());
+  const auto log = sim.drain_delivered();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GE(log[0].recv_cycle, 250u);
+}
+
+TEST(NocSimulatorSession, RunCyclesIsRelative) {
+  NocSimulator sim(Topology::mesh(2, 2), NocConfig{});
+  sim.begin();
+  sim.enqueue({event(0, 1, 0, {3})});
+  sim.run_cycles(10);
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(sim.drain_delivered().size(), 1u);
+}
+
+TEST(NocSimulatorSession, HaltsAtMaxCyclesAndStaysHalted) {
+  NocConfig config;
+  config.max_cycles = 2;  // far too few for a cross-mesh packet
+  NocSimulator sim(Topology::mesh(4, 4), config);
+  sim.begin();
+  sim.enqueue({event(0, 1, 0, {15})});
+  sim.run_until(50);
+  EXPECT_TRUE(sim.halted());
+  EXPECT_EQ(sim.now(), 2u);
+  sim.run_until(100);  // no-op once halted
+  EXPECT_EQ(sim.now(), 2u);
+  const auto result = sim.finish();
+  EXPECT_FALSE(result.stats.drained);
+  EXPECT_EQ(result.stats.duration_cycles, config.max_cycles);
+}
+
+TEST(NocSimulatorSession, BeginResetsEverything) {
+  NocSimulator sim(Topology::mesh(2, 2), NocConfig{});
+  sim.run({event(0, 1, 0, {3})});  // first full run
+  sim.begin();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  sim.enqueue({event(0, 1, 0, {3})});
+  sim.run_until(kNoCycleLimit);
+  const auto result = sim.finish();
+  EXPECT_EQ(result.stats.packets_injected, 1u);
+  EXPECT_EQ(result.stats.copies_delivered, 1u);
+  // Sequence numbering restarted with the session.
+  ASSERT_EQ(result.delivered.size(), 1u);
+  EXPECT_EQ(result.delivered[0].sequence, 0u);
+}
+
 }  // namespace
 }  // namespace snnmap::noc
