@@ -1,0 +1,144 @@
+// BM_WindowEnergy / BM_CoSimulator energy-accounting benchmarks.
+//
+// Run via scripts/bench.sh, which writes BENCH_energy.json so the cost of
+// the per-window energy accounting added on top of the PR 4 co-simulator is
+// tracked PR over PR.  The suite measures:
+//
+//  * the NoC session loop with a close_energy_window() per bounded window
+//    vs the identical session without closes (the accounting overhead is a
+//    counter snapshot + one O(ports) link-peak scan per boundary — the
+//    cycle loop itself carries no energy arithmetic any more),
+//  * the co-simulator under each DVFS policy (fixed reproduces the PR 4
+//    timeline; the scaling policies add the per-window policy step), with
+//    the same steps/sec counter as BM_CoSimulator for direct comparison.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/framework.hpp"
+#include "core/pacman.hpp"
+#include "core/placement.hpp"
+#include "cosim/cosim.hpp"
+#include "hw/architecture.hpp"
+#include "noc/simulator.hpp"
+#include "noc/topology.hpp"
+#include "snn/graph.hpp"
+
+namespace {
+
+using namespace snnmap;
+
+struct Mapped {
+  apps::SyntheticConfig workload;
+  hw::Architecture arch;
+  core::Partition partition;
+  core::Placement placement;
+  std::vector<noc::SpikePacketEvent> traffic;
+};
+
+/// The 2x200 synthetic workload pacman-mapped onto 8 x 64 crossbars (tree),
+/// with its open-loop AER trace — the same shape BM_CoSimulator uses.
+const Mapped& mapped_workload() {
+  static const Mapped kMapped = [] {
+    apps::SyntheticConfig workload;
+    workload.layers = 2;
+    workload.neurons_per_layer = 200;
+    workload.seed = 5;
+    workload.duration_ms = 200.0;
+    const snn::SnnGraph graph = apps::build_synthetic(workload);
+    hw::Architecture arch = hw::Architecture::sized_for(
+        graph.neuron_count(), 64, hw::InterconnectKind::kTree);
+    core::Partition partition = core::pacman_partition(graph, arch);
+    core::Placement placement = core::identity_placement(
+        arch.crossbar_count, noc::Topology::for_architecture(arch));
+    auto traffic = core::build_traffic(graph, partition, placement,
+                                       /*cycles_per_ms=*/1000,
+                                       /*jitter_cycles=*/0);
+    return Mapped{workload, arch, std::move(partition),
+                  std::move(placement), std::move(traffic)};
+  }();
+  return kMapped;
+}
+
+void run_noc_session(benchmark::State& state, bool close_windows) {
+  const Mapped& m = mapped_workload();
+  const std::uint64_t window = 1000;  // one SNN step of virtual time
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    noc::NocSimulator sim(noc::Topology::for_architecture(m.arch),
+                          noc::NocConfig{});
+    sim.begin();
+    sim.enqueue(m.traffic);
+    std::uint64_t end = 0;
+    while (!sim.idle() && !sim.halted()) {
+      end += window;
+      sim.run_until(end);
+      if (close_windows) sim.close_energy_window();
+      ++windows;
+    }
+    const auto result = sim.finish();
+    benchmark::DoNotOptimize(result.stats.global_energy_pj);
+    benchmark::DoNotOptimize(result.window_energy.total_energy_pj);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+  state.counters["windows_per_sec"] = benchmark::Counter(
+      static_cast<double>(windows), benchmark::Counter::kIsRate);
+}
+
+void BM_WindowEnergy_SessionBaseline(benchmark::State& state) {
+  run_noc_session(state, /*close_windows=*/false);
+}
+BENCHMARK(BM_WindowEnergy_SessionBaseline);
+
+void BM_WindowEnergy_SessionPerWindowClose(benchmark::State& state) {
+  run_noc_session(state, /*close_windows=*/true);
+}
+BENCHMARK(BM_WindowEnergy_SessionPerWindowClose);
+
+void run_cosim(benchmark::State& state, cosim::DvfsPolicyKind policy,
+               std::uint32_t cycles_per_timestep) {
+  const Mapped& m = mapped_workload();
+  cosim::CoSimConfig config;
+  config.snn = apps::synthetic_sim_config(m.workload);
+  config.cycles_per_timestep = cycles_per_timestep;
+  config.dvfs.kind = policy;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    snn::Network net = apps::build_synthetic_network(m.workload);
+    cosim::CoSimulator sim(net, m.partition, m.placement,
+                           noc::Topology::for_architecture(m.arch), config);
+    const cosim::CoSimResult result = sim.run();
+    benchmark::DoNotOptimize(result.fidelity.fabric_energy_pj);
+    steps += result.fidelity.steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void BM_CoSimulator_EnergyAccounting_Fixed(benchmark::State& state) {
+  run_cosim(state, cosim::DvfsPolicyKind::kFixed, 2048);
+}
+BENCHMARK(BM_CoSimulator_EnergyAccounting_Fixed);
+
+void BM_CoSimulator_EnergyAccounting_UtilizationDvfs(
+    benchmark::State& state) {
+  run_cosim(state, cosim::DvfsPolicyKind::kUtilizationThreshold, 2048);
+}
+BENCHMARK(BM_CoSimulator_EnergyAccounting_UtilizationDvfs);
+
+void BM_CoSimulator_EnergyAccounting_DeadlineSlackDvfs(
+    benchmark::State& state) {
+  run_cosim(state, cosim::DvfsPolicyKind::kDeadlineSlack, 2048);
+}
+BENCHMARK(BM_CoSimulator_EnergyAccounting_DeadlineSlackDvfs);
+
+void BM_CoSimulator_EnergyAccounting_CongestedFixed(benchmark::State& state) {
+  run_cosim(state, cosim::DvfsPolicyKind::kFixed, 24);
+}
+BENCHMARK(BM_CoSimulator_EnergyAccounting_CongestedFixed);
+
+}  // namespace

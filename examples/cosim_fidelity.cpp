@@ -7,8 +7,16 @@
 // shrinks, packets start missing their emission window, effective synaptic
 // delays stretch, and the spike trains diverge from the ideal-interconnect
 // run — at different rates for different mappings, because a mapping with
-// fewer/shorter NoC journeys degrades later.  A final row adds a bounded
-// receive queue, turning hotspot congestion into outright spike loss.
+// fewer/shorter NoC journeys degrades later.  A bounded-receive-queue row
+// turns hotspot congestion into outright spike loss.
+//
+// The second half walks the energy-vs-divergence frontier: per mapper, the
+// DVFS policies (fixed / utilization-threshold / deadline-slack) rescale
+// the fabric frequency window by window.  At a generous nominal budget the
+// fabric idles most of every window, so the scaling policies ratchet down
+// to their frequency floor and cut interconnect energy roughly
+// quadratically (E/op ~ f^2) while the spike trains stay within a bounded
+// divergence of the fixed-frequency run.
 //
 //   ./build/examples/cosim_fidelity
 #include <cstdint>
@@ -47,6 +55,7 @@ int main() {
   // One scenario per (mapper, cycles_per_timestep); the batch evaluator
   // fans them across the pool, each with its same-seed ideal baseline.
   std::vector<core::CoSimScenario> scenarios;
+  std::vector<core::CoSimScenario> frontier_bases;
   for (const auto mapper : mappers) {
     core::MappingFlowConfig flow;
     flow.arch = arch;
@@ -65,6 +74,7 @@ int main() {
         .config = {},
         .with_ideal_baseline = true};
     base.config.snn = app_net.sim;
+    frontier_bases.push_back(base);
     for (const std::uint32_t cpt : budgets) {
       core::CoSimScenario sc = base;
       sc.config.cycles_per_timestep = cpt;
@@ -93,6 +103,48 @@ int main() {
     }
   }
   std::cout << table.to_ascii();
+
+  // --- DVFS energy-vs-divergence frontier, per mapper -------------------
+  // Nominal budget 1024 cycles/step leaves the fabric mostly idle: the
+  // scaling policies ratchet the frequency to the floor and the per-event
+  // energy drops quadratically, while spikes still land in their windows.
+  const std::vector<cosim::DvfsPolicy> policies = [] {
+    std::vector<cosim::DvfsPolicy> p(3);
+    p[0].kind = cosim::DvfsPolicyKind::kFixed;
+    p[1].kind = cosim::DvfsPolicyKind::kUtilizationThreshold;
+    p[2].kind = cosim::DvfsPolicyKind::kDeadlineSlack;
+    return p;
+  }();
+  std::cout << "\nDVFS frontier (nominal 1024 cycles/step, energy scale ~ "
+               "f^2, floor f/4):\n";
+  util::Table frontier({"mapper", "policy", "fabric E (uJ)", "vs fixed %",
+                        "mean f/f0", "divergence %", "EDP (uJ*cyc)"});
+  for (std::size_t m = 0; m < mappers.size(); ++m) {
+    core::CoSimScenario base = frontier_bases[m];
+    base.config.cycles_per_timestep = 1024;
+    const auto dvfs_outcomes = evaluator.run_dvfs_sweep(base, policies);
+    const double fixed_energy =
+        dvfs_outcomes[0].result.fidelity.fabric_energy_pj;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const auto& o = dvfs_outcomes[p];
+      const auto& fid = o.result.fidelity;
+      frontier.begin_row();
+      frontier.cell(core::to_string(mappers[m]));
+      frontier.cell(cosim::to_string(policies[p].kind));
+      frontier.cell(util::format_double(fid.fabric_energy_pj * 1e-6, 3));
+      frontier.cell(util::format_double(
+          fixed_energy > 0.0
+              ? fid.fabric_energy_pj / fixed_energy * 100.0
+              : 100.0,
+          1));
+      frontier.cell(util::format_double(fid.freq_scale.mean(), 3));
+      frontier.cell(
+          util::format_double(o.divergence.fraction() * 100.0, 3));
+      frontier.cell(
+          util::format_double(fid.energy_delay_product() * 1e-6, 2));
+    }
+  }
+  std::cout << frontier.to_ascii();
 
   // Bounded receive queue at the most congested budget: hotspot crossbars
   // start refusing copies, so congestion becomes spike *loss*.

@@ -301,6 +301,17 @@ int main(int argc, char** argv) {
       fidelity.add_row({"spike-train divergence (%)",
                         util::format_double(divergence.fraction() * 100.0,
                                             4)});
+      fidelity.add_row({"DVFS policy",
+                        cosim::to_string(cc.dvfs.kind)});
+      fidelity.add_row({"mean frequency (f/f0)",
+                        util::format_double(
+                            cs.fidelity.freq_scale.mean(), 3)});
+      fidelity.add_row({"fabric energy (uJ)",
+                        util::format_double(
+                            cs.fidelity.fabric_energy_pj * 1e-6, 4)});
+      fidelity.add_row({"energy-delay product (uJ x cycles)",
+                        util::format_double(
+                            cs.fidelity.energy_delay_product() * 1e-6, 3)});
       std::cout << '\n' << fidelity.to_ascii();
     }
     if (analyze) {

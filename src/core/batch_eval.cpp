@@ -108,6 +108,19 @@ std::vector<CoSimOutcome> BatchCoSimEvaluator::run_cpt_sweep(
   return run_all(std::move(scenarios));
 }
 
+std::vector<CoSimOutcome> BatchCoSimEvaluator::run_dvfs_sweep(
+    const CoSimScenario& base,
+    const std::vector<cosim::DvfsPolicy>& policies) {
+  std::vector<CoSimScenario> scenarios;
+  scenarios.reserve(policies.size());
+  for (const cosim::DvfsPolicy& policy : policies) {
+    CoSimScenario sc = base;
+    sc.config.dvfs = policy;
+    scenarios.push_back(std::move(sc));
+  }
+  return run_all(std::move(scenarios));
+}
+
 std::vector<CoSimOutcome> BatchCoSimEvaluator::run_seeds(
     const CoSimScenario& base, const std::vector<std::uint64_t>& seeds) {
   std::vector<CoSimScenario> scenarios;

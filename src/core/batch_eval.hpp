@@ -199,6 +199,13 @@ class BatchCoSimEvaluator {
       const CoSimScenario& base,
       const std::vector<std::uint32_t>& cycles_per_timestep);
 
+  /// DVFS sweep: one run of `base` per fabric-scaling policy (the
+  /// energy-vs-fidelity frontier axis); results[i] corresponds to
+  /// policies[i].
+  std::vector<CoSimOutcome> run_dvfs_sweep(
+      const CoSimScenario& base,
+      const std::vector<cosim::DvfsPolicy>& policies);
+
   /// Multi-seed sweep: one run of `base` per SNN seed.
   std::vector<CoSimOutcome> run_seeds(const CoSimScenario& base,
                                       const std::vector<std::uint64_t>& seeds);

@@ -59,9 +59,9 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
   flow.noc.collect_delivered = config.bool_or("noc.collect_delivered",
                                               flow.noc.collect_delivered);
 
-  // -- energy (shared with the NoC config)
-  flow.energy = hw::EnergyModel::from_config(config);
-  flow.noc.energy = flow.energy;
+  // -- energy (single source of truth: the NoC config's model, which the
+  //    cost model and simulators all reference)
+  flow.noc.energy = hw::EnergyModel::from_config(config);
 
   // -- PSO
   flow.pso.swarm_size = static_cast<std::uint32_t>(
@@ -133,6 +133,18 @@ cosim::CoSimConfig cosim_from_config(const util::Config& config,
   base.injection_jitter_cycles = static_cast<std::uint32_t>(
       config.int_or("cosim.injection_jitter_cycles",
                     base.injection_jitter_cycles));
+  // -- DVFS fabric scaling
+  if (const auto policy = config.get_string("dvfs.policy")) {
+    base.dvfs.kind = cosim::dvfs_policy_from_string(*policy);
+  }
+  base.dvfs.min_scale =
+      config.double_or("dvfs.min_scale", base.dvfs.min_scale);
+  base.dvfs.low_utilization =
+      config.double_or("dvfs.low_utilization", base.dvfs.low_utilization);
+  base.dvfs.high_utilization =
+      config.double_or("dvfs.high_utilization", base.dvfs.high_utilization);
+  base.dvfs.slack_fraction =
+      config.double_or("dvfs.slack_fraction", base.dvfs.slack_fraction);
   return base;
 }
 
@@ -143,6 +155,14 @@ void cosim_to_config(const cosim::CoSimConfig& cosim, util::Config& config) {
              std::to_string(cosim.receive_queue_depth));
   config.set("cosim.injection_jitter_cycles",
              std::to_string(cosim.injection_jitter_cycles));
+  config.set("dvfs.policy", cosim::to_string(cosim.dvfs.kind));
+  config.set("dvfs.min_scale", std::to_string(cosim.dvfs.min_scale));
+  config.set("dvfs.low_utilization",
+             std::to_string(cosim.dvfs.low_utilization));
+  config.set("dvfs.high_utilization",
+             std::to_string(cosim.dvfs.high_utilization));
+  config.set("dvfs.slack_fraction",
+             std::to_string(cosim.dvfs.slack_fraction));
 }
 
 void mapping_flow_to_config(const MappingFlowConfig& flow,
@@ -162,7 +182,7 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
   config.set("noc.collect_delivered",
              flow.noc.collect_delivered ? "true" : "false");
 
-  flow.energy.to_config(config);
+  flow.noc.energy.to_config(config);
 
   config.set("pso.swarm_size", std::to_string(flow.pso.swarm_size));
   config.set("pso.iterations", std::to_string(flow.pso.iterations));

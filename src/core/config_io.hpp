@@ -28,13 +28,22 @@
 //     injection_jitter_cycles: 32
 //     seed: 42
 //
-// Unknown keys are ignored; absent keys keep their defaults.
-// The closed-loop co-simulation knobs bind under a `cosim:` section:
+// Unknown keys are ignored; absent keys keep their defaults.  The `energy:`
+// section binds to the one shared hw::EnergyModel (MappingFlowConfig's
+// noc.energy — there is no second flow-level copy to drift from it).
+// The closed-loop co-simulation knobs bind under `cosim:` and `dvfs:`
+// sections:
 //
 //   cosim:
 //     cycles_per_timestep: 1000
 //     receive_queue_depth: 64     # omit for an unbounded (no-drop) queue
 //     injection_jitter_cycles: 0
+//   dvfs:
+//     policy: fixed               # fixed | utilization-threshold | deadline-slack
+//     min_scale: 0.25
+//     low_utilization: 0.25
+//     high_utilization: 0.75
+//     slack_fraction: 0.5
 #pragma once
 
 #include <string>

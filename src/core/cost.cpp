@@ -158,32 +158,36 @@ double CostModel::analytic_global_energy_pj(
     if (remote.empty()) continue;
     const noc::TileId src_tile = placement[part[i]];
     if (multicast) {
-      // A multicast packet shares path prefixes; conservatively estimate by
-      // charging the union of routed links per destination branch: walk each
-      // path and count links not yet charged for this packet.
+      // A multicast packet shares path prefixes: the union of the
+      // per-destination routed paths is the multicast tree the simulator's
+      // range-fork engine walks.  Charge exactly what the cycle-accurate
+      // engine charges — per tree edge, one link traversal plus one switch
+      // traversal at the upstream router that forwarded the flit; per
+      // destination, one ejection switch traversal plus the decode; plus
+      // the single encode at the source.  (Charging one router_flit_pj per
+      // *distinct* router instead double-counted fork routers relative to
+      // shared-prefix links and under-counted multi-destination ejections —
+      // the analytic/simulated parity test pins the agreement now.)
       std::unordered_set<std::uint64_t> charged_links;
-      std::unordered_set<std::uint32_t> charged_routers;
       double per_spike = energy.aer_codec_pj;  // encode at source
       for (const CrossbarId c : remote) {
         const noc::TileId dst_tile = placement[c];
         noc::RouterId r = topology.router_of_tile(src_tile);
         const noc::RouterId dst_router = topology.router_of_tile(dst_tile);
-        charged_routers.insert(r);
         while (r != dst_router) {
           const noc::PortId p = topology.next_port(r, dst_router);
           const noc::RouterId nb = topology.neighbor(r, p);
           const std::uint64_t link =
               (static_cast<std::uint64_t>(r) << 32) | nb;
           if (charged_links.insert(link).second) {
-            per_spike += energy.link_hop_pj;
+            per_spike += energy.link_hop_pj + energy.router_flit_pj;
           }
           r = nb;
-          charged_routers.insert(r);
         }
-        per_spike += energy.aer_codec_pj;  // decode at each destination
+        // Decode at the destination; its router ejects through the local
+        // port (one switch traversal per delivered copy).
+        per_spike += energy.router_flit_pj + energy.aer_codec_pj;
       }
-      per_spike +=
-          static_cast<double>(charged_routers.size()) * energy.router_flit_pj;
       total_pj += per_spike * static_cast<double>(spikes);
     } else {
       for (const CrossbarId c : remote) {

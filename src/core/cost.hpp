@@ -71,9 +71,15 @@ class CostModel {
   /// pre neuron's spike count.
   std::uint64_t total_event_count() const noexcept { return total_events_; }
 
-  /// Static analytic estimate of global-synapse energy: every packet copy is
-  /// charged codec + per-hop link/router energy along its routing path, with
-  /// multicast sharing common prefixes of the paths.
+  /// Static analytic estimate of global-synapse energy, charge-for-charge
+  /// aligned with the cycle-accurate NocSimulator accounting: encode at the
+  /// source, link + upstream-switch energy per multicast-tree edge (shared
+  /// path prefixes charged once), and ejection switch + decode per
+  /// destination copy.  Reproduces the simulated NocStats::global_energy_pj
+  /// on drained runs (pinned by the parity tests): every routing algorithm
+  /// is minimal, so congestion (or adaptive selection) shifts *which* links
+  /// a flit takes but never the activity counts — energy is unchanged, only
+  /// timing degrades.
   double analytic_global_energy_pj(const Partition& partition,
                                    const noc::Topology& topology,
                                    const std::vector<noc::TileId>& placement,

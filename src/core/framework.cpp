@@ -116,9 +116,10 @@ MappingReport run_mapping_flow(const snn::SnnGraph& graph,
   report.global_spikes = cost.global_spike_count(report.partition);
   report.aer_packets = cost.multicast_packet_count(report.partition);
   report.local_events = cost.local_event_count(report.partition);
-  report.local_energy_pj = cost.local_energy_pj(report.partition, config.energy);
+  report.local_energy_pj =
+      cost.local_energy_pj(report.partition, config.energy());
   report.analytic_global_energy_pj = cost.analytic_global_energy_pj(
-      report.partition, topology, report.placement, config.energy,
+      report.partition, topology, report.placement, config.energy(),
       config.noc.multicast);
 
   auto traffic = build_traffic(graph, report.partition, report.placement,
@@ -126,9 +127,7 @@ MappingReport run_mapping_flow(const snn::SnnGraph& graph,
                                config.injection_jitter_cycles);
   report.packets_offered = traffic.size();
 
-  noc::NocConfig noc_config = config.noc;
-  noc_config.energy = config.energy;
-  noc::NocSimulator sim(std::move(topology), noc_config);
+  noc::NocSimulator sim(std::move(topology), config.noc);
   noc::NocRunResult run = sim.run(std::move(traffic));
   report.noc_stats = run.stats;
   report.snn_metrics = run.snn;

@@ -46,10 +46,15 @@ struct MappingFlowConfig {
   PsoConfig pso;
   AnnealingConfig annealing;
   GeneticConfig genetic;
+  /// Interconnect settings.  noc.energy is the single source of truth for
+  /// the energy model: the cost model, the NoC simulator and the
+  /// co-simulator all read it from here (a separate flow-level copy used to
+  /// shadow it and the two could silently diverge).
   noc::NocConfig noc;
   /// Mesh routing algorithm (ignored for tree/ring interconnects).
   noc::MeshRouting mesh_routing = noc::MeshRouting::kXY;
-  hw::EnergyModel energy;
+  /// Convenience view of the shared energy model (see noc.energy).
+  const hw::EnergyModel& energy() const noexcept { return noc.energy; }
   /// Comm-aware placement (greedy swaps); identity when false (paper setup).
   bool comm_aware_placement = false;
   /// Spread same-millisecond injections over [0, jitter) cycles with a

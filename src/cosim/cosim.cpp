@@ -46,6 +46,25 @@ std::uint64_t key_of(std::uint32_t source, noc::TileId tile) noexcept {
 
 }  // namespace
 
+const char* to_string(DvfsPolicyKind kind) noexcept {
+  switch (kind) {
+    case DvfsPolicyKind::kFixed: return "fixed";
+    case DvfsPolicyKind::kUtilizationThreshold:
+      return "utilization-threshold";
+    case DvfsPolicyKind::kDeadlineSlack: return "deadline-slack";
+  }
+  return "?";
+}
+
+DvfsPolicyKind dvfs_policy_from_string(const std::string& name) {
+  if (name == "fixed") return DvfsPolicyKind::kFixed;
+  if (name == "utilization-threshold") {
+    return DvfsPolicyKind::kUtilizationThreshold;
+  }
+  if (name == "deadline-slack") return DvfsPolicyKind::kDeadlineSlack;
+  throw std::invalid_argument("unknown DVFS policy: '" + name + "'");
+}
+
 CoSimulator::CoSimulator(snn::Network& network,
                          const core::Partition& partition,
                          const core::Placement& placement,
@@ -68,6 +87,24 @@ CoSimulator::CoSimulator(snn::Network& network,
         "CoSimulator: injection_jitter_cycles must be below "
         "cycles_per_timestep (a spike must be offered within its own "
         "window)");
+  }
+  // DVFS policy sanity (negated comparisons so NaN fails every check).
+  const DvfsPolicy& dvfs = config_.dvfs;
+  if (!(dvfs.min_scale > 0.0) || !(dvfs.min_scale <= 1.0)) {
+    throw std::invalid_argument(
+        "CoSimulator: dvfs.min_scale must be in (0, 1] (the fabric cannot "
+        "run at zero or above-nominal frequency)");
+  }
+  if (!(dvfs.low_utilization >= 0.0) ||
+      !(dvfs.low_utilization < dvfs.high_utilization) ||
+      !(dvfs.high_utilization <= 1.0)) {
+    throw std::invalid_argument(
+        "CoSimulator: dvfs utilization thresholds must satisfy 0 <= low < "
+        "high <= 1");
+  }
+  if (!(dvfs.slack_fraction >= 0.0) || !(dvfs.slack_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "CoSimulator: dvfs.slack_fraction must be in [0, 1]");
   }
   const std::uint32_t n = network.neuron_count();
   if (partition.neuron_count() != n) {
@@ -149,18 +186,24 @@ CoSimResult CoSimulator::run() {
         "consumed); build a fresh CoSimulator for another run");
   }
   ran_ = true;
-  const std::uint64_t cpt = config_.cycles_per_timestep;
+  const std::uint32_t nominal = config_.cycles_per_timestep;
   const std::uint32_t jitter = config_.injection_jitter_cycles;
   const bool bounded =
       config_.receive_queue_depth != kUnboundedReceiveQueue;
+  const DvfsPolicy& dvfs = config_.dvfs;
 
   CoSimResult out;
   FidelityReport& fid = out.fidelity;
   fid.steps = steps_;
   fid.per_step_transit.assign(steps_, util::Accumulator{});
   fid.per_step_misses.assign(steps_, 0);
+  fid.per_step_energy_pj.assign(steps_, 0.0);
+  fid.per_step_cycles.assign(steps_, nominal);
   fid.transit_hist = util::Histogram(
-      0.0, static_cast<double>(std::max<std::uint64_t>(cpt * 4, 64)), 64);
+      0.0,
+      static_cast<double>(
+          std::max<std::uint64_t>(std::uint64_t{nominal} * 4, 64)),
+      64);
 
   noc_.begin();
   std::vector<std::uint64_t> emit_counter(source_tile_.size(), 0);
@@ -171,7 +214,53 @@ CoSimResult CoSimulator::run() {
   std::vector<noc::SpikePacketEvent> window_traffic;
   bool warned_halt = false;
 
+  // DVFS state: the scale the next window will run at, stepped from the
+  // previous window's observations (deterministic, so batch fan-out stays
+  // bit-identical).  Scale-weighted activity accumulates in doubles; with
+  // the fixed policy every weight is exactly 1.0, the sums stay exact
+  // integers, and fabric_energy_pj reproduces the one-shot
+  // NocStats::global_energy_pj bit for bit.
+  double scale = 1.0;
+  std::uint64_t window_start = 0;
+  double prev_utilization = 0.0;
+  bool prev_pressure = false;  // miss/drop/backlog in the previous window
+  double weighted_codec = 0.0;
+  double weighted_link = 0.0;
+  double weighted_router = 0.0;
+  const auto next_scale = [&](double current) {
+    switch (dvfs.kind) {
+      case DvfsPolicyKind::kFixed: return 1.0;
+      case DvfsPolicyKind::kUtilizationThreshold:
+        if (prev_utilization > dvfs.high_utilization) {
+          return std::min(1.0, current * 2.0);
+        }
+        if (prev_utilization < dvfs.low_utilization) {
+          return std::max(dvfs.min_scale, current * 0.5);
+        }
+        return current;
+      case DvfsPolicyKind::kDeadlineSlack:
+        if (prev_pressure) return 1.0;  // missed timing: back to nominal
+        if (1.0 - prev_utilization >= dvfs.slack_fraction) {
+          return std::max(dvfs.min_scale, current * 0.5);
+        }
+        return current;
+    }
+    return 1.0;
+  };
+
   for (std::uint64_t t = 0; t < steps_; ++t) {
+    // 0. Pick this window's fabric frequency (first window runs nominal —
+    //    there is nothing observed yet).
+    if (t > 0) scale = next_scale(scale);
+    std::uint32_t window_cycles = nominal;
+    if (scale < 1.0) {
+      window_cycles = static_cast<std::uint32_t>(
+          static_cast<double>(nominal) * scale + 0.5);
+      // A window must fit the encoder jitter and carry >= 1 cycle.
+      window_cycles = std::max<std::uint32_t>(window_cycles, jitter + 1);
+    }
+    const std::uint64_t window_end = window_start + window_cycles;
+
     // 1. Integrate step t with deliveries deferred.
     sim_.step_deferred();
     const std::vector<snn::NeuronId>& spikes = sim_.deferred_spikes();
@@ -187,7 +276,7 @@ CoSimResult CoSimulator::run() {
       ev.source_tile = source_tile_[i];
       ev.emit_step = t;
       ev.emit_cycle =
-          t * cpt +
+          window_start +
           (jitter != 0
                ? util::spike_jitter_hash(i, emit_counter[i]) % jitter
                : 0);
@@ -203,15 +292,31 @@ CoSimResult CoSimulator::run() {
       window_traffic.clear();
     }
 
-    // 3. Advance the fabric one window.
+    // 3. Advance the fabric one window, then price its activity at the
+    //    frequency it ran at.
     if (!noc_.halted()) {
-      noc_.run_until((t + 1) * cpt);
+      noc_.run_until(window_end);
     } else if (!warned_halt) {
       util::log_warn(
           "CoSimulator: NoC hit max_cycles; remaining traffic counts as "
           "undelivered");
       warned_halt = true;
     }
+    const noc::WindowEnergySample sample = noc_.close_energy_window();
+    const double realized =
+        static_cast<double>(window_cycles) / static_cast<double>(nominal);
+    const double escale = hw::EnergyModel::dvfs_energy_scale(realized);
+    weighted_codec += escale * static_cast<double>(sample.codec_events());
+    weighted_link += escale * static_cast<double>(sample.link_hops);
+    weighted_router +=
+        escale * static_cast<double>(sample.router_traversals);
+    const double step_energy = escale * sample.energy_pj;
+    fid.per_step_energy_pj[t] = step_energy;
+    fid.per_step_cycles[t] = window_cycles;
+    fid.window_energy_pj.add(step_energy);
+    fid.freq_scale.add(realized);
+    const std::uint64_t pressure_before =
+        fid.deadline_misses + fid.receive_drops;
 
     // 4. Convert deliveries back to synaptic arrivals.  In-window copies
     //    (emitted this step) flush with exact local timing; late copies
@@ -223,7 +328,10 @@ CoSimResult CoSimulator::run() {
     const auto delivered = noc_.drain_delivered();
     for (const noc::DeliveredSpike& d : delivered) {
       const std::uint64_t transit = d.recv_cycle - d.emit_cycle;
-      const std::uint64_t arrival_step = (d.recv_cycle - 1) / cpt;
+      // Deliveries are drained every window, so everything observed here
+      // arrived during window t (variable DVFS spans make a division by a
+      // fixed budget meaningless anyway).
+      const std::uint64_t arrival_step = t;
       ++fid.copies_arrived;
       fid.transit_cycles.add(static_cast<double>(transit));
       fid.transit_hist.add(static_cast<double>(transit));
@@ -272,11 +380,28 @@ CoSimResult CoSimulator::run() {
       }
     }
     sim_.flush_deferred(verdicts);
+
+    // 6. Feed the DVFS policy: how busy was the window, and did anything
+    //    miss its deadline (late accept, drop, or carried backlog)?
+    prev_utilization = sample.utilization();
+    prev_pressure =
+        fid.deadline_misses + fid.receive_drops > pressure_before ||
+        !noc_.idle();
+    window_start = window_end;
   }
 
   out.snn = sim_.result();
   fid.total_spikes = out.snn.total_spikes;
   fid.undelivered = fid.copies_offered - fid.copies_arrived;
+  fid.fabric_energy_pj = config_.noc.energy.activity_energy_pj(
+      weighted_codec, weighted_link, weighted_router);
+  double max_window_energy = 0.0;
+  for (const double e : fid.per_step_energy_pj) {
+    max_window_energy = std::max(max_window_energy, e);
+  }
+  fid.energy_hist = util::Histogram(
+      0.0, max_window_energy > 0.0 ? max_window_energy : 1.0, 32);
+  for (const double e : fid.per_step_energy_pj) fid.energy_hist.add(e);
   out.noc = noc_.finish().stats;
   return out;
 }

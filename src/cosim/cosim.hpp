@@ -52,6 +52,45 @@ namespace snnmap::cosim {
 inline constexpr std::uint32_t kUnboundedReceiveQueue =
     static_cast<std::uint32_t>(-1);
 
+/// How the co-simulator rescales the fabric frequency (the per-window
+/// cycle budget) between lockstep windows.
+enum class DvfsPolicyKind : std::uint8_t {
+  kFixed,                 ///< nominal cycles_per_timestep every window
+  kUtilizationThreshold,  ///< slow when the fabric idles, speed when busy
+  kDeadlineSlack,         ///< slow on slack; snap to nominal on any miss
+};
+
+const char* to_string(DvfsPolicyKind kind) noexcept;
+/// Parses "fixed" / "utilization-threshold" / "deadline-slack"; throws
+/// std::invalid_argument on unknown names.
+DvfsPolicyKind dvfs_policy_from_string(const std::string& name);
+
+/// Per-window dynamic frequency scaling of the interconnect fabric.  The
+/// policy observes the previous window (busy fraction from the NoC's
+/// WindowEnergySample, deadline misses, end-of-window backlog) and picks
+/// the next window's frequency as a scale of the nominal
+/// cycles_per_timestep, stepping x2 / /2 within [min_scale, 1].  Slower
+/// windows carry fewer cycles, so packets take more *steps* to arrive —
+/// the energy saving (hw::EnergyModel::dvfs_energy_scale) is bought with
+/// transit stretch, which the fidelity report prices via the energy-delay
+/// product.  Everything is deterministic: decisions depend only on the
+/// deterministic simulation state.
+struct DvfsPolicy {
+  DvfsPolicyKind kind = DvfsPolicyKind::kFixed;
+  /// Frequency floor as a fraction of nominal; must be in (0, 1].
+  double min_scale = 0.25;
+  /// Utilization-threshold policy: halve the frequency when the previous
+  /// window's busy fraction drops below `low_utilization`, double it (up
+  /// to nominal) above `high_utilization`.  0 <= low < high <= 1.
+  double low_utilization = 0.25;
+  double high_utilization = 0.75;
+  /// Deadline-slack policy: halve the frequency when the previous window
+  /// ended drained with an idle fraction of at least `slack_fraction`;
+  /// any deadline miss, receive drop, or end-of-window backlog snaps the
+  /// fabric back to nominal.  Must be in [0, 1].
+  double slack_fraction = 0.5;
+};
+
 struct CoSimConfig {
   /// SNN step engine settings (dt, duration, seed, synapse model, STDP).
   snn::SimulationConfig snn;
@@ -73,7 +112,11 @@ struct CoSimConfig {
   /// Spread same-step injections over [0, jitter) cycles with a
   /// deterministic per-spike hash (encoder serialization); must stay below
   /// cycles_per_timestep so a spike is offered within its own window.
+  /// DVFS windows are clamped to at least jitter + 1 cycles so the
+  /// guarantee survives frequency scaling.
   std::uint32_t injection_jitter_cycles = 0;
+  /// Per-window fabric frequency scaling (fixed = the PR 4 behavior).
+  DvfsPolicy dvfs;
 };
 
 /// Everything one closed-loop run produces.

@@ -39,10 +39,34 @@ struct FidelityReport {
   /// Deadline misses per *emission* step.
   std::vector<std::uint32_t> per_step_misses;
 
+  // --- windowed interconnect energy + DVFS trajectory --------------------
+  /// Total fabric (global-synapse) energy in pJ: per-window activity from
+  /// the NoC's WindowEnergySample stream, priced at the EnergyModel
+  /// constants and scaled by the DVFS energy factor of the frequency each
+  /// window ran at.  Under DvfsPolicy fixed this is bit-identical to the
+  /// one-shot NocStats::global_energy_pj of the same run (the accumulators
+  /// carry exact integer activity when every scale is 1).
+  double fabric_energy_pj = 0.0;
+  /// DVFS-scaled energy of each lockstep window, in pJ (one entry per step).
+  std::vector<double> per_step_energy_pj;
+  /// Interconnect cycles each window actually ran (the realized DVFS
+  /// frequency trajectory; cycles_per_timestep everywhere when fixed).
+  std::vector<std::uint32_t> per_step_cycles;
+  util::Accumulator window_energy_pj;  ///< over per_step_energy_pj samples
+  util::Accumulator freq_scale;        ///< realized per-window f/f_nominal
+  util::Histogram energy_hist{0.0, 1.0, 1};  ///< per-window energy, rebuilt
+
   /// Copies that failed to arrive within their window, over everything
   /// offered (misses + drops + undelivered; 0 when nothing was offered).
   double miss_fraction() const noexcept;
   double drop_fraction() const noexcept;
+  /// Energy-delay product of the transport: total fabric energy x mean
+  /// spike transit (pJ x cycles).  The DVFS tradeoff in one number — a
+  /// policy that slows the fabric saves energy but stretches transit, and
+  /// a good one lowers the product.
+  double energy_delay_product() const noexcept {
+    return fabric_energy_pj * transit_cycles.mean();
+  }
 };
 
 /// Exact spike-train divergence between two runs of the same network:

@@ -1,6 +1,27 @@
 #include "hw/energy_model.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace snnmap::hw {
+namespace {
+
+void check_pj(const char* name, double value) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument(std::string("EnergyModel: ") + name +
+                                " must be finite and >= 0 pJ (got " +
+                                std::to_string(value) + ")");
+  }
+}
+
+}  // namespace
+
+void EnergyModel::validate() const {
+  check_pj("crossbar_event_pj", crossbar_event_pj);
+  check_pj("link_hop_pj", link_hop_pj);
+  check_pj("router_flit_pj", router_flit_pj);
+  check_pj("aer_codec_pj", aer_codec_pj);
+}
 
 EnergyModel EnergyModel::from_config(const util::Config& config) {
   EnergyModel m;
@@ -10,6 +31,7 @@ EnergyModel EnergyModel::from_config(const util::Config& config) {
   m.router_flit_pj =
       config.double_or("energy.router_flit_pj", m.router_flit_pj);
   m.aer_codec_pj = config.double_or("energy.aer_codec_pj", m.aer_codec_pj);
+  m.validate();
   return m;
 }
 

@@ -5,8 +5,16 @@
 // neuromorphic range (e.g. TrueNorth's 26 pJ per synaptic event) and, as in
 // Noxim/Noxim++, every value can be overridden from a YAML(-subset) file.
 // Only relative shapes matter for the reproduced figures.
+//
+// Interconnect energy is *activity-based*: the simulators count codec
+// events, link traversals and router (switch) traversals as exact integers
+// and convert them to pJ through activity_energy_pj() — one shared formula,
+// so one-shot totals, per-window samples and co-simulation accumulators are
+// bit-identical whenever their activity counts agree (the windowed-energy
+// invariant the co-simulator tests pin).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "util/config.hpp"
@@ -30,14 +38,41 @@ struct EnergyModel {
   /// so call sites can be explicit about the provenance of their numbers).
   static EnergyModel cxquad() noexcept { return {}; }
 
+  /// Throws std::invalid_argument when any per-event energy is NaN,
+  /// infinite, or negative (parity with SimulationConfig / CoSimConfig
+  /// validation: a nonsensical constant must fail loudly, not silently
+  /// poison every derived statistic).
+  void validate() const;
+
   /// Loads overrides from a parsed config; recognized keys are
   ///   energy.crossbar_event_pj, energy.link_hop_pj,
   ///   energy.router_flit_pj, energy.aer_codec_pj
   /// Unknown keys are ignored (the file may also configure the NoC).
+  /// The result is validate()d: NaN/inf/negative values throw.
   static EnergyModel from_config(const util::Config& config);
 
   /// Serializes to the same key set.
   void to_config(util::Config& config) const;
+
+  /// Interconnect energy of an activity count: `codec_events` AER
+  /// encode/decode operations, `link_hops` flit-link traversals and
+  /// `router_traversals` flit-router (switch) traversals.  Arguments are
+  /// doubles so callers can pass exact integer counters (one-shot stats,
+  /// window deltas) or DVFS-scale-weighted activity; identical argument
+  /// values produce bit-identical results.
+  double activity_energy_pj(double codec_events, double link_hops,
+                            double router_traversals) const noexcept {
+    return aer_codec_pj * codec_events + link_hop_pj * link_hops +
+           router_flit_pj * router_traversals;
+  }
+
+  /// DVFS per-event energy scale for a fabric running at `freq_scale` of
+  /// its nominal frequency: under the classic voltage-tracks-frequency
+  /// approximation (E per op ~ V^2, V ~ f), halving the clock quarters the
+  /// per-event energy.  freq_scale = 1 returns exactly 1.
+  static double dvfs_energy_scale(double freq_scale) noexcept {
+    return freq_scale * freq_scale;
+  }
 
   /// Energy of a unicast packet copy crossing `hops` links and `hops + 1`
   /// routers, in pJ.

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "hw/energy_model.hpp"
 #include "noc/topology.hpp"
 #include "util/stats.hpp"
 
@@ -61,6 +62,55 @@ struct NocStats {
   double mean_link_flits() const noexcept;
   /// Hotspot factor: max/mean over used links (1.0 = perfectly even).
   double link_hotspot_factor() const noexcept;
+};
+
+/// Activity observed by one accounting window of a NocSimulator session
+/// ([start_cycle, end_cycle) of virtual time).  All counts are exact
+/// integers — deltas of the simulator's flat counters at the window
+/// boundary — so summing windows reproduces the one-shot aggregates with
+/// no floating-point drift.
+struct WindowEnergySample {
+  std::uint64_t index = 0;        ///< position in the session's window list
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  /// Cycles the fabric actually arbitrated inside the window (idle spans
+  /// are fast-forwarded and cost no energy or activity).
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t flits_injected = 0;    ///< AER encodes (one per flit copy)
+  std::uint64_t copies_delivered = 0;  ///< AER decodes (one per delivery)
+  std::uint64_t link_hops = 0;         ///< flit-link traversals
+  std::uint64_t router_traversals = 0; ///< flit-router (switch) traversals
+  /// Largest per-directed-link flit count within the window (hotspot peak).
+  std::uint64_t peak_link_flits = 0;
+  /// Window activity priced at the nominal EnergyModel constants, in pJ
+  /// (DVFS scaling is applied by the consumer, e.g. cosim::CoSimulator).
+  double energy_pj = 0.0;
+
+  std::uint64_t codec_events() const noexcept {
+    return flits_injected + copies_delivered;
+  }
+  /// Busy fraction of the window's virtual-time span (0 for empty spans).
+  double utilization() const noexcept {
+    return end_cycle > start_cycle
+               ? static_cast<double>(busy_cycles) /
+                     static_cast<double>(end_cycle - start_cycle)
+               : 0.0;
+  }
+};
+
+/// Per-window energy accounting of one NocSimulator session.  The integer
+/// totals are exact sums of the samples' deltas, so `total_energy_pj` is
+/// bit-identical to the NocStats::global_energy_pj the same session reports
+/// — windowing loses nothing relative to one-shot accounting.
+struct WindowEnergyReport {
+  std::vector<WindowEnergySample> windows;
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t codec_events = 0;
+  std::uint64_t link_hops = 0;
+  std::uint64_t router_traversals = 0;
+  /// Summed integer activity priced through
+  /// hw::EnergyModel::activity_energy_pj at nominal constants.
+  double total_energy_pj = 0.0;
 };
 
 /// The paper's SNN performance metrics.

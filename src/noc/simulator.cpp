@@ -35,6 +35,7 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
         "NocSimulator: max_cycles must be >= 1 (a zero-cycle budget could "
         "never simulate any traffic)");
   }
+  config_.energy.validate();  // NaN/inf/negative pJ would poison every stat
   // Flat per-port geometry: for global port index port_base_[r] + o,
   // neighbor_ holds the adjacent router and reverse_port_ the input-port
   // index at that neighbor through which flits sent from r arrive.
@@ -101,6 +102,15 @@ void NocSimulator::begin() {
   halted_ = false;
   stats_ = NocStats{};
   delivered_.clear();
+  busy_cycles_ = 0;
+  window_report_ = WindowEnergyReport{};
+  win_start_cycle_ = 0;
+  win_busy_ = 0;
+  win_flits_injected_ = 0;
+  win_copies_delivered_ = 0;
+  win_link_hops_ = 0;
+  win_router_traversals_ = 0;
+  win_link_flits_.assign(port_base_[n], 0);
 }
 
 void NocSimulator::enqueue(std::vector<SpikePacketEvent> traffic) {
@@ -196,15 +206,13 @@ void NocSimulator::inject_due() {
       src.push(src.port_count(),
                make_flit(ev, ev.dest_tiles.data(),
                          static_cast<std::uint32_t>(ev.dest_tiles.size())));
-      ++stats_.flits_injected;
-      stats_.global_energy_pj += config_.energy.aer_codec_pj;
+      ++stats_.flits_injected;  // one AER encode per flit copy
       ++in_flight_;
     } else {
       // Source-replicated unicast: one independent copy per destination.
       for (const TileId dest : ev.dest_tiles) {
         src.push(src.port_count(), make_flit(ev, &dest, 1));
         ++stats_.flits_injected;
-        stats_.global_energy_pj += config_.energy.aer_codec_pj;
         ++in_flight_;
       }
     }
@@ -301,10 +309,12 @@ void NocSimulator::simulate_cycle() {
             stats_.max_latency_cycles =
                 std::max(stats_.max_latency_cycles, d.latency());
           };
+          // Ejection and forwarding account pure activity; energy is
+          // priced from these exact integer counters at window close /
+          // finish (hw::EnergyModel::activity_energy_pj), so the totals
+          // are independent of summation order and window boundaries.
           const auto charge_ejection = [&] {
-            ++stats_.router_traversals;
-            stats_.global_energy_pj +=
-                config_.energy.router_flit_pj + config_.energy.aer_codec_pj;
+            ++stats_.router_traversals;  // decode pairs with copies_delivered
           };
           // Stages `copy` through this output and charges the hop.
           const auto forward = [&](const Flit& copy) {
@@ -316,8 +326,6 @@ void NocSimulator::simulate_cycle() {
             ++stats_.link_hops;
             ++stats_.router_traversals;
             ++link_flits_[base + out];
-            stats_.global_energy_pj +=
-                config_.energy.link_hop_pj + config_.energy.router_flit_pj;
           };
 
           if (head.dest_count == 1) {
@@ -482,6 +490,7 @@ std::uint64_t NocSimulator::run_until(std::uint64_t cycle_limit) {
     // ---- 2/3. One cycle of arbitration + staged-move commits.
     simulate_cycle();
     ++now_;
+    ++busy_cycles_;
   }
   return now_;
 }
@@ -498,9 +507,68 @@ std::vector<DeliveredSpike> NocSimulator::drain_delivered() {
   return out;
 }
 
+WindowEnergySample NocSimulator::close_energy_window() {
+  WindowEnergySample s;
+  s.index = window_report_.windows.size();
+  s.start_cycle = win_start_cycle_;
+  s.end_cycle = now_;
+  s.busy_cycles = busy_cycles_ - win_busy_;
+  s.flits_injected = stats_.flits_injected - win_flits_injected_;
+  s.copies_delivered = stats_.copies_delivered - win_copies_delivered_;
+  s.link_hops = stats_.link_hops - win_link_hops_;
+  s.router_traversals = stats_.router_traversals - win_router_traversals_;
+  for (std::size_t i = 0; i < link_flits_.size(); ++i) {
+    const std::uint64_t delta = link_flits_[i] - win_link_flits_[i];
+    s.peak_link_flits = std::max(s.peak_link_flits, delta);
+    win_link_flits_[i] = link_flits_[i];
+  }
+  s.energy_pj = config_.energy.activity_energy_pj(
+      static_cast<double>(s.codec_events()),
+      static_cast<double>(s.link_hops),
+      static_cast<double>(s.router_traversals));
+  win_start_cycle_ = now_;
+  win_busy_ = busy_cycles_;
+  win_flits_injected_ = stats_.flits_injected;
+  win_copies_delivered_ = stats_.copies_delivered;
+  win_link_hops_ = stats_.link_hops;
+  win_router_traversals_ = stats_.router_traversals;
+
+  WindowEnergyReport& r = window_report_;
+  r.busy_cycles += s.busy_cycles;
+  r.codec_events += s.codec_events();
+  r.link_hops += s.link_hops;
+  r.router_traversals += s.router_traversals;
+  // Totals are exact integer sums of the deltas, i.e. exactly the session
+  // counters, so this equals finish()'s stats.global_energy_pj bit for bit.
+  r.total_energy_pj = config_.energy.activity_energy_pj(
+      static_cast<double>(r.codec_events), static_cast<double>(r.link_hops),
+      static_cast<double>(r.router_traversals));
+  r.windows.push_back(s);
+  return s;
+}
+
 NocRunResult NocSimulator::finish() {
   NocRunResult result;
   stats_.duration_cycles = now_;
+  // Interconnect energy is the exact activity counters priced at the model
+  // constants — independent of charge order and of where the session put
+  // its window boundaries.  Encodes pair with flits_injected, decodes with
+  // copies_delivered.
+  stats_.global_energy_pj = config_.energy.activity_energy_pj(
+      static_cast<double>(stats_.flits_injected + stats_.copies_delivered),
+      static_cast<double>(stats_.link_hops),
+      static_cast<double>(stats_.router_traversals));
+  // Fold the trailing (never-closed) span into the window report so its
+  // totals always cover the whole session; a one-shot run() thereby
+  // reports one window spanning the full trace.
+  if (window_report_.windows.empty() ||
+      stats_.flits_injected != win_flits_injected_ ||
+      stats_.copies_delivered != win_copies_delivered_ ||
+      stats_.link_hops != win_link_hops_ ||
+      stats_.router_traversals != win_router_traversals_ ||
+      busy_cycles_ != win_busy_) {
+    close_energy_window();
+  }
   // "Drained" keeps its one-shot meaning for sessions: all offered traffic
   // completed.  A bounded window that left flits in flight (or queued
   // events uninjected) did not drain, max_cycles halt or not.
@@ -519,6 +587,9 @@ NocRunResult NocSimulator::finish() {
   }
   std::sort(stats_.link_flits.begin(), stats_.link_flits.end());
   result.stats = stats_;
+  // finish() is terminal for the session (begin() rebuilds the report), so
+  // the per-window sample vector moves out instead of deep-copying.
+  result.window_energy = std::move(window_report_);
   result.delivered = drain_delivered();
   if (config_.collect_delivered) {
     result.snn = compute_snn_metrics(result.delivered);

@@ -74,6 +74,12 @@ struct NocRunResult {
   SnnMetrics snn;
   /// Empty when the run used collect_delivered = false.
   std::vector<DeliveredSpike> delivered;
+  /// Per-window activity/energy accounting: one sample per
+  /// close_energy_window() call plus the trailing span finish() closes
+  /// implicitly (a one-shot run() therefore reports a single window
+  /// covering the whole trace).  Totals are bit-identical to
+  /// stats.global_energy_pj by construction.
+  WindowEnergyReport window_energy;
 };
 
 /// Sentinel for run_until(): no cycle bound (run to drain / max_cycles).
@@ -130,6 +136,24 @@ class NocSimulator {
   /// log-derived SnnMetrics finish() computes; aggregate NocStats are
   /// unaffected.  Empty in streaming mode (collect_delivered = false).
   std::vector<DeliveredSpike> drain_delivered();
+
+  /// Closes the current energy-accounting window at now(): snapshots the
+  /// activity counters (flit injections, deliveries, link/router
+  /// traversals, busy cycles, per-link peaks) as exact integer deltas
+  /// since the previous close, prices them at the nominal EnergyModel
+  /// constants, and appends the sample to window_energy().  Callers
+  /// typically close once per run_until()/run_cycles() boundary (the
+  /// co-simulator closes one window per lockstep step).  O(ports) — cost
+  /// is paid only at boundaries, never inside the cycle loop.  Returns the
+  /// sample by value: a reference into the growing report would dangle at
+  /// the next close.
+  WindowEnergySample close_energy_window();
+
+  /// Windows closed so far this session (finish() folds the trailing span
+  /// into the returned NocRunResult's report).
+  const WindowEnergyReport& window_energy() const noexcept {
+    return window_report_;
+  }
 
   /// Finalizes the session: duration, per-link flit summary, and SnnMetrics
   /// over the (un-drained) delivery log.  stats.drained keeps its one-shot
@@ -208,6 +232,21 @@ class NocSimulator {
   bool halted_ = false;
   NocStats stats_;
   std::vector<DeliveredSpike> delivered_;
+  // --- windowed energy accounting (close_energy_window) ------------------
+  // Cycles simulate_cycle actually ran (idle spans fast-forward past).
+  std::uint64_t busy_cycles_ = 0;
+  WindowEnergyReport window_report_;
+  // Counter snapshots at the last window close; the next close reports the
+  // exact integer deltas.  win_link_flits_ mirrors link_flits_ so the
+  // per-window hotspot peak is a subtraction, not a second counter array in
+  // the cycle loop.
+  std::uint64_t win_start_cycle_ = 0;
+  std::uint64_t win_busy_ = 0;
+  std::uint64_t win_flits_injected_ = 0;
+  std::uint64_t win_copies_delivered_ = 0;
+  std::uint64_t win_link_hops_ = 0;
+  std::uint64_t win_router_traversals_ = 0;
+  std::vector<std::uint64_t> win_link_flits_;
 };
 
 }  // namespace snnmap::noc

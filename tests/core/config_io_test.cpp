@@ -46,8 +46,8 @@ TEST(ConfigIo, ParsesFullDocument) {
   EXPECT_EQ(flow.noc.buffer_depth, 2u);
   EXPECT_FALSE(flow.noc.multicast);
   EXPECT_FALSE(flow.noc.collect_delivered);
-  EXPECT_EQ(flow.energy.link_hop_pj, 42.0);
-  EXPECT_EQ(flow.noc.energy.link_hop_pj, 42.0);  // shared with the NoC
+  EXPECT_EQ(flow.energy().link_hop_pj, 42.0);
+  EXPECT_EQ(flow.noc.energy.link_hop_pj, 42.0);  // the same object
   EXPECT_EQ(flow.pso.swarm_size, 77u);
   EXPECT_EQ(flow.pso.iterations, 33u);
   EXPECT_EQ(flow.pso.objective, Objective::kCutSpikes);
@@ -68,7 +68,7 @@ TEST(ConfigIo, RoundTripsThroughDump) {
   flow.comm_aware_placement = true;
   flow.injection_jitter_cycles = 5;
   flow.seed = 7;
-  flow.energy.aer_codec_pj = 0.25;
+  flow.noc.energy.aer_codec_pj = 0.25;
 
   util::Config serialized;
   mapping_flow_to_config(flow, serialized);
@@ -84,7 +84,7 @@ TEST(ConfigIo, RoundTripsThroughDump) {
   EXPECT_TRUE(back.comm_aware_placement);
   EXPECT_EQ(back.injection_jitter_cycles, 5u);
   EXPECT_EQ(back.seed, 7u);
-  EXPECT_NEAR(back.energy.aer_codec_pj, 0.25, 1e-9);
+  EXPECT_NEAR(back.energy().aer_codec_pj, 0.25, 1e-9);
 }
 
 TEST(ConfigIo, PartitionerNamesRoundTrip) {
@@ -152,12 +152,67 @@ TEST(ConfigIo, CosimKeysRoundTripThroughDump) {
   cosim.cycles_per_timestep = 123;
   cosim.receive_queue_depth = 9;
   cosim.injection_jitter_cycles = 4;
+  cosim.dvfs.kind = cosim::DvfsPolicyKind::kDeadlineSlack;
+  cosim.dvfs.min_scale = 0.125;
+  cosim.dvfs.slack_fraction = 0.625;
   util::Config out;
   cosim_to_config(cosim, out);
   const auto back = cosim_from_config(util::Config::parse(out.dump()));
   EXPECT_EQ(back.cycles_per_timestep, 123u);
   EXPECT_EQ(back.receive_queue_depth, 9u);
   EXPECT_EQ(back.injection_jitter_cycles, 4u);
+  EXPECT_EQ(back.dvfs.kind, cosim::DvfsPolicyKind::kDeadlineSlack);
+  EXPECT_NEAR(back.dvfs.min_scale, 0.125, 1e-9);
+  EXPECT_NEAR(back.dvfs.slack_fraction, 0.625, 1e-9);
+}
+
+TEST(ConfigIo, DvfsKeysOverlayDefaults) {
+  const auto cfg = util::Config::parse(
+      "dvfs:\n"
+      "  policy: utilization-threshold\n"
+      "  low_utilization: 0.125\n"
+      "  high_utilization: 0.875\n");
+  const auto cosim = cosim_from_config(cfg);
+  EXPECT_EQ(cosim.dvfs.kind, cosim::DvfsPolicyKind::kUtilizationThreshold);
+  EXPECT_EQ(cosim.dvfs.low_utilization, 0.125);
+  EXPECT_EQ(cosim.dvfs.high_utilization, 0.875);
+  EXPECT_EQ(cosim.dvfs.min_scale, cosim::DvfsPolicy{}.min_scale);  // default
+
+  const auto bad = util::Config::parse("dvfs:\n  policy: psychic\n");
+  EXPECT_THROW(cosim_from_config(bad), std::invalid_argument);
+}
+
+TEST(ConfigIo, SaveLoadSaveIsByteStable) {
+  // Serializing a config, parsing it back and serializing again must
+  // produce the identical document — including the energy section (bound
+  // once, to the NoC config's model) and the dvfs: keys.  A drifting dump
+  // would make archived experiment configs unreproducible.
+  MappingFlowConfig flow;
+  flow.arch.crossbar_count = 6;
+  flow.noc.energy.link_hop_pj = 12.75;
+  flow.noc.energy.aer_codec_pj = 0.375;
+  flow.comm_aware_placement = true;
+  cosim::CoSimConfig cosim;
+  cosim.cycles_per_timestep = 640;
+  cosim.dvfs.kind = cosim::DvfsPolicyKind::kUtilizationThreshold;
+  cosim.dvfs.min_scale = 0.0625;
+
+  util::Config first;
+  mapping_flow_to_config(flow, first);
+  cosim_to_config(cosim, first);
+  const std::string saved = first.dump();
+
+  const auto loaded = util::Config::parse(saved);
+  const auto flow_back = mapping_flow_from_config(loaded);
+  const auto cosim_back = cosim_from_config(loaded);
+  util::Config second;
+  mapping_flow_to_config(flow_back, second);
+  cosim_to_config(cosim_back, second);
+  EXPECT_EQ(saved, second.dump());
+
+  // The energy section landed in the single shared model.
+  EXPECT_EQ(flow_back.noc.energy.link_hop_pj, flow.noc.energy.link_hop_pj);
+  EXPECT_EQ(&flow_back.energy(), &flow_back.noc.energy);
 }
 
 TEST(ConfigIo, AnnealingAndGeneticKeys) {

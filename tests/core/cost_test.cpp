@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "noc/simulator.hpp"
+#include "util/rng.hpp"
+
 namespace snnmap::core {
 namespace {
 
@@ -174,6 +181,78 @@ TEST(CostModel, AnalyticUnicastAtLeastMulticast) {
   const double unicast =
       cost.analytic_global_energy_pj(p, topo, placement, {}, false);
   EXPECT_GE(unicast, multicast);
+}
+
+/// Star-burst workload for the analytic/simulated parity checks: every
+/// neuron fans out to several others, so multicast trees share prefixes and
+/// fork — the shape the old `charged_routers` accounting double-charged.
+snn::SnnGraph fanout_graph(std::uint32_t neurons) {
+  util::Rng rng(23);
+  std::vector<snn::GraphEdge> edges;
+  std::vector<snn::SpikeTrain> trains;
+  for (std::uint32_t i = 0; i < neurons; ++i) {
+    for (int f = 0; f < 4; ++f) {
+      auto post = static_cast<std::uint32_t>(rng.below(neurons));
+      if (post == i) post = (post + 1) % neurons;
+      edges.push_back({i, post, 1.0F});
+    }
+    snn::SpikeTrain train;
+    const std::uint64_t spikes = rng.below(4) + 1;
+    for (std::uint64_t s = 0; s < spikes; ++s) {
+      train.push_back(static_cast<double>(s) + 0.5);
+    }
+    trains.push_back(std::move(train));
+  }
+  return snn::SnnGraph::from_parts(neurons, std::move(edges),
+                                   std::move(trains), 8.0);
+}
+
+/// The analytic estimate must agree with the cycle-accurate NocSimulator:
+/// energy is activity-based on both sides, so on any drained run the only
+/// admissible difference is floating-point summation order.
+void expect_energy_parity(const snn::SnnGraph& graph, noc::Topology topology,
+                          std::uint32_t crossbars, bool multicast) {
+  const CostModel cost(graph);
+  Partition partition(graph.neuron_count(), crossbars);
+  for (std::uint32_t i = 0; i < graph.neuron_count(); ++i) {
+    partition.assign(i, i % crossbars);
+  }
+  std::vector<noc::TileId> placement(crossbars);
+  for (std::uint32_t c = 0; c < crossbars; ++c) placement[c] = c;
+
+  const double analytic = cost.analytic_global_energy_pj(
+      partition, topology, placement, {}, multicast);
+
+  auto traffic = build_traffic(graph, partition, placement,
+                               /*cycles_per_ms=*/1000, /*jitter_cycles=*/0);
+  ASSERT_FALSE(traffic.empty());
+  noc::NocConfig config;
+  config.multicast = multicast;
+  noc::NocSimulator sim(std::move(topology), config);
+  const auto result = sim.run(std::move(traffic));
+  ASSERT_TRUE(result.stats.drained);
+  EXPECT_GT(result.stats.global_energy_pj, 0.0);
+  EXPECT_NEAR(analytic, result.stats.global_energy_pj,
+              1e-9 * result.stats.global_energy_pj);
+}
+
+TEST(CostModel, AnalyticMulticastMatchesSimulatedOnTree) {
+  // Tree multicast is the regression shape: shared root-to-subtree
+  // prefixes with forks at internal routers.  The old accounting charged
+  // router_flit_pj per *distinct* router (over-counting fork routers,
+  // under-counting per-copy ejections) and disagreed with the simulator.
+  expect_energy_parity(fanout_graph(48), noc::Topology::tree(12, 4), 12,
+                       /*multicast=*/true);
+}
+
+TEST(CostModel, AnalyticMulticastMatchesSimulatedOnMesh) {
+  expect_energy_parity(fanout_graph(48), noc::Topology::mesh(3, 3), 9,
+                       /*multicast=*/true);
+}
+
+TEST(CostModel, AnalyticUnicastMatchesSimulatedOnTree) {
+  expect_energy_parity(fanout_graph(48), noc::Topology::tree(12, 4), 12,
+                       /*multicast=*/false);
 }
 
 TEST(CostModel, AnalyticEnergyValidatesPlacement) {

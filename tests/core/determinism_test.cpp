@@ -269,6 +269,14 @@ std::vector<CoSimScenario> batch_cosim_scenarios() {
     sc.config.snn.seed = 7 * v + 1;
     sc.config.cycles_per_timestep = v % 2 == 0 ? 512 : 3;  // ideal / congested
     if (v == 5) sc.config.receive_queue_depth = 1;
+    // Cover every DVFS policy so the frequency trajectory and the scaled
+    // energy accumulators are pinned across thread counts too.
+    sc.config.dvfs.kind = v % 3 == 0
+                              ? cosim::DvfsPolicyKind::kFixed
+                              : (v % 3 == 1
+                                     ? cosim::DvfsPolicyKind::
+                                           kUtilizationThreshold
+                                     : cosim::DvfsPolicyKind::kDeadlineSlack);
     scenarios.push_back(std::move(sc));
   }
   return scenarios;
@@ -289,6 +297,26 @@ void expect_same_cosim_results(const std::vector<CoSimOutcome>& a,
         << i;
     EXPECT_EQ(a[i].result.fidelity.receive_drops,
               b[i].result.fidelity.receive_drops)
+        << i;
+    // Energy accumulators and the DVFS trajectory are part of the
+    // bit-identical contract: EXPECT_EQ on the doubles, not NEAR.
+    EXPECT_EQ(a[i].result.fidelity.fabric_energy_pj,
+              b[i].result.fidelity.fabric_energy_pj)
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.per_step_energy_pj,
+              b[i].result.fidelity.per_step_energy_pj)
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.per_step_cycles,
+              b[i].result.fidelity.per_step_cycles)
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.window_energy_pj.sum(),
+              b[i].result.fidelity.window_energy_pj.sum())
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.freq_scale.mean(),
+              b[i].result.fidelity.freq_scale.mean())
+        << i;
+    EXPECT_EQ(a[i].result.noc.global_energy_pj,
+              b[i].result.noc.global_energy_pj)
         << i;
     EXPECT_EQ(a[i].divergence.matched, b[i].divergence.matched) << i;
     EXPECT_EQ(a[i].divergence.only_ideal, b[i].divergence.only_ideal) << i;

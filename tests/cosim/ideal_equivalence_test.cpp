@@ -12,9 +12,7 @@
 // rule any STDP-capable mapping must obey anyway.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdint>
-#include <numeric>
 #include <vector>
 
 #include "../snn/golden_scenarios.hpp"
@@ -23,63 +21,16 @@
 #include "cosim/cosim.hpp"
 #include "cosim/fidelity.hpp"
 #include "noc/topology.hpp"
+#include "test_mappings.hpp"
 
 namespace snnmap::cosim {
 namespace {
 
+using test::plastic_safe_partition;
+
 /// Ideal-window budget: far above any queueing the scenarios can produce
 /// (every window fully drains, checked by the deadline-miss assertion).
 constexpr std::uint32_t kIdealBudget = 1u << 15;
-
-/// Partitions `net` into blocks of ~neuron_count/4 while keeping neurons
-/// joined by plastic synapses on one crossbar (union-find over plastic
-/// edges, components packed first-fit in ascending-root order).
-core::Partition plastic_safe_partition(const snn::Network& net) {
-  const std::uint32_t n = net.neuron_count();
-  std::vector<std::uint32_t> parent(n);
-  std::iota(parent.begin(), parent.end(), 0);
-  const auto find = [&](std::uint32_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  for (const snn::Synapse& s : net.synapses()) {
-    if (!s.plastic) continue;
-    parent[find(s.pre)] = find(s.post);
-  }
-
-  // Component sizes, then first-fit into bins of capacity ~n/4 (a
-  // component larger than the capacity still gets one bin to itself).
-  const std::uint32_t capacity = std::max<std::uint32_t>(1, (n + 3) / 4);
-  std::vector<std::uint32_t> component_bin(n, core::kUnassigned);
-  std::vector<std::uint32_t> bin_load;
-  std::vector<std::uint32_t> component_size(n, 0);
-  for (std::uint32_t i = 0; i < n; ++i) ++component_size[find(i)];
-  std::vector<core::CrossbarId> assignment(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint32_t root = find(i);
-    if (component_bin[root] == core::kUnassigned) {
-      std::uint32_t bin = 0;
-      for (; bin < bin_load.size(); ++bin) {
-        if (bin_load[bin] + component_size[root] <= capacity) break;
-      }
-      if (bin == bin_load.size()) bin_load.push_back(0);
-      bin_load[bin] += component_size[root];
-      component_bin[root] = bin;
-    }
-    assignment[i] = component_bin[root];
-  }
-  // A fully plastically-connected network legitimately collapses to one
-  // bin (any multi-crossbar split would cut a plastic synapse); keep a
-  // second, empty crossbar so the co-sim path still runs a real topology.
-  const auto bins = std::max<std::uint32_t>(
-      2, static_cast<std::uint32_t>(bin_load.size()));
-  core::Partition result(n, bins);
-  for (std::uint32_t i = 0; i < n; ++i) result.assign(i, assignment[i]);
-  return result;
-}
 
 TEST(CoSimIdealEquivalence, GoldenScenariosReproduceStandaloneBitForBit) {
   std::size_t scenarios_with_traffic = 0;

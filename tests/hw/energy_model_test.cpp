@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 namespace snnmap::hw {
 namespace {
 
@@ -38,6 +41,65 @@ TEST(EnergyModel, FromConfigOverridesSelectively) {
   EXPECT_EQ(m.aer_codec_pj, 0.5);
   EXPECT_EQ(m.crossbar_event_pj, d.crossbar_event_pj);  // untouched
   EXPECT_EQ(m.router_flit_pj, d.router_flit_pj);
+}
+
+TEST(EnergyModel, ValidateRejectsNanInfAndNegative) {
+  const double bad_values[] = {std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity(),
+                               -0.001};
+  for (const double bad : bad_values) {
+    for (int field = 0; field < 4; ++field) {
+      EnergyModel m;
+      (field == 0   ? m.crossbar_event_pj
+       : field == 1 ? m.link_hop_pj
+       : field == 2 ? m.router_flit_pj
+                    : m.aer_codec_pj) = bad;
+      EXPECT_THROW(m.validate(), std::invalid_argument)
+          << "field " << field << " value " << bad;
+    }
+  }
+  EXPECT_NO_THROW(EnergyModel{}.validate());
+  EnergyModel zero;
+  zero.aer_codec_pj = 0.0;  // zero is odd but harmless
+  EXPECT_NO_THROW(zero.validate());
+}
+
+TEST(EnergyModel, FromConfigRejectsBadValues) {
+  // NaN/inf/negative used to be accepted silently and poisoned every
+  // derived energy statistic downstream.
+  for (const char* bad : {"nan", "inf", "-inf", "-3.5"}) {
+    util::Config cfg;
+    cfg.set("energy.link_hop_pj", bad);
+    EXPECT_THROW(EnergyModel::from_config(cfg), std::invalid_argument)
+        << bad;
+  }
+  util::Config ok;
+  ok.set("energy.link_hop_pj", "7.25");
+  EXPECT_EQ(EnergyModel::from_config(ok).link_hop_pj, 7.25);
+}
+
+TEST(EnergyModel, ActivityEnergyPricesEachCounter) {
+  EnergyModel m;
+  m.aer_codec_pj = 1.0;
+  m.link_hop_pj = 10.0;
+  m.router_flit_pj = 5.0;
+  EXPECT_DOUBLE_EQ(m.activity_energy_pj(0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.activity_energy_pj(2.0, 3.0, 4.0),
+                   2.0 * 1.0 + 3.0 * 10.0 + 4.0 * 5.0);
+  // Consistent with the per-packet closed form: a unicast copy over h hops
+  // is 2 codec events, h link hops and h + 1 router traversals.
+  const std::uint32_t h = 3;
+  EXPECT_DOUBLE_EQ(
+      m.activity_energy_pj(2.0, static_cast<double>(h),
+                           static_cast<double>(h + 1)),
+      m.packet_energy_pj(h) + m.aer_codec_pj);
+}
+
+TEST(EnergyModel, DvfsEnergyScaleIsQuadraticAndExactAtNominal) {
+  EXPECT_DOUBLE_EQ(EnergyModel::dvfs_energy_scale(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(EnergyModel::dvfs_energy_scale(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(EnergyModel::dvfs_energy_scale(0.25), 0.0625);
 }
 
 TEST(EnergyModel, ToConfigRoundTrips) {

@@ -60,6 +60,64 @@ TEST(NocGolden, BitIdenticalToSeedSimulator) {
   }
 }
 
+TEST(NocGolden, WindowedEnergySumsBitIdenticalToOneShotRun) {
+  // Property over every golden scenario (all topologies, routing
+  // algorithms, multicast modes, and the non-drained path): simulating the
+  // same trace as a session of bounded windows with a per-window energy
+  // close must reproduce the one-shot run() global energy bit for bit —
+  // the window report's integer activity totals are exactly the session
+  // counters, and both sides price them through the same
+  // hw::EnergyModel::activity_energy_pj call.
+  for (auto& scenario : golden::scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    NocSimulator one_shot(scenario.topology, scenario.config);
+    const auto expected = one_shot.run(scenario.traffic);
+
+    NocSimulator session(std::move(scenario.topology), scenario.config);
+    session.begin();
+    session.enqueue(scenario.traffic);
+    const std::uint64_t window = 64;
+    std::uint64_t end = 0;
+    while (!session.idle() && !session.halted()) {
+      end += window;
+      session.run_until(end);
+      session.close_energy_window();
+    }
+    const auto finished = session.finish();
+
+    // Same cycle semantics, same counters...
+    EXPECT_EQ(finished.stats.flits_injected, expected.stats.flits_injected);
+    EXPECT_EQ(finished.stats.link_hops, expected.stats.link_hops);
+    EXPECT_EQ(finished.stats.router_traversals,
+              expected.stats.router_traversals);
+    // ...and the windowed report loses nothing: integer window deltas sum
+    // to the session totals, and the priced total is bit-identical to the
+    // one-shot energy (which itself reports a single full-span window).
+    const WindowEnergyReport& report = finished.window_energy;
+    EXPECT_GE(report.windows.size(), 2u);
+    std::uint64_t codec = 0;
+    std::uint64_t links = 0;
+    std::uint64_t routers = 0;
+    std::uint64_t busy = 0;
+    for (const WindowEnergySample& w : report.windows) {
+      codec += w.codec_events();
+      links += w.link_hops;
+      routers += w.router_traversals;
+      busy += w.busy_cycles;
+    }
+    EXPECT_EQ(codec, report.codec_events);
+    EXPECT_EQ(links, report.link_hops);
+    EXPECT_EQ(routers, report.router_traversals);
+    EXPECT_EQ(busy, report.busy_cycles);
+    EXPECT_EQ(links, expected.stats.link_hops);
+    EXPECT_EQ(report.total_energy_pj, expected.stats.global_energy_pj);
+    EXPECT_EQ(report.total_energy_pj, finished.stats.global_energy_pj);
+    ASSERT_EQ(expected.window_energy.windows.size(), 1u);
+    EXPECT_EQ(expected.window_energy.total_energy_pj,
+              expected.stats.global_energy_pj);
+  }
+}
+
 TEST(NocGolden, NotDrainedScenarioReportsNotDrained) {
   for (auto& scenario : golden::scenarios()) {
     if (scenario.name != "mesh4x4_xy_not_drained") continue;

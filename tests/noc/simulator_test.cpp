@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace snnmap::noc {
 namespace {
@@ -432,6 +433,66 @@ TEST(NocSimulatorSession, HaltsAtMaxCyclesAndStaysHalted) {
   const auto result = sim.finish();
   EXPECT_FALSE(result.stats.drained);
   EXPECT_EQ(result.stats.duration_cycles, config.max_cycles);
+}
+
+TEST(NocSimulatorSession, WindowEnergySamplesTrackActivity) {
+  NocConfig config;
+  config.energy.aer_codec_pj = 1.0;
+  config.energy.link_hop_pj = 10.0;
+  config.energy.router_flit_pj = 5.0;
+  NocSimulator sim(Topology::mesh(2, 2), config);
+  sim.begin();
+
+  // Window 0: one 2-hop packet, delivered inside the window.
+  sim.enqueue({event(0, 1, 0, {3})});
+  sim.run_until(50);
+  const auto w0 = sim.close_energy_window();
+  EXPECT_EQ(w0.index, 0u);
+  EXPECT_EQ(w0.start_cycle, 0u);
+  EXPECT_EQ(w0.end_cycle, 50u);
+  EXPECT_EQ(w0.flits_injected, 1u);
+  EXPECT_EQ(w0.copies_delivered, 1u);
+  EXPECT_EQ(w0.link_hops, 2u);
+  EXPECT_EQ(w0.router_traversals, 3u);  // 2 forwards + 1 ejection
+  EXPECT_EQ(w0.codec_events(), 2u);     // encode + decode
+  EXPECT_EQ(w0.peak_link_flits, 1u);
+  // The fabric went idle after a few busy cycles; the rest fast-forwarded.
+  EXPECT_GT(w0.busy_cycles, 0u);
+  EXPECT_LT(w0.busy_cycles, 10u);
+  EXPECT_GT(w0.utilization(), 0.0);
+  EXPECT_LT(w0.utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(w0.energy_pj, 2.0 * 1.0 + 2.0 * 10.0 + 3.0 * 5.0);
+
+  // Window 1: empty span — zero activity, zero energy.
+  sim.run_until(100);
+  const auto w1 = sim.close_energy_window();
+  EXPECT_EQ(w1.start_cycle, 50u);
+  EXPECT_EQ(w1.end_cycle, 100u);
+  EXPECT_EQ(w1.codec_events(), 0u);
+  EXPECT_EQ(w1.busy_cycles, 0u);
+  EXPECT_DOUBLE_EQ(w1.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(w1.energy_pj, 0.0);
+
+  // Window 2: two packets sharing a link raise the per-window peak.
+  sim.enqueue({event(100, 1, 0, {3}), event(100, 2, 0, {3})});
+  sim.run_until(200);
+  const auto w2 = sim.close_energy_window();
+  EXPECT_EQ(w2.flits_injected, 2u);
+  EXPECT_EQ(w2.peak_link_flits, 2u);
+
+  const auto result = sim.finish();
+  // No activity after the last close: finish() appends no trailing window.
+  EXPECT_EQ(result.window_energy.windows.size(), 3u);
+  EXPECT_EQ(result.window_energy.codec_events, 6u);
+  EXPECT_EQ(result.window_energy.total_energy_pj,
+            result.stats.global_energy_pj);
+}
+
+TEST(NocSimulator, EnergyValidationRejectsBadModel) {
+  NocConfig config;
+  config.energy.router_flit_pj = -1.0;
+  EXPECT_THROW(NocSimulator(Topology::mesh(2, 2), config),
+               std::invalid_argument);
 }
 
 TEST(NocSimulatorSession, BeginResetsEverything) {
