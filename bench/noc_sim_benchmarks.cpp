@@ -152,4 +152,80 @@ void BM_NocSimulator_TreeMulticast(benchmark::State& state) {
 }
 BENCHMARK(BM_NocSimulator_TreeMulticast);
 
+// --- Routing-function vs cached-table lookups -----------------------------
+//
+// The simulator resolves every output port through Topology::route_entry,
+// which computes via the per-topology routing function unless the opt-in
+// O(R x D) cache was built.  These legs measure both sides of that trade on
+// the same fabrics; footprint_bytes records what the cache costs in memory.
+
+void run_route_lookup(benchmark::State& state, const noc::Topology& topology) {
+  const std::uint32_t n = topology.router_count();
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (noc::RouterId r = 0; r < n; ++r) {
+      for (noc::RouterId dst = 0; dst < n; ++dst) {
+        sum += topology.route_entry(r, dst).port[0];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n));
+  state.counters["footprint_bytes"] =
+      static_cast<double>(topology.memory_footprint_bytes());
+}
+
+noc::Topology lookup_fabric(int kind, bool cached) {
+  noc::Topology t = kind == 0   ? noc::Topology::mesh(8, 8)
+                    : kind == 1 ? noc::Topology::dragonfly(8, 17, 2)
+                                : noc::Topology::fattree(8);
+  if (cached) t.build_route_cache();
+  return t;
+}
+
+void BM_RouteLookup(benchmark::State& state) {
+  const noc::Topology topology = lookup_fabric(
+      static_cast<int>(state.range(0)), state.range(1) != 0);
+  run_route_lookup(state, topology);
+}
+BENCHMARK(BM_RouteLookup)
+    ->ArgNames({"fabric", "cached"})  // 0=mesh8x8 1=dragonfly8x17x2 2=fattree8
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
+
+// --- Large-fabric construction --------------------------------------------
+//
+// Building a >= 4096-router fabric must stay O(R): no R x D route table, no
+// R x R distance matrix.  bytes_per_router in BENCH_noc.json is the
+// regression tripwire — it must stay flat as the fabrics grow.
+
+void run_construction(benchmark::State& state, noc::Topology (*make)()) {
+  std::size_t footprint = 0;
+  std::uint32_t routers = 0;
+  for (auto _ : state) {
+    const noc::Topology t = make();
+    benchmark::DoNotOptimize(&t);
+    footprint = t.memory_footprint_bytes();
+    routers = t.router_count();
+  }
+  state.counters["routers"] = static_cast<double>(routers);
+  state.counters["footprint_bytes"] = static_cast<double>(footprint);
+  state.counters["bytes_per_router"] =
+      static_cast<double>(footprint) / static_cast<double>(routers);
+}
+
+void BM_TopologyConstruct_Dragonfly4112(benchmark::State& state) {
+  // a=16, g=257, h=16: 4112 routers, every group reachable in one global hop.
+  run_construction(state,
+                   +[] { return noc::Topology::dragonfly(16, 257, 16); });
+}
+BENCHMARK(BM_TopologyConstruct_Dragonfly4112);
+
+void BM_TopologyConstruct_Fattree5120(benchmark::State& state) {
+  // k=64: 2048 edge + 2048 aggregation + 1024 core switches.
+  run_construction(state, +[] { return noc::Topology::fattree(64); });
+}
+BENCHMARK(BM_TopologyConstruct_Fattree5120);
+
 }  // namespace

@@ -1,7 +1,8 @@
 // Domain example 3: interconnect selection.  Given one application, compare
-// NoC-tree (CxQuad-style), NoC-mesh (TrueNorth/HiCANN-style) and a ring on
-// identical crossbar resources — the "different interconnect models for
-// representative neuromorphic hardware" that Noxim++ adds (Sec. IV).
+// NoC-tree (CxQuad-style), NoC-mesh (TrueNorth/HiCANN-style), a ring, and
+// the scale-out dragonfly / fat-tree fabrics on identical crossbar
+// resources — the "different interconnect models for representative
+// neuromorphic hardware" that Noxim++ adds (Sec. IV).
 //
 //   ./build/examples/arch_explorer [app]      (default: HW)
 #include <iostream>
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
                      "max latency", "disorder (%)", "throughput (AER/ms)"});
   for (const auto kind :
        {hw::InterconnectKind::kTree, hw::InterconnectKind::kMesh,
-        hw::InterconnectKind::kRing}) {
+        hw::InterconnectKind::kRing, hw::InterconnectKind::kDragonfly,
+        hw::InterconnectKind::kFattree}) {
     core::MappingFlowConfig flow;
     flow.arch = hw::Architecture::sized_for(graph.neuron_count(), 64, kind);
     flow.partitioner = core::PartitionerKind::kPso;

@@ -1,8 +1,9 @@
 // snnmap_cli — full command-line driver for the mapping framework.
 //
 //   snnmap_cli <app> [--config file.yaml] [--partitioner pso|pacman|...]
-//              [--crossbar-size N] [--interconnect tree|mesh|ring]
-//              [--seed S] [--csv out.csv] [--verbose]
+//              [--crossbar-size N]
+//              [--interconnect tree|mesh|ring|dragonfly|fattree]
+//              [--chips N] [--seed S] [--csv out.csv] [--verbose]
 //
 // <app> is a Table I name (HW, IS, HD, HE, or the full names) or a synthetic
 // topology "MxN".  The effective configuration is echoed so any run can be
@@ -36,7 +37,9 @@ void usage() {
          "genetic\n"
          "  --crossbar-size N     neurons per crossbar (architecture sized "
          "to fit)\n"
-         "  --interconnect KIND   tree | mesh | ring\n"
+         "  --interconnect KIND   tree | mesh | ring | dragonfly | fattree\n"
+         "  --chips N             split the fabric across N chips "
+         "(boundary links pay off-chip energy/latency)\n"
          "  --seed S              workload + optimizer seed\n"
          "  --threads N           fitness-evaluation workers (0 = all "
          "cores, 1 = serial; same result either way)\n"
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
   std::uint32_t threads = 0;
   bool threads_set = false;
   std::uint32_t crossbar_size = 0;
+  std::uint32_t chips = 0;  // 0 = keep the config's chip count
   std::string partitioner_override;
   std::string interconnect_override;
   bool dump_config = false;
@@ -116,6 +120,9 @@ int main(int argc, char** argv) {
           parse_uint("--crossbar-size", need_value("--crossbar-size")));
     } else if (arg == "--interconnect") {
       interconnect_override = need_value("--interconnect");
+    } else if (arg == "--chips") {
+      chips = static_cast<std::uint32_t>(
+          parse_uint("--chips", need_value("--chips")));
     } else if (arg == "--seed") {
       seed = parse_uint("--seed", need_value("--seed"));
     } else if (arg == "--threads") {
@@ -171,10 +178,13 @@ int main(int argc, char** argv) {
               : std::max<std::uint32_t>(16, (graph.neuron_count() + 3) / 4);
       const auto kind = flow.arch.interconnect;
       const auto cycles = flow.arch.cycles_per_ms;
+      const auto chip_count = flow.arch.chip_count;
       flow.arch = hw::Architecture::sized_for(graph.neuron_count(), size,
                                               kind);
       flow.arch.cycles_per_ms = cycles;
+      flow.arch.chip_count = chip_count;
     }
+    if (chips != 0) flow.arch.chip_count = chips;
 
     if (dump_config) {
       util::Config effective;

@@ -24,18 +24,21 @@ run_leg() {
     -DSNNMAP_WERROR=ON \
     "$@"
   cmake --build "$build_dir" -j "$JOBS"
-  # The energy-accounting overhead bench (BENCH_energy.json) is part of the
-  # `all` target, so the build above compiles it whenever Google Benchmark
-  # is available; assert the binary actually materialized so a silently
+  # The benchmark suites (BENCH_*.json trajectories) are part of the `all`
+  # target, so the build above compiles them whenever Google Benchmark is
+  # available; assert every binary actually materialized so a silently
   # skipped/ungenerated target cannot pass the leg.
   if ! grep -q "benchmark_DIR:PATH=benchmark_DIR-NOTFOUND" \
       "$build_dir/CMakeCache.txt"; then
-    if [[ ! -x "$build_dir/bench/energy_benchmarks" ]]; then
-      echo "energy_benchmarks did not build despite Google Benchmark" >&2
-      exit 1
-    fi
+    for bench in noc_sim_benchmarks snn_sim_benchmarks cosim_benchmarks \
+        energy_benchmarks; do
+      if [[ ! -x "$build_dir/bench/$bench" ]]; then
+        echo "$bench did not build despite Google Benchmark" >&2
+        exit 1
+      fi
+    done
   else
-    echo "note: energy_benchmarks target absent (Google Benchmark missing)"
+    echo "note: benchmark targets absent (Google Benchmark missing)"
   fi
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }

@@ -33,6 +33,16 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
   }
   flow.arch.tree_arity = static_cast<std::uint32_t>(
       config.int_or("arch.tree_arity", flow.arch.tree_arity));
+  flow.arch.dragonfly_arity = static_cast<std::uint32_t>(
+      config.int_or("arch.dragonfly_arity", flow.arch.dragonfly_arity));
+  flow.arch.dragonfly_groups = static_cast<std::uint32_t>(
+      config.int_or("arch.dragonfly_groups", flow.arch.dragonfly_groups));
+  flow.arch.dragonfly_global = static_cast<std::uint32_t>(
+      config.int_or("arch.dragonfly_global", flow.arch.dragonfly_global));
+  flow.arch.fattree_k = static_cast<std::uint32_t>(
+      config.int_or("arch.fattree_k", flow.arch.fattree_k));
+  flow.arch.chip_count = static_cast<std::uint32_t>(
+      config.int_or("arch.chips", flow.arch.chip_count));
   flow.arch.cycles_per_ms = static_cast<std::uint32_t>(
       config.int_or("arch.cycles_per_ms", flow.arch.cycles_per_ms));
 
@@ -58,6 +68,9 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
                     static_cast<std::int64_t>(flow.noc.max_cycles)));
   flow.noc.collect_delivered = config.bool_or("noc.collect_delivered",
                                               flow.noc.collect_delivered);
+  flow.noc.offchip_link_latency = static_cast<std::uint32_t>(
+      config.int_or("noc.offchip_link_latency",
+                    flow.noc.offchip_link_latency));
 
   // -- energy (single source of truth: the NoC config's model, which the
   //    cost model and simulators all reference)
@@ -172,6 +185,14 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
              std::to_string(flow.arch.neurons_per_crossbar));
   config.set("arch.interconnect", hw::to_string(flow.arch.interconnect));
   config.set("arch.tree_arity", std::to_string(flow.arch.tree_arity));
+  config.set("arch.dragonfly_arity",
+             std::to_string(flow.arch.dragonfly_arity));
+  config.set("arch.dragonfly_groups",
+             std::to_string(flow.arch.dragonfly_groups));
+  config.set("arch.dragonfly_global",
+             std::to_string(flow.arch.dragonfly_global));
+  config.set("arch.fattree_k", std::to_string(flow.arch.fattree_k));
+  config.set("arch.chips", std::to_string(flow.arch.chip_count));
   config.set("arch.cycles_per_ms", std::to_string(flow.arch.cycles_per_ms));
 
   config.set("noc.buffer_depth", std::to_string(flow.noc.buffer_depth));
@@ -181,6 +202,8 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
   config.set("noc.max_cycles", std::to_string(flow.noc.max_cycles));
   config.set("noc.collect_delivered",
              flow.noc.collect_delivered ? "true" : "false");
+  config.set("noc.offchip_link_latency",
+             std::to_string(flow.noc.offchip_link_latency));
 
   flow.noc.energy.to_config(config);
 

@@ -8,15 +8,22 @@
 //   arch:
 //     crossbars: 4
 //     neurons_per_crossbar: 256
-//     interconnect: tree        # tree | mesh | ring
+//     interconnect: tree        # mesh | tree | ring | dragonfly | fattree
 //     tree_arity: 4
+//     dragonfly_arity: 4        # dragonfly: routers per group (a)
+//     dragonfly_groups: 5       # dragonfly: groups (g)
+//     dragonfly_global: 1       # dragonfly: global channels per router (h)
+//     fattree_k: 4              # fat-tree radix (even)
+//     chips: 1                  # > 1 splits tiles across chips (off-chip links)
 //     cycles_per_ms: 1000
 //   noc:
 //     buffer_depth: 4
 //     multicast: true
+//     offchip_link_latency: 2   # extra cycles per inter-chip link crossing
 //   energy:
 //     crossbar_event_pj: 2.2
 //     link_hop_pj: 10.5
+//     offchip_link_hop_pj: 26.0
 //     router_flit_pj: 6.0
 //     aer_codec_pj: 1.8
 //   pso:

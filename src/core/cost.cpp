@@ -180,7 +180,12 @@ double CostModel::analytic_global_energy_pj(
           const std::uint64_t link =
               (static_cast<std::uint64_t>(r) << 32) | nb;
           if (charged_links.insert(link).second) {
-            per_spike += energy.link_hop_pj + energy.router_flit_pj;
+            // Off-chip tree edges carry the distinct inter-chip energy,
+            // exactly as the simulator's per-traversal counters do.
+            per_spike += (topology.link_is_offchip(r, p)
+                              ? energy.offchip_link_hop_pj
+                              : energy.link_hop_pj) +
+                         energy.router_flit_pj;
           }
           r = nb;
         }
@@ -189,12 +194,32 @@ double CostModel::analytic_global_energy_pj(
         per_spike += energy.router_flit_pj + energy.aer_codec_pj;
       }
       total_pj += per_spike * static_cast<double>(spikes);
-    } else {
+    } else if (topology.chip_count() == 1) {
+      // Single chip: every hop costs the same, so the closed-form
+      // per-distance price needs no path walk.
       for (const CrossbarId c : remote) {
         const std::uint32_t hops =
             topology.hop_distance(src_tile, placement[c]);
         total_pj += (energy.packet_energy_pj(hops) + energy.aer_codec_pj) *
                     static_cast<double>(spikes);
+      }
+    } else {
+      // Multi-chip unicast: walk the routed path so chip-boundary hops
+      // charge offchip_link_hop_pj instead of link_hop_pj.
+      for (const CrossbarId c : remote) {
+        noc::RouterId r = topology.router_of_tile(src_tile);
+        const noc::RouterId dst_router =
+            topology.router_of_tile(placement[c]);
+        double per_copy = 2.0 * energy.aer_codec_pj + energy.router_flit_pj;
+        while (r != dst_router) {
+          const noc::PortId p = topology.next_port(r, dst_router);
+          per_copy += (topology.link_is_offchip(r, p)
+                           ? energy.offchip_link_hop_pj
+                           : energy.link_hop_pj) +
+                      energy.router_flit_pj;
+          r = topology.neighbor(r, p);
+        }
+        total_pj += per_copy * static_cast<double>(spikes);
       }
     }
   }

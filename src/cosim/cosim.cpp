@@ -225,7 +225,8 @@ CoSimResult CoSimulator::run() {
   double prev_utilization = 0.0;
   bool prev_pressure = false;  // miss/drop/backlog in the previous window
   double weighted_codec = 0.0;
-  double weighted_link = 0.0;
+  double weighted_link = 0.0;  // on-chip hops only
+  double weighted_offchip = 0.0;
   double weighted_router = 0.0;
   const auto next_scale = [&](double current) {
     switch (dvfs.kind) {
@@ -307,7 +308,10 @@ CoSimResult CoSimulator::run() {
         static_cast<double>(window_cycles) / static_cast<double>(nominal);
     const double escale = hw::EnergyModel::dvfs_energy_scale(realized);
     weighted_codec += escale * static_cast<double>(sample.codec_events());
-    weighted_link += escale * static_cast<double>(sample.link_hops);
+    weighted_link += escale * static_cast<double>(sample.link_hops -
+                                                  sample.offchip_link_hops);
+    weighted_offchip +=
+        escale * static_cast<double>(sample.offchip_link_hops);
     weighted_router +=
         escale * static_cast<double>(sample.router_traversals);
     const double step_energy = escale * sample.energy_pj;
@@ -394,7 +398,7 @@ CoSimResult CoSimulator::run() {
   fid.total_spikes = out.snn.total_spikes;
   fid.undelivered = fid.copies_offered - fid.copies_arrived;
   fid.fabric_energy_pj = config_.noc.energy.activity_energy_pj(
-      weighted_codec, weighted_link, weighted_router);
+      weighted_codec, weighted_link, weighted_router, weighted_offchip);
   double max_window_energy = 0.0;
   for (const double e : fid.per_step_energy_pj) {
     max_window_energy = std::max(max_window_energy, e);

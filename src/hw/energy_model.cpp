@@ -19,6 +19,7 @@ void check_pj(const char* name, double value) {
 void EnergyModel::validate() const {
   check_pj("crossbar_event_pj", crossbar_event_pj);
   check_pj("link_hop_pj", link_hop_pj);
+  check_pj("offchip_link_hop_pj", offchip_link_hop_pj);
   check_pj("router_flit_pj", router_flit_pj);
   check_pj("aer_codec_pj", aer_codec_pj);
 }
@@ -28,6 +29,8 @@ EnergyModel EnergyModel::from_config(const util::Config& config) {
   m.crossbar_event_pj =
       config.double_or("energy.crossbar_event_pj", m.crossbar_event_pj);
   m.link_hop_pj = config.double_or("energy.link_hop_pj", m.link_hop_pj);
+  m.offchip_link_hop_pj = config.double_or("energy.offchip_link_hop_pj",
+                                           m.offchip_link_hop_pj);
   m.router_flit_pj =
       config.double_or("energy.router_flit_pj", m.router_flit_pj);
   m.aer_codec_pj = config.double_or("energy.aer_codec_pj", m.aer_codec_pj);
@@ -38,6 +41,8 @@ EnergyModel EnergyModel::from_config(const util::Config& config) {
 void EnergyModel::to_config(util::Config& config) const {
   config.set("energy.crossbar_event_pj", std::to_string(crossbar_event_pj));
   config.set("energy.link_hop_pj", std::to_string(link_hop_pj));
+  config.set("energy.offchip_link_hop_pj",
+             std::to_string(offchip_link_hop_pj));
   config.set("energy.router_flit_pj", std::to_string(router_flit_pj));
   config.set("energy.aer_codec_pj", std::to_string(aer_codec_pj));
 }

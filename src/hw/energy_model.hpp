@@ -25,8 +25,12 @@ struct EnergyModel {
   /// Energy per synaptic event inside a crossbar (one pre spike activating
   /// one local synapse), in pJ.
   double crossbar_event_pj = 2.2;
-  /// Energy per flit per inter-router link traversal, in pJ.
+  /// Energy per flit per on-chip inter-router link traversal, in pJ.
   double link_hop_pj = 10.5;
+  /// Energy per flit per off-chip (inter-chip) link traversal, in pJ.
+  /// Chip-to-chip SerDes is far more expensive than an on-die wire; only
+  /// reachable on multi-chip architectures (Architecture::chip_count > 1).
+  double offchip_link_hop_pj = 26.0;
   /// Energy per flit per router traversal (buffering + arbitration +
   /// switching), in pJ.
   double router_flit_pj = 6.0;
@@ -46,7 +50,8 @@ struct EnergyModel {
 
   /// Loads overrides from a parsed config; recognized keys are
   ///   energy.crossbar_event_pj, energy.link_hop_pj,
-  ///   energy.router_flit_pj, energy.aer_codec_pj
+  ///   energy.offchip_link_hop_pj, energy.router_flit_pj,
+  ///   energy.aer_codec_pj
   /// Unknown keys are ignored (the file may also configure the NoC).
   /// The result is validate()d: NaN/inf/negative values throw.
   static EnergyModel from_config(const util::Config& config);
@@ -55,15 +60,21 @@ struct EnergyModel {
   void to_config(util::Config& config) const;
 
   /// Interconnect energy of an activity count: `codec_events` AER
-  /// encode/decode operations, `link_hops` flit-link traversals and
-  /// `router_traversals` flit-router (switch) traversals.  Arguments are
+  /// encode/decode operations, `link_hops` on-chip flit-link traversals,
+  /// `router_traversals` flit-router (switch) traversals and
+  /// `offchip_link_hops` inter-chip flit-link traversals.  Arguments are
   /// doubles so callers can pass exact integer counters (one-shot stats,
   /// window deltas) or DVFS-scale-weighted activity; identical argument
-  /// values produce bit-identical results.
+  /// values produce bit-identical results.  The off-chip term defaults to
+  /// zero and `x + offchip_link_hop_pj * 0.0 == x` bitwise for the
+  /// non-negative sums all callers produce, so single-chip totals are
+  /// bit-identical to the pre-off-chip formula.
   double activity_energy_pj(double codec_events, double link_hops,
-                            double router_traversals) const noexcept {
+                            double router_traversals,
+                            double offchip_link_hops = 0.0) const noexcept {
     return aer_codec_pj * codec_events + link_hop_pj * link_hops +
-           router_flit_pj * router_traversals;
+           router_flit_pj * router_traversals +
+           offchip_link_hop_pj * offchip_link_hops;
   }
 
   /// DVFS per-event energy scale for a fabric running at `freq_scale` of

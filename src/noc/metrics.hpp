@@ -43,7 +43,10 @@ struct NocStats {
   std::uint64_t packets_injected = 0;   ///< traffic events offered
   std::uint64_t flits_injected = 0;     ///< flit copies entering the NoC
   std::uint64_t copies_delivered = 0;   ///< flit copies reaching a decoder
-  std::uint64_t link_hops = 0;          ///< flit-link traversals
+  std::uint64_t link_hops = 0;          ///< flit-link traversals (on + off chip)
+  /// Subset of link_hops crossing a chip boundary (0 on single-chip
+  /// fabrics); priced at EnergyModel::offchip_link_hop_pj.
+  std::uint64_t offchip_link_hops = 0;
   std::uint64_t router_traversals = 0;  ///< flit-router traversals
   double global_energy_pj = 0.0;        ///< interconnect (global synapse) energy
   util::Accumulator latency_cycles;     ///< per delivered copy
@@ -78,7 +81,8 @@ struct WindowEnergySample {
   std::uint64_t busy_cycles = 0;
   std::uint64_t flits_injected = 0;    ///< AER encodes (one per flit copy)
   std::uint64_t copies_delivered = 0;  ///< AER decodes (one per delivery)
-  std::uint64_t link_hops = 0;         ///< flit-link traversals
+  std::uint64_t link_hops = 0;         ///< flit-link traversals (on + off chip)
+  std::uint64_t offchip_link_hops = 0; ///< subset crossing a chip boundary
   std::uint64_t router_traversals = 0; ///< flit-router (switch) traversals
   /// Largest per-directed-link flit count within the window (hotspot peak).
   std::uint64_t peak_link_flits = 0;
@@ -106,7 +110,8 @@ struct WindowEnergyReport {
   std::vector<WindowEnergySample> windows;
   std::uint64_t busy_cycles = 0;
   std::uint64_t codec_events = 0;
-  std::uint64_t link_hops = 0;
+  std::uint64_t link_hops = 0;          ///< on + off chip
+  std::uint64_t offchip_link_hops = 0;
   std::uint64_t router_traversals = 0;
   /// Summed integer activity priced through
   /// hw::EnergyModel::activity_energy_pj at nominal constants.

@@ -34,6 +34,11 @@ struct Flit {
   std::uint32_t sequence = 0;         ///< per-source-neuron emission counter
   std::uint32_t dest_begin = 0;       ///< arena offset of this copy's dests
   std::uint32_t dest_count = 0;       ///< remaining destinations of this copy
+  /// First cycle this flit may be arbitrated at its current router.  On-chip
+  /// forwards set arrival + 0 extra (the classic next-cycle handoff);
+  /// off-chip forwards add NocConfig::offchip_link_latency to model the
+  /// slower chip-to-chip SerDes crossing.
+  std::uint64_t ready_cycle = 0;
 };
 
 /// Per-router state: one FIFO per input (inter-router ports in neighbor

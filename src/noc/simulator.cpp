@@ -40,6 +40,16 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
   // neighbor_ holds the adjacent router and reverse_port_ the input-port
   // index at that neighbor through which flits sent from r arrive.
   const std::uint32_t n = topology_.router_count();
+  for (RouterId r = 0; r < n; ++r) {
+    // The packed route entries encode ports as uint8 (and the per-router
+    // occupancy bitmask needs port_count + 1 <= 64); such fabrics are far
+    // beyond anything the cycle loop is meant for.
+    if (topology_.port_count(r) >= 64) {
+      throw std::invalid_argument(
+          "NocSimulator: router with >= 64 ports (occupancy bitmask and "
+          "packed route entries cannot represent it)");
+    }
+  }
   port_base_.resize(n + 1);
   port_base_[0] = 0;
   for (RouterId r = 0; r < n; ++r) {
@@ -65,6 +75,13 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
       reverse_port_[port_base_[r] + o] = back;
     }
   }
+  offchip_port_.assign(port_base_[n], 0);
+  for (RouterId r = 0; r < n; ++r) {
+    for (PortId o = 0; o < topology_.port_count(r); ++o) {
+      offchip_port_[port_base_[r] + o] =
+          topology_.link_is_offchip(r, o) ? 1 : 0;
+    }
+  }
   tile_router_.resize(topology_.tile_count());
   for (TileId t = 0; t < topology_.tile_count(); ++t) {
     tile_router_[t] = topology_.router_of_tile(t);
@@ -74,13 +91,6 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
 
 void NocSimulator::begin() {
   const std::uint32_t n = topology_.router_count();
-  if (topology_.route_table().empty()) {
-    // Only reachable with >= 255 ports on one router; such fabrics are far
-    // beyond anything the cycle loop is meant for.
-    throw std::invalid_argument(
-        "NocSimulator: topology has no packed route table (router with >= "
-        "255 ports)");
-  }
   routers_.clear();
   routers_.reserve(n);
   for (RouterId r = 0; r < n; ++r) {
@@ -109,6 +119,7 @@ void NocSimulator::begin() {
   win_flits_injected_ = 0;
   win_copies_delivered_ = 0;
   win_link_hops_ = 0;
+  win_offchip_link_hops_ = 0;
   win_router_traversals_ = 0;
   win_link_flits_.assign(port_base_[n], 0);
 }
@@ -240,8 +251,6 @@ void NocSimulator::maybe_compact_arena() {
 }
 
 void NocSimulator::simulate_cycle() {
-  const std::uint32_t n = topology_.router_count();
-  const auto& table = topology_.route_table();
   const std::uint64_t now = now_;
 
   // ---- Arbitration: each output port of each router moves <= 1 flit.
@@ -258,18 +267,18 @@ void NocSimulator::simulate_cycle() {
       Router& router = routers_[r];
       const std::uint32_t ports = router.port_count();
       const std::uint32_t base = port_base_[r];
-      const Topology::RouteEntry* route_row =
-          table.data() + static_cast<std::size_t>(r) * n;
 
       for (std::uint32_t out = 0; out <= ports; ++out) {
         const bool local = out == ports;
         RouterId nb = 0;
         std::uint32_t nb_port = 0;
         std::uint32_t nb_slot = 0;
+        bool offchip = false;
         if (!local) {
           nb = neighbor_[base + out];
           nb_port = reverse_port_[base + out];
           nb_slot = port_base_[nb] + nb_port;
+          offchip = offchip_port_[base + out] != 0;
           // Backpressure is per output this cycle; check it once instead
           // of per input.
           if (!routers_[nb].can_accept(nb_port, staged_count_[nb_slot])) {
@@ -291,6 +300,10 @@ void NocSimulator::simulate_cycle() {
           pending &= pending - 1;
           Flit& head = router.head(in);
           if (head.dest_count == 0) continue;  // fully served, pops below
+          // Still on the wire: an off-chip crossing parks the flit in the
+          // destination FIFO (it holds its buffer slot for backpressure)
+          // until its extra serialization latency elapses.
+          if (head.ready_cycle > now) continue;
 
           const auto deliver = [&](TileId dest) {
             DeliveredSpike d;
@@ -317,13 +330,17 @@ void NocSimulator::simulate_cycle() {
             ++stats_.router_traversals;  // decode pairs with copies_delivered
           };
           // Stages `copy` through this output and charges the hop.
-          const auto forward = [&](const Flit& copy) {
+          const auto forward = [&](Flit copy) {
+            copy.ready_cycle =
+                now + 1 +
+                (offchip ? std::uint64_t{config_.offchip_link_latency} : 0);
             staged_.push_back({nb, nb_port, copy});
             if (staged_count_[nb_slot]++ == 0) {
               staged_touched_.push_back(nb_slot);
             }
             ++in_flight_;
             ++stats_.link_hops;
+            if (offchip) ++stats_.offchip_link_hops;
             ++stats_.router_traversals;
             ++link_flits_[base + out];
           };
@@ -342,7 +359,8 @@ void NocSimulator::simulate_cycle() {
               --arena_live_;
             } else {
               if (local) continue;
-              const Topology::RouteEntry& e = route_row[dst_router];
+              const Topology::RouteEntry e =
+                  topology_.route_entry(r, dst_router);
               std::uint32_t chosen = e.port[0];
               if (e.count > 1) {
                 // Selection strategy: pick among the turn model's legal
@@ -398,11 +416,11 @@ void NocSimulator::simulate_cycle() {
           for (std::uint32_t d = 0; d < head.dest_count; ++d) {
             const TileId dest = dests[d];
             const RouterId dst_router = tile_router_[dest];
-            const bool served = dst_router == r
-                                    ? local
-                                    : !local &&
-                                          route_row[dst_router].port[0] ==
-                                              out;
+            const bool served =
+                dst_router == r
+                    ? local
+                    : !local &&
+                          topology_.route_entry(r, dst_router).port[0] == out;
             (served ? match_ : keep_).push_back(dest);
           }
           if (match_.empty()) continue;
@@ -516,6 +534,7 @@ WindowEnergySample NocSimulator::close_energy_window() {
   s.flits_injected = stats_.flits_injected - win_flits_injected_;
   s.copies_delivered = stats_.copies_delivered - win_copies_delivered_;
   s.link_hops = stats_.link_hops - win_link_hops_;
+  s.offchip_link_hops = stats_.offchip_link_hops - win_offchip_link_hops_;
   s.router_traversals = stats_.router_traversals - win_router_traversals_;
   for (std::size_t i = 0; i < link_flits_.size(); ++i) {
     const std::uint64_t delta = link_flits_[i] - win_link_flits_[i];
@@ -524,25 +543,30 @@ WindowEnergySample NocSimulator::close_energy_window() {
   }
   s.energy_pj = config_.energy.activity_energy_pj(
       static_cast<double>(s.codec_events()),
-      static_cast<double>(s.link_hops),
-      static_cast<double>(s.router_traversals));
+      static_cast<double>(s.link_hops - s.offchip_link_hops),
+      static_cast<double>(s.router_traversals),
+      static_cast<double>(s.offchip_link_hops));
   win_start_cycle_ = now_;
   win_busy_ = busy_cycles_;
   win_flits_injected_ = stats_.flits_injected;
   win_copies_delivered_ = stats_.copies_delivered;
   win_link_hops_ = stats_.link_hops;
+  win_offchip_link_hops_ = stats_.offchip_link_hops;
   win_router_traversals_ = stats_.router_traversals;
 
   WindowEnergyReport& r = window_report_;
   r.busy_cycles += s.busy_cycles;
   r.codec_events += s.codec_events();
   r.link_hops += s.link_hops;
+  r.offchip_link_hops += s.offchip_link_hops;
   r.router_traversals += s.router_traversals;
   // Totals are exact integer sums of the deltas, i.e. exactly the session
   // counters, so this equals finish()'s stats.global_energy_pj bit for bit.
   r.total_energy_pj = config_.energy.activity_energy_pj(
-      static_cast<double>(r.codec_events), static_cast<double>(r.link_hops),
-      static_cast<double>(r.router_traversals));
+      static_cast<double>(r.codec_events),
+      static_cast<double>(r.link_hops - r.offchip_link_hops),
+      static_cast<double>(r.router_traversals),
+      static_cast<double>(r.offchip_link_hops));
   r.windows.push_back(s);
   return s;
 }
@@ -556,8 +580,9 @@ NocRunResult NocSimulator::finish() {
   // copies_delivered.
   stats_.global_energy_pj = config_.energy.activity_energy_pj(
       static_cast<double>(stats_.flits_injected + stats_.copies_delivered),
-      static_cast<double>(stats_.link_hops),
-      static_cast<double>(stats_.router_traversals));
+      static_cast<double>(stats_.link_hops - stats_.offchip_link_hops),
+      static_cast<double>(stats_.router_traversals),
+      static_cast<double>(stats_.offchip_link_hops));
   // Fold the trailing (never-closed) span into the window report so its
   // totals always cover the whole session; a one-shot run() thereby
   // reports one window spanning the full trace.

@@ -9,12 +9,19 @@
 // SNN-specific metrics (disorder, ISI distortion) are computed.
 //
 // The hot path is flat-array and worklist-driven (see README "NoC simulator
-// architecture"): routing decisions are O(1) loads from Topology's packed
-// route table, multicast destination sets live in a pooled arena so forking
-// a subset at a router is a partition instead of an allocate-copy-erase, and
-// only routers with buffered flits are visited each cycle.  The cycle-level
-// semantics are bit-identical to the original per-router scan engine
-// (pinned by tests/noc/golden_test.cpp).
+// architecture"): routing decisions are packed Topology::route_entry()
+// lookups (the per-topology routing functions, or an O(1) cache load if the
+// caller opted into Topology::build_route_cache()), multicast destination
+// sets live in a pooled arena so forking a subset at a router is a partition
+// instead of an allocate-copy-erase, and only routers with buffered flits
+// are visited each cycle.  The cycle-level semantics are bit-identical to
+// the original per-router scan engine (pinned by tests/noc/golden_test.cpp).
+//
+// Multi-chip fabrics: links the topology tags off-chip charge the distinct
+// EnergyModel::offchip_link_hop_pj per traversal and delay the flit by
+// NocConfig::offchip_link_latency extra cycles at the receiving router
+// (Flit::ready_cycle).  Single-chip runs are bit-identical to the
+// pre-off-chip engine.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +65,10 @@ struct NocConfig {
   bool multicast = true;           ///< false = source-replicated unicasts
   SelectionStrategy selection = SelectionStrategy::kFirstCandidate;
   hw::EnergyModel energy;
+  /// Extra cycles a flit spends crossing an off-chip (inter-chip) link on
+  /// top of the one-cycle on-chip handoff; 0 makes chip crossings as fast
+  /// as on-die hops.  Irrelevant on single-chip topologies.
+  std::uint32_t offchip_link_latency = 2;
   /// Safety bound; the run reports drained=false if traffic does not
   /// complete within this many cycles.
   std::uint64_t max_cycles = 20'000'000;
@@ -198,6 +209,7 @@ class NocSimulator {
   std::vector<std::uint32_t> port_base_;     // prefix sums; size n + 1
   std::vector<RouterId> neighbor_;           // neighbor router per port
   std::vector<std::uint32_t> reverse_port_;  // input port at that neighbor
+  std::vector<std::uint8_t> offchip_port_;   // 1 = link crosses a chip edge
   std::vector<RouterId> tile_router_;        // tile -> attached router
 
   // --- session state (reset by begin(); see run() for the semantics) -----
@@ -245,6 +257,7 @@ class NocSimulator {
   std::uint64_t win_flits_injected_ = 0;
   std::uint64_t win_copies_delivered_ = 0;
   std::uint64_t win_link_hops_ = 0;
+  std::uint64_t win_offchip_link_hops_ = 0;
   std::uint64_t win_router_traversals_ = 0;
   std::vector<std::uint64_t> win_link_flits_;
 };

@@ -125,7 +125,55 @@ TEST(ConfigIo, RoutingAndSelectionKeys) {
 
 TEST(ConfigIo, BadInterconnectNameThrows) {
   const auto cfg = util::Config::parse("arch:\n  interconnect: torus\n");
-  EXPECT_THROW(mapping_flow_from_config(cfg), std::invalid_argument);
+  try {
+    mapping_flow_from_config(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error must enumerate every supported fabric so a typo in an
+    // archived config is self-diagnosing.
+    const std::string what = e.what();
+    for (const char* kind : {"mesh", "tree", "ring", "dragonfly", "fattree"}) {
+      EXPECT_NE(what.find(kind), std::string::npos) << kind;
+    }
+  }
+}
+
+TEST(ConfigIo, MultiChipAndFabricKeysRoundTrip) {
+  const auto cfg = util::Config::parse(
+      "arch:\n"
+      "  crossbars: 20\n"
+      "  interconnect: dragonfly\n"
+      "  dragonfly_arity: 4\n"
+      "  dragonfly_groups: 5\n"
+      "  dragonfly_global: 1\n"
+      "  chips: 5\n"
+      "noc:\n"
+      "  offchip_link_latency: 7\n"
+      "energy:\n"
+      "  offchip_link_hop_pj: 33.5\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_EQ(flow.arch.interconnect, hw::InterconnectKind::kDragonfly);
+  EXPECT_EQ(flow.arch.dragonfly_arity, 4u);
+  EXPECT_EQ(flow.arch.dragonfly_groups, 5u);
+  EXPECT_EQ(flow.arch.dragonfly_global, 1u);
+  EXPECT_EQ(flow.arch.chip_count, 5u);
+  EXPECT_EQ(flow.noc.offchip_link_latency, 7u);
+  EXPECT_EQ(flow.energy().offchip_link_hop_pj, 33.5);
+
+  util::Config out;
+  mapping_flow_to_config(flow, out);
+  const auto back = mapping_flow_from_config(util::Config::parse(out.dump()));
+  EXPECT_EQ(back.arch.dragonfly_arity, 4u);
+  EXPECT_EQ(back.arch.dragonfly_groups, 5u);
+  EXPECT_EQ(back.arch.dragonfly_global, 1u);
+  EXPECT_EQ(back.arch.chip_count, 5u);
+  EXPECT_EQ(back.noc.offchip_link_latency, 7u);
+  EXPECT_NEAR(back.energy().offchip_link_hop_pj, 33.5, 1e-9);
+
+  const auto ft = mapping_flow_from_config(util::Config::parse(
+      "arch:\n  interconnect: fattree\n  fattree_k: 6\n  crossbars: 18\n"));
+  EXPECT_EQ(ft.arch.interconnect, hw::InterconnectKind::kFattree);
+  EXPECT_EQ(ft.arch.fattree_k, 6u);
 }
 
 TEST(ConfigIo, CosimKeysOverlayDefaults) {
@@ -189,8 +237,11 @@ TEST(ConfigIo, SaveLoadSaveIsByteStable) {
   // would make archived experiment configs unreproducible.
   MappingFlowConfig flow;
   flow.arch.crossbar_count = 6;
+  flow.arch.chip_count = 2;
   flow.noc.energy.link_hop_pj = 12.75;
   flow.noc.energy.aer_codec_pj = 0.375;
+  flow.noc.energy.offchip_link_hop_pj = 31.25;
+  flow.noc.offchip_link_latency = 3;
   flow.comm_aware_placement = true;
   cosim::CoSimConfig cosim;
   cosim.cycles_per_timestep = 640;

@@ -223,6 +223,7 @@ void expect_energy_parity(const snn::SnnGraph& graph, noc::Topology topology,
   const double analytic = cost.analytic_global_energy_pj(
       partition, topology, placement, {}, multicast);
 
+  const std::uint32_t chips = topology.chip_count();
   auto traffic = build_traffic(graph, partition, placement,
                                /*cycles_per_ms=*/1000, /*jitter_cycles=*/0);
   ASSERT_FALSE(traffic.empty());
@@ -232,6 +233,11 @@ void expect_energy_parity(const snn::SnnGraph& graph, noc::Topology topology,
   const auto result = sim.run(std::move(traffic));
   ASSERT_TRUE(result.stats.drained);
   EXPECT_GT(result.stats.global_energy_pj, 0.0);
+  if (chips > 1) {
+    // The multi-chip parity is only meaningful if boundary hops occurred.
+    EXPECT_GT(result.stats.offchip_link_hops, 0u);
+    EXPECT_LE(result.stats.offchip_link_hops, result.stats.link_hops);
+  }
   EXPECT_NEAR(analytic, result.stats.global_energy_pj,
               1e-9 * result.stats.global_energy_pj);
 }
@@ -253,6 +259,40 @@ TEST(CostModel, AnalyticMulticastMatchesSimulatedOnMesh) {
 TEST(CostModel, AnalyticUnicastMatchesSimulatedOnTree) {
   expect_energy_parity(fanout_graph(48), noc::Topology::tree(12, 4), 12,
                        /*multicast=*/false);
+}
+
+TEST(CostModel, AnalyticMatchesSimulatedOnMultiChipDragonfly) {
+  // One chip per dragonfly group: every global channel is an off-chip link,
+  // so the analytic walk must price offchip_link_hop_pj on exactly the hops
+  // the simulator's off-chip counter charges (charge-for-charge parity).
+  auto multicast_topo = noc::Topology::dragonfly(4, 5, 1);
+  multicast_topo.assign_chips(5);
+  expect_energy_parity(fanout_graph(60), std::move(multicast_topo), 20,
+                       /*multicast=*/true);
+  auto unicast_topo = noc::Topology::dragonfly(4, 5, 1);
+  unicast_topo.assign_chips(5);
+  expect_energy_parity(fanout_graph(60), std::move(unicast_topo), 20,
+                       /*multicast=*/false);
+}
+
+TEST(CostModel, AnalyticMatchesSimulatedOnMultiChipFattree) {
+  // One chip per pod (cores land on chip 0): cross-pod routes cross one or
+  // two chip boundaries depending on the pods involved.
+  auto multicast_topo = noc::Topology::fattree(4);
+  multicast_topo.assign_chips(4);
+  expect_energy_parity(fanout_graph(48), std::move(multicast_topo), 8,
+                       /*multicast=*/true);
+  auto unicast_topo = noc::Topology::fattree(4);
+  unicast_topo.assign_chips(4);
+  expect_energy_parity(fanout_graph(48), std::move(unicast_topo), 8,
+                       /*multicast=*/false);
+}
+
+TEST(CostModel, AnalyticMatchesSimulatedOnMultiChipTree) {
+  auto topo = noc::Topology::tree(12, 4);
+  topo.assign_chips(3);  // one chip per 4-leaf subtree
+  expect_energy_parity(fanout_graph(48), std::move(topo), 12,
+                       /*multicast=*/true);
 }
 
 TEST(CostModel, AnalyticEnergyValidatesPlacement) {

@@ -52,10 +52,97 @@ TEST(InterconnectKind, StringRoundTrip) {
   EXPECT_EQ(interconnect_from_string("mesh"), InterconnectKind::kMesh);
   EXPECT_EQ(interconnect_from_string("tree"), InterconnectKind::kTree);
   EXPECT_EQ(interconnect_from_string("ring"), InterconnectKind::kRing);
+  EXPECT_EQ(interconnect_from_string("dragonfly"),
+            InterconnectKind::kDragonfly);
+  EXPECT_EQ(interconnect_from_string("fattree"), InterconnectKind::kFattree);
   EXPECT_STREQ(to_string(InterconnectKind::kMesh), "mesh");
   EXPECT_STREQ(to_string(InterconnectKind::kTree), "tree");
   EXPECT_STREQ(to_string(InterconnectKind::kRing), "ring");
+  EXPECT_STREQ(to_string(InterconnectKind::kDragonfly), "dragonfly");
+  EXPECT_STREQ(to_string(InterconnectKind::kFattree), "fattree");
   EXPECT_THROW(interconnect_from_string("torus"), std::invalid_argument);
+}
+
+TEST(InterconnectKind, UnknownNameListsAllFiveKinds) {
+  try {
+    interconnect_from_string("torus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const char* kind :
+         {"mesh", "tree", "ring", "dragonfly", "fattree"}) {
+      EXPECT_NE(what.find(kind), std::string::npos) << kind;
+    }
+  }
+}
+
+TEST(Architecture, ValidateRejectsDegenerateConfigs) {
+  Architecture a = Architecture::cxquad();
+  EXPECT_NO_THROW(a.validate());
+  a.crossbar_count = 0;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.neurons_per_crossbar = 0;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.cycles_per_ms = 0;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.tree_arity = 1;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.interconnect = InterconnectKind::kRing;
+  a.crossbar_count = 1;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.interconnect = InterconnectKind::kDragonfly;
+  a.dragonfly_arity = 1;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.interconnect = InterconnectKind::kDragonfly;
+  a.dragonfly_arity = 2;
+  a.dragonfly_groups = 9;
+  a.dragonfly_global = 2;  // 2 * 2 < 9 - 1
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.interconnect = InterconnectKind::kFattree;
+  a.fattree_k = 3;  // odd radix
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.interconnect = InterconnectKind::kFattree;
+  a.fattree_k = 2;  // 2 tiles < 4 crossbars
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.chip_count = 0;
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+  a = Architecture::cxquad();
+  a.chip_count = 5;  // more chips than the tree's 4 tiles
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Architecture, SizedForGrowsDragonflyAndFattree) {
+  const auto df =
+      Architecture::sized_for(5000, 256, InterconnectKind::kDragonfly);
+  EXPECT_NO_THROW(df.validate());
+  EXPECT_GE(df.interconnect_tile_count(), df.crossbar_count);
+  const auto ft =
+      Architecture::sized_for(5000, 256, InterconnectKind::kFattree);
+  EXPECT_NO_THROW(ft.validate());
+  EXPECT_GE(ft.interconnect_tile_count(), ft.crossbar_count);
+  // A single-crossbar ring request bumps to the 2-crossbar minimum.
+  const auto ring = Architecture::sized_for(1, 256, InterconnectKind::kRing);
+  EXPECT_EQ(ring.crossbar_count, 2u);
+  EXPECT_NO_THROW(ring.validate());
+}
+
+TEST(Architecture, TilesPerChipSplitsEvenly) {
+  Architecture a = Architecture::cxquad();
+  EXPECT_EQ(a.tiles_per_chip(), 4u);
+  a.chip_count = 2;
+  EXPECT_EQ(a.tiles_per_chip(), 2u);
+  EXPECT_NO_THROW(a.validate());
+  const auto text = a.describe();
+  EXPECT_NE(text.find("2 chips"), std::string::npos);
 }
 
 TEST(Architecture, DescribeMentionsShape) {

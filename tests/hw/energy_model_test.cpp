@@ -14,6 +14,8 @@ TEST(EnergyModel, DefaultsArePositive) {
   EXPECT_GT(m.link_hop_pj, 0.0);
   EXPECT_GT(m.router_flit_pj, 0.0);
   EXPECT_GT(m.aer_codec_pj, 0.0);
+  // SerDes crossings cost more than on-die wires by default.
+  EXPECT_GT(m.offchip_link_hop_pj, m.link_hop_pj);
 }
 
 TEST(EnergyModel, PacketEnergyGrowsWithHops) {
@@ -49,11 +51,12 @@ TEST(EnergyModel, ValidateRejectsNanInfAndNegative) {
                                -std::numeric_limits<double>::infinity(),
                                -0.001};
   for (const double bad : bad_values) {
-    for (int field = 0; field < 4; ++field) {
+    for (int field = 0; field < 5; ++field) {
       EnergyModel m;
       (field == 0   ? m.crossbar_event_pj
        : field == 1 ? m.link_hop_pj
        : field == 2 ? m.router_flit_pj
+       : field == 3 ? m.offchip_link_hop_pj
                     : m.aer_codec_pj) = bad;
       EXPECT_THROW(m.validate(), std::invalid_argument)
           << "field " << field << " value " << bad;
@@ -84,9 +87,17 @@ TEST(EnergyModel, ActivityEnergyPricesEachCounter) {
   m.aer_codec_pj = 1.0;
   m.link_hop_pj = 10.0;
   m.router_flit_pj = 5.0;
+  m.offchip_link_hop_pj = 40.0;
   EXPECT_DOUBLE_EQ(m.activity_energy_pj(0.0, 0.0, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(m.activity_energy_pj(2.0, 3.0, 4.0),
                    2.0 * 1.0 + 3.0 * 10.0 + 4.0 * 5.0);
+  // The off-chip term prices inter-chip hops at the distinct constant, and
+  // a zero off-chip count is bit-identical to the 3-argument form.
+  EXPECT_DOUBLE_EQ(m.activity_energy_pj(2.0, 3.0, 4.0, 5.0),
+                   2.0 * 1.0 + 3.0 * 10.0 + 4.0 * 5.0 + 5.0 * 40.0);
+  const double three = m.activity_energy_pj(2.0, 3.0, 4.0);
+  const double four = m.activity_energy_pj(2.0, 3.0, 4.0, 0.0);
+  EXPECT_EQ(three, four);
   // Consistent with the per-packet closed form: a unicast copy over h hops
   // is 2 codec events, h link hops and h + 1 router traversals.
   const std::uint32_t h = 3;
@@ -106,11 +117,13 @@ TEST(EnergyModel, ToConfigRoundTrips) {
   EnergyModel m;
   m.link_hop_pj = 12.25;
   m.crossbar_event_pj = 3.5;
+  m.offchip_link_hop_pj = 52.5;
   util::Config cfg;
   m.to_config(cfg);
   const EnergyModel back = EnergyModel::from_config(cfg);
   EXPECT_NEAR(back.link_hop_pj, 12.25, 1e-9);
   EXPECT_NEAR(back.crossbar_event_pj, 3.5, 1e-9);
+  EXPECT_NEAR(back.offchip_link_hop_pj, 52.5, 1e-9);
 }
 
 }  // namespace

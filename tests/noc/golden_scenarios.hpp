@@ -151,6 +151,19 @@ inline std::vector<Scenario> scenarios() {
   list.push_back({"mesh4x4_xy_not_drained", mesh(MeshRouting::kXY),
                   config(1, true, kFirst, /*max_cycles=*/120),
                   patterns::multicast_traffic(606, 16, 2000, 6, 50)});
+  // Multi-chip fabrics: one chip per dragonfly group / fat-tree pod, so
+  // off-chip SerDes latency and the distinct boundary energy shape the
+  // delivered stream (captured post-PR-6; pinned forever after).
+  Topology dragonfly = Topology::dragonfly(4, 5, 1);
+  dragonfly.assign_chips(5);
+  list.push_back({"dragonfly4x5x1_5chip_multicast", std::move(dragonfly),
+                  config(4, true, kFirst),
+                  patterns::multicast_traffic(707, 20, 1200, 5, 4)});
+  Topology fattree = Topology::fattree(4);
+  fattree.assign_chips(4);
+  list.push_back({"fattree4_4chip_unicast_buffer_level", std::move(fattree),
+                  config(2, false, kLevel),
+                  patterns::multicast_traffic(808, 8, 900, 3, 3)});
 
   return list;
 }

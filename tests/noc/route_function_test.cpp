@@ -1,0 +1,132 @@
+// Property test pinning the routing-function <-> route-cache equivalence:
+// Topology::build_route_cache() is filled from the same per-topology routing
+// functions route_candidates()/route_entry() evaluate on the fly, so cached
+// and uncached lookups must agree entry for entry on every (router, dst)
+// pair — for every interconnect kind, several sizes, and every mesh routing
+// algorithm.  This is the contract that lets the simulator run table-free on
+// large fabrics while small hot-loop runs opt into the O(R x D) cache.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace snnmap::noc {
+namespace {
+
+void expect_cache_matches_function(const Topology& uncached,
+                                   const char* label) {
+  Topology cached = uncached;  // value copy; cache built on one side only
+  cached.build_route_cache();
+  ASSERT_TRUE(cached.has_route_cache());
+  ASSERT_FALSE(uncached.has_route_cache());
+  const std::uint32_t n = uncached.router_count();
+  ASSERT_EQ(cached.route_table().size(),
+            static_cast<std::size_t>(n) * n);
+  for (RouterId r = 0; r < n; ++r) {
+    for (RouterId dst = 0; dst < n; ++dst) {
+      const Topology::RouteEntry fn = uncached.route_entry(r, dst);
+      const Topology::RouteEntry tab = cached.route_entry(r, dst);
+      ASSERT_EQ(fn.count, tab.count) << label << " " << r << "->" << dst;
+      for (std::uint32_t k = 0; k < fn.count; ++k) {
+        ASSERT_EQ(fn.port[k], tab.port[k])
+            << label << " " << r << "->" << dst << " candidate " << k;
+      }
+      if (r == dst) {
+        EXPECT_EQ(fn.count, 1u);
+        EXPECT_EQ(fn.port[0], Topology::kTableLocal);
+      } else {
+        // The checked API must agree with the packed entries too.
+        PortId candidates[3];
+        const std::uint32_t count =
+            uncached.route_candidates(r, dst, candidates);
+        ASSERT_EQ(count, fn.count);
+        for (std::uint32_t k = 0; k < count; ++k) {
+          ASSERT_EQ(candidates[k], fn.port[k]);
+        }
+        EXPECT_EQ(cached.next_port(r, dst), uncached.next_port(r, dst));
+      }
+    }
+  }
+}
+
+TEST(RouteFunction, MeshMatchesCacheForAllRoutings) {
+  for (const auto& wh : {std::pair<std::uint32_t, std::uint32_t>{1, 1},
+                        {4, 1},
+                        {3, 3},
+                        {5, 4}}) {
+    for (const auto routing :
+         {MeshRouting::kXY, MeshRouting::kYX, MeshRouting::kWestFirst,
+          MeshRouting::kNorthLast}) {
+      auto mesh = Topology::mesh(wh.first, wh.second);
+      mesh.set_mesh_routing(routing);
+      expect_cache_matches_function(mesh, to_string(routing));
+    }
+  }
+}
+
+TEST(RouteFunction, TreeMatchesCache) {
+  for (const auto& [tiles, arity] :
+       {std::pair<std::uint32_t, std::uint32_t>{1, 2},
+        {4, 4},
+        {8, 2},
+        {9, 3},
+        {13, 4}}) {  // 13 = ragged last parent on two levels
+    expect_cache_matches_function(Topology::tree(tiles, arity), "tree");
+  }
+}
+
+TEST(RouteFunction, RingMatchesCache) {
+  for (const std::uint32_t tiles : {2u, 3u, 6u, 9u}) {
+    expect_cache_matches_function(Topology::ring(tiles), "ring");
+  }
+}
+
+TEST(RouteFunction, DragonflyMatchesCache) {
+  for (const auto& [a, g, h] :
+       {std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>{2, 2, 1},
+        {4, 5, 1},
+        {3, 4, 2},     // multiple replicas: adaptive cross-group candidates
+        {4, 7, 2}}) {  // a*h > g-1 with a dark channel remainder
+    expect_cache_matches_function(Topology::dragonfly(a, g, h), "dragonfly");
+  }
+}
+
+TEST(RouteFunction, FattreeMatchesCache) {
+  for (const std::uint32_t k : {2u, 4u, 6u}) {
+    expect_cache_matches_function(Topology::fattree(k), "fattree");
+  }
+}
+
+TEST(RouteFunction, CacheRebuildsWithMeshRouting) {
+  auto mesh = Topology::mesh(4, 4);
+  mesh.build_route_cache();
+  mesh.set_mesh_routing(MeshRouting::kWestFirst);  // must rebuild the cache
+  auto reference = Topology::mesh(4, 4);
+  reference.set_mesh_routing(MeshRouting::kWestFirst);
+  for (RouterId r = 0; r < mesh.router_count(); ++r) {
+    for (RouterId dst = 0; dst < mesh.router_count(); ++dst) {
+      const auto a = mesh.route_entry(r, dst);
+      const auto b = reference.route_entry(r, dst);
+      ASSERT_EQ(a.count, b.count);
+      for (std::uint32_t k = 0; k < a.count; ++k) {
+        ASSERT_EQ(a.port[k], b.port[k]);
+      }
+    }
+  }
+}
+
+TEST(RouteFunction, CacheRejectsUnpackablePortCounts) {
+  // A 255-ary tree hub has 256 ports — the packed uint8 encoding cannot
+  // address them, so the opt-in cache must refuse (function routing still
+  // works through the wide PortId API).
+  auto wide = Topology::tree(256, 255);
+  EXPECT_THROW(wide.build_route_cache(), std::invalid_argument);
+  EXPECT_NO_THROW((void)wide.next_port(0, 255));
+}
+
+}  // namespace
+}  // namespace snnmap::noc

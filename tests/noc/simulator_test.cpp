@@ -123,6 +123,50 @@ TEST(NocSimulator, EnergyMatchesHopAccounting) {
                    2.0 * 15.0 + 5.0 + 1.0 + 1.0);
 }
 
+TEST(NocSimulator, OffchipHopsAreCountedAndPricedSeparately) {
+  auto topo = Topology::mesh(4, 1);
+  topo.assign_chips(2);  // tiles {0,1} on chip 0, {2,3} on chip 1
+  NocConfig config;
+  config.energy.link_hop_pj = 10.0;
+  config.energy.offchip_link_hop_pj = 40.0;
+  config.energy.router_flit_pj = 5.0;
+  config.energy.aer_codec_pj = 1.0;
+  NocSimulator sim(std::move(topo), config);
+  const auto result = sim.run({event(0, 1, 0, {3})});
+  ASSERT_TRUE(result.stats.drained);
+  EXPECT_EQ(result.stats.link_hops, 3u);          // total, on + off chip
+  EXPECT_EQ(result.stats.offchip_link_hops, 1u);  // the 1 -> 2 crossing
+  // 2 on-chip hops, 1 off-chip hop, 3 forwarding + 1 ejecting router flit,
+  // codec charged at inject and deliver.
+  EXPECT_DOUBLE_EQ(result.stats.global_energy_pj,
+                   2.0 * 10.0 + 40.0 + 4.0 * 5.0 + 1.0 + 1.0);
+}
+
+TEST(NocSimulator, OffchipCrossingsAddSerdesLatency) {
+  const auto run_with = [](std::uint32_t chips, std::uint32_t serdes) {
+    auto topo = Topology::mesh(4, 1);
+    topo.assign_chips(chips);
+    NocConfig config;
+    config.offchip_link_latency = serdes;
+    NocSimulator sim(std::move(topo), config);
+    return sim.run({event(0, 1, 0, {3})});
+  };
+  const auto onchip = run_with(1, 2);
+  const auto twochip = run_with(2, 2);
+  const auto slow = run_with(2, 9);
+  ASSERT_EQ(onchip.delivered.size(), 1u);
+  ASSERT_EQ(twochip.delivered.size(), 1u);
+  ASSERT_EQ(slow.delivered.size(), 1u);
+  EXPECT_EQ(onchip.stats.offchip_link_hops, 0u);
+  EXPECT_EQ(twochip.stats.offchip_link_hops, 1u);
+  // The path crosses exactly one chip boundary, so delivery slips by
+  // exactly the configured SerDes latency relative to the monolithic die.
+  EXPECT_EQ(twochip.delivered[0].latency(),
+            onchip.delivered[0].latency() + 2u);
+  EXPECT_EQ(slow.delivered[0].latency(),
+            onchip.delivered[0].latency() + 9u);
+}
+
 TEST(NocSimulator, DrainsLargeRandomTraffic) {
   std::vector<SpikePacketEvent> traffic;
   std::uint64_t cycle = 0;
