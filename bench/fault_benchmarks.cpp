@@ -1,0 +1,121 @@
+// BM_FaultedNoc: fault-injection cost in the NoC cycle loop.
+//
+// Run via scripts/bench.sh, which writes BENCH_faults.json so the cost of
+// the fault subsystem is tracked PR over PR.  Every leg replays the *same*
+// deterministic mesh multicast trace; only the FaultConfig differs:
+//
+//  * severity=0 — inert config.  Every fault branch in the simulator is
+//    gated on faults_active_, so this leg must stay within noise of the
+//    pre-fault BM_NocSimulator trajectory: the zero-fault hot path pays
+//    nothing for the subsystem's existence.
+//  * severity=1 — light degradation (a few permanent link faults, sparse
+//    transient outages, rare flit drops): liveness masks and the drop RNG
+//    are consulted on every traversal.
+//  * severity=2 — heavy degradation (link + tile + router faults, frequent
+//    transients, lossy wires): the reroute/prune/purge paths run hot.
+//
+// copies_lost / reroutes / fault_events counters make the degradation of
+// each leg visible next to its throughput, so a perf regression can be told
+// apart from a fault-timeline change.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/simulator.hpp"
+#include "noc/traffic_patterns.hpp"
+
+namespace {
+
+using namespace snnmap;
+
+/// 8x8 XY mesh under the shared multicast generator: large enough that
+/// random faults land on routes actually carrying traffic, small enough
+/// that a leg runs in milliseconds.
+struct FaultWorkload {
+  noc::Topology topology = noc::Topology::mesh(8, 8);
+  noc::NocConfig config;
+  std::vector<noc::SpikePacketEvent> traffic =
+      noc::patterns::multicast_traffic(/*seed=*/909, /*tiles=*/64,
+                                       /*packets=*/6000, /*max_fanout=*/5,
+                                       /*packets_per_cycle=*/4);
+};
+
+noc::FaultConfig fault_severity(int severity) {
+  noc::FaultConfig f;
+  if (severity == 0) return f;  // inert: the zero-fault baseline leg
+  f.seed = 909;
+  // The trace drains in ~1.6k cycles; keep the horizon inside that so the
+  // random faults land while traffic is still flowing.
+  f.horizon_cycles = 1'500;
+  if (severity == 1) {
+    f.link_fault_rate = 0.02;
+    f.transient_link_rate = 0.05;
+    f.transient_duration_cycles = 500;
+    f.flit_drop_probability = 0.0005;
+  } else {
+    f.link_fault_rate = 0.10;
+    f.router_fault_rate = 0.03;
+    f.tile_fault_rate = 0.05;
+    f.transient_link_rate = 0.20;
+    f.transient_duration_cycles = 400;
+    f.flit_drop_probability = 0.01;
+  }
+  return f;
+}
+
+void BM_FaultedNoc(benchmark::State& state) {
+  static const FaultWorkload base;
+  FaultWorkload workload;
+  workload.config = base.config;
+  workload.config.faults = fault_severity(static_cast<int>(state.range(0)));
+  std::uint64_t cycles = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t fault_events = 0;
+  for (auto _ : state) {
+    noc::NocSimulator sim(base.topology, workload.config);
+    const auto result = sim.run(base.traffic);
+    benchmark::DoNotOptimize(result.stats.copies_delivered);
+    cycles += result.stats.duration_cycles;
+    delivered += result.stats.copies_delivered;
+    lost += result.stats.fault.copies_lost();
+    reroutes += result.stats.fault.reroutes;
+    fault_events += result.stats.fault.link_faults +
+                    result.stats.fault.router_faults +
+                    result.stats.fault.tile_faults;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.traffic.size()));
+  state.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["delivered_per_sec"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["copies_lost"] = static_cast<double>(lost) / iters;
+  state.counters["reroutes"] = static_cast<double>(reroutes) / iters;
+  state.counters["fault_events"] = static_cast<double>(fault_events) / iters;
+}
+BENCHMARK(BM_FaultedNoc)
+    ->ArgName("severity")  // 0=zero-fault baseline 1=light 2=heavy
+    ->DenseRange(0, 2);
+
+// The FaultModel timeline is rebuilt by every NocSimulator::begin() (the
+// determinism contract), so its construction cost is paid per session —
+// keep it visible separately from the cycle loop.
+void BM_FaultModelBuild(benchmark::State& state) {
+  static const noc::Topology topology = noc::Topology::mesh(8, 8);
+  const noc::FaultConfig config =
+      fault_severity(static_cast<int>(state.range(0)));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    noc::FaultModel model(topology, config);
+    benchmark::DoNotOptimize(&model);
+    events = model.event_count();
+  }
+  state.counters["timeline_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_FaultModelBuild)->ArgName("severity")->DenseRange(1, 2);
+
+}  // namespace

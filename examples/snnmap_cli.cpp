@@ -48,6 +48,16 @@ void usage() {
          "co-simulation of the mapping and report fidelity\n"
          "  --cosim-cycles N      NoC cycles per SNN timestep (default "
          "arch.cycles_per_ms * dt)\n"
+         "  --faults              co-simulate over a faulty fabric "
+         "(canonical seeded rates; implies --cosim)\n"
+         "  --fault-seed S        fault-timeline seed (implies --faults)\n"
+         "  --fault-link-rate R   per-link permanent-failure probability\n"
+         "  --fault-router-rate R per-router permanent-failure probability\n"
+         "  --fault-tile-rate R   per-tile permanent-failure probability\n"
+         "  --fault-drop-prob P   per-link-traversal flit-drop probability\n"
+         "  --retry               enable the AER retransmit protocol\n"
+         "  --remap-on-failure    evacuate dead crossbars mid-run "
+         "(graceful degradation)\n"
          "  --analyze             print per-crossbar load / traffic "
          "analysis\n"
          "  --dump-config         print the effective configuration and "
@@ -64,6 +74,22 @@ std::uint64_t parse_uint(const char* flag, const std::string& text) {
   } catch (const std::exception&) {
     std::cerr << "error: " << flag << " expects a non-negative integer, got '"
               << text << "'\n";
+    std::exit(1);
+  }
+}
+
+double parse_prob(const char* flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("trailing chars");
+    if (!(value >= 0.0) || !(value <= 1.0)) {
+      throw std::invalid_argument("out of range");
+    }
+    return value;
+  } catch (const std::exception&) {
+    std::cerr << "error: " << flag << " expects a probability in [0, 1], "
+              "got '" << text << "'\n";
     std::exit(1);
   }
 }
@@ -96,6 +122,15 @@ int main(int argc, char** argv) {
   bool analyze = false;
   bool cosim = false;
   std::uint32_t cosim_cycles = 0;  // 0 = derive from the architecture
+  bool faults = false;
+  bool fault_seed_set = false;
+  std::uint64_t fault_seed = 1;
+  double fault_link_rate = -1.0;    // < 0 = keep the canonical default
+  double fault_router_rate = -1.0;
+  double fault_tile_rate = -1.0;
+  double fault_drop_prob = -1.0;
+  bool retry = false;
+  bool remap_on_failure = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -139,6 +174,40 @@ int main(int argc, char** argv) {
       cosim_cycles = static_cast<std::uint32_t>(
           parse_uint("--cosim-cycles", need_value("--cosim-cycles")));
       cosim = true;
+    } else if (arg == "--faults") {
+      faults = true;
+      cosim = true;
+    } else if (arg == "--fault-seed") {
+      fault_seed = parse_uint("--fault-seed", need_value("--fault-seed"));
+      fault_seed_set = true;
+      faults = true;
+      cosim = true;
+    } else if (arg == "--fault-link-rate") {
+      fault_link_rate =
+          parse_prob("--fault-link-rate", need_value("--fault-link-rate"));
+      faults = true;
+      cosim = true;
+    } else if (arg == "--fault-router-rate") {
+      fault_router_rate = parse_prob("--fault-router-rate",
+                                     need_value("--fault-router-rate"));
+      faults = true;
+      cosim = true;
+    } else if (arg == "--fault-tile-rate") {
+      fault_tile_rate =
+          parse_prob("--fault-tile-rate", need_value("--fault-tile-rate"));
+      faults = true;
+      cosim = true;
+    } else if (arg == "--fault-drop-prob") {
+      fault_drop_prob =
+          parse_prob("--fault-drop-prob", need_value("--fault-drop-prob"));
+      faults = true;
+      cosim = true;
+    } else if (arg == "--retry") {
+      retry = true;
+      cosim = true;
+    } else if (arg == "--remap-on-failure") {
+      remap_on_failure = true;
+      cosim = true;
     } else if (arg == "--analyze") {
       analyze = true;
     } else if (arg == "--verbose") {
@@ -164,6 +233,21 @@ int main(int argc, char** argv) {
     if (!interconnect_override.empty()) {
       flow.arch.interconnect =
           hw::interconnect_from_string(interconnect_override);
+    }
+
+    // Fault rates without an explicit horizon rely on the co-simulator's
+    // auto-filled lockstep timeline; the open-loop mapping flow has no such
+    // timeline, so such a config is lifted out of the flow (mapping runs on
+    // the healthy fabric) and handed to the closed-loop run instead.
+    noc::FaultConfig file_faults = flow.noc.faults;
+    {
+      const bool rated = file_faults.link_fault_rate > 0.0 ||
+                         file_faults.router_fault_rate > 0.0 ||
+                         file_faults.tile_fault_rate > 0.0 ||
+                         file_faults.transient_link_rate > 0.0;
+      if (rated && file_faults.horizon_cycles == 0) {
+        flow.noc.faults = noc::FaultConfig{};
+      }
     }
 
     // Progress goes to stderr so `--dump-config` (and `--csv -`-style uses)
@@ -247,6 +331,34 @@ int main(int argc, char** argv) {
       cc = core::cosim_from_config(file_config, cc);
       if (cosim_cycles != 0) cc.cycles_per_timestep = cosim_cycles;
 
+      // The closed-loop run carries the file's `faults:` section even when
+      // the mapping flow ran fault-free (auto-horizon configs, see above).
+      cc.noc.faults = file_faults;
+      if (faults) {
+        noc::FaultConfig& fc = cc.noc.faults;
+        if (fault_seed_set || fc.seed == 0) fc.seed = fault_seed;
+        const bool any_rate_flag =
+            fault_link_rate >= 0.0 || fault_router_rate >= 0.0 ||
+            fault_tile_rate >= 0.0 || fault_drop_prob >= 0.0;
+        if (fault_link_rate >= 0.0) fc.link_fault_rate = fault_link_rate;
+        if (fault_router_rate >= 0.0) fc.router_fault_rate = fault_router_rate;
+        if (fault_tile_rate >= 0.0) fc.tile_fault_rate = fault_tile_rate;
+        if (fault_drop_prob >= 0.0) fc.flit_drop_probability = fault_drop_prob;
+        // Bare --faults with no rates anywhere: a canonical seeded scenario
+        // (sparse permanent link faults plus rare flit corruption).
+        if (!any_rate_flag && !fc.any()) {
+          fc.link_fault_rate = 0.05;
+          fc.transient_link_rate = 0.05;
+          fc.flit_drop_probability = 0.001;
+        }
+      }
+      if (retry) cc.retry.enabled = true;
+      if (remap_on_failure) {
+        cc.failure_remap.enabled = true;
+        cc.failure_remap.arch = flow.arch;
+        cc.failure_remap.remap.seed = flow.seed;
+      }
+
       // Plastic synapses cannot be remote-cut (their weights live on the
       // destination crossbar).  When the mapping splits a plastic
       // projection — e.g. HD's input->excitatory afferents under any
@@ -323,6 +435,43 @@ int main(int argc, char** argv) {
                         util::format_double(
                             cs.fidelity.energy_delay_product() * 1e-6, 3)});
       std::cout << '\n' << fidelity.to_ascii();
+
+      if (cs.resilience.any() || cc.noc.faults.any()) {
+        const cosim::ResilienceReport& rs = cs.resilience;
+        util::Table resilience({"resilience metric", "value"});
+        resilience.add_row({"link faults",
+                            std::to_string(rs.noc_faults.link_faults)});
+        resilience.add_row({"router faults",
+                            std::to_string(rs.noc_faults.router_faults)});
+        resilience.add_row({"tile faults",
+                            std::to_string(rs.noc_faults.tile_faults)});
+        resilience.add_row({"links restored",
+                            std::to_string(rs.noc_faults.links_restored)});
+        resilience.add_row({"fault-aware reroutes",
+                            std::to_string(rs.noc_faults.reroutes)});
+        resilience.add_row({"copies lost to faults",
+                            std::to_string(rs.noc_faults.copies_lost())});
+        resilience.add_row({"retransmit packets",
+                            std::to_string(rs.retransmit_packets)});
+        resilience.add_row({"retry recoveries",
+                            std::to_string(rs.retry_recoveries)});
+        resilience.add_row({"spikes lost (retry timeout)",
+                            std::to_string(rs.spikes_lost_timeout)});
+        resilience.add_row({"stale / duplicate arrivals",
+                            std::to_string(rs.stale_arrivals) + " / " +
+                                std::to_string(rs.duplicate_arrivals)});
+        resilience.add_row({"retries pending at end",
+                            std::to_string(rs.pending_at_end)});
+        resilience.add_row({"retransmit energy (uJ)",
+                            util::format_double(
+                                rs.retransmit_energy_pj * 1e-6, 4)});
+        resilience.add_row({"remap events",
+                            std::to_string(rs.remap_events)});
+        resilience.add_row({"neurons migrated / stranded",
+                            std::to_string(rs.neurons_migrated) + " / " +
+                                std::to_string(rs.neurons_stranded)});
+        std::cout << '\n' << resilience.to_ascii();
+      }
     }
     if (analyze) {
       std::cout << '\n'

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Simulator perf tracking: runs the BM_NocSimulator, BM_SnnSimulator,
-# BM_CoSimulator and BM_WindowEnergy/energy-accounting suites (Release) and
-# writes BENCH_noc.json / BENCH_snn.json / BENCH_cosim.json /
-# BENCH_energy.json at the repo root so the simulated-packets/sec,
-# simulated-ms/sec, co-sim steps/sec and energy-accounting-overhead
-# trajectories are recorded PR over PR.
+# BM_CoSimulator, BM_WindowEnergy/energy-accounting and BM_FaultedNoc
+# suites (Release) and writes BENCH_noc.json / BENCH_snn.json /
+# BENCH_cosim.json / BENCH_energy.json / BENCH_faults.json at the repo root
+# so the simulated-packets/sec, simulated-ms/sec, co-sim steps/sec,
+# energy-accounting-overhead and fault-injection-overhead trajectories are
+# recorded PR over PR.
 #
 #   scripts/bench.sh [extra google-benchmark flags...]
 #
@@ -19,6 +20,7 @@ NOC_OUT=${NOC_OUT:-BENCH_noc.json}
 SNN_OUT=${SNN_OUT:-BENCH_snn.json}
 COSIM_OUT=${COSIM_OUT:-BENCH_cosim.json}
 ENERGY_OUT=${ENERGY_OUT:-BENCH_energy.json}
+FAULTS_OUT=${FAULTS_OUT:-BENCH_faults.json}
 
 configure_log=$(cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
@@ -35,7 +37,8 @@ if grep -q "Google Benchmark not found" <<<"$configure_log"; then
 fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target noc_sim_benchmarks --target snn_sim_benchmarks \
-  --target cosim_benchmarks --target energy_benchmarks
+  --target cosim_benchmarks --target energy_benchmarks \
+  --target fault_benchmarks
 
 run_suite() {
   local binary=$1
@@ -57,3 +60,4 @@ run_suite noc_sim_benchmarks "$NOC_OUT" "$@"
 run_suite snn_sim_benchmarks "$SNN_OUT" "$@"
 run_suite cosim_benchmarks "$COSIM_OUT" "$@"
 run_suite energy_benchmarks "$ENERGY_OUT" "$@"
+run_suite fault_benchmarks "$FAULTS_OUT" "$@"

@@ -210,6 +210,14 @@ class BatchCoSimEvaluator {
   std::vector<CoSimOutcome> run_seeds(const CoSimScenario& base,
                                       const std::vector<std::uint64_t>& seeds);
 
+  /// Resilience sweep: one run of `base` per fault configuration (the
+  /// degradation-vs-fault-intensity axis); results[i] corresponds to
+  /// fault_configs[i].  An all-default FaultConfig entry yields the
+  /// fault-free baseline inside the same batch.
+  std::vector<CoSimOutcome> run_fault_sweep(
+      const CoSimScenario& base,
+      const std::vector<noc::FaultConfig>& fault_configs);
+
  private:
   util::ThreadPool pool_;
 };

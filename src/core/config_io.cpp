@@ -72,6 +72,28 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
       config.int_or("noc.offchip_link_latency",
                     flow.noc.offchip_link_latency));
 
+  // -- fault injection (all-zero defaults = inert model)
+  noc::FaultConfig& faults = flow.noc.faults;
+  faults.seed = static_cast<std::uint64_t>(
+      config.int_or("faults.seed", static_cast<std::int64_t>(faults.seed)));
+  faults.link_fault_rate =
+      config.double_or("faults.link_fault_rate", faults.link_fault_rate);
+  faults.router_fault_rate =
+      config.double_or("faults.router_fault_rate", faults.router_fault_rate);
+  faults.tile_fault_rate =
+      config.double_or("faults.tile_fault_rate", faults.tile_fault_rate);
+  faults.transient_link_rate = config.double_or("faults.transient_link_rate",
+                                                faults.transient_link_rate);
+  faults.transient_duration_cycles = static_cast<std::uint64_t>(
+      config.int_or("faults.transient_duration_cycles",
+                    static_cast<std::int64_t>(
+                        faults.transient_duration_cycles)));
+  faults.flit_drop_probability = config.double_or(
+      "faults.flit_drop_probability", faults.flit_drop_probability);
+  faults.horizon_cycles = static_cast<std::uint64_t>(
+      config.int_or("faults.horizon_cycles",
+                    static_cast<std::int64_t>(faults.horizon_cycles)));
+
   // -- energy (single source of truth: the NoC config's model, which the
   //    cost model and simulators all reference)
   flow.noc.energy = hw::EnergyModel::from_config(config);
@@ -158,6 +180,14 @@ cosim::CoSimConfig cosim_from_config(const util::Config& config,
       config.double_or("dvfs.high_utilization", base.dvfs.high_utilization);
   base.dvfs.slack_fraction =
       config.double_or("dvfs.slack_fraction", base.dvfs.slack_fraction);
+  // -- AER retry protocol
+  base.retry.enabled = config.bool_or("retry.enabled", base.retry.enabled);
+  base.retry.max_retries = static_cast<std::uint32_t>(
+      config.int_or("retry.max_retries", base.retry.max_retries));
+  base.retry.backoff_windows = static_cast<std::uint32_t>(
+      config.int_or("retry.backoff_windows", base.retry.backoff_windows));
+  base.retry.timeout_windows = static_cast<std::uint32_t>(
+      config.int_or("retry.timeout_windows", base.retry.timeout_windows));
   return base;
 }
 
@@ -176,6 +206,12 @@ void cosim_to_config(const cosim::CoSimConfig& cosim, util::Config& config) {
              std::to_string(cosim.dvfs.high_utilization));
   config.set("dvfs.slack_fraction",
              std::to_string(cosim.dvfs.slack_fraction));
+  config.set("retry.enabled", cosim.retry.enabled ? "true" : "false");
+  config.set("retry.max_retries", std::to_string(cosim.retry.max_retries));
+  config.set("retry.backoff_windows",
+             std::to_string(cosim.retry.backoff_windows));
+  config.set("retry.timeout_windows",
+             std::to_string(cosim.retry.timeout_windows));
 }
 
 void mapping_flow_to_config(const MappingFlowConfig& flow,
@@ -204,6 +240,23 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
              flow.noc.collect_delivered ? "true" : "false");
   config.set("noc.offchip_link_latency",
              std::to_string(flow.noc.offchip_link_latency));
+
+  const noc::FaultConfig& faults = flow.noc.faults;
+  config.set("faults.seed", std::to_string(faults.seed));
+  config.set("faults.link_fault_rate",
+             std::to_string(faults.link_fault_rate));
+  config.set("faults.router_fault_rate",
+             std::to_string(faults.router_fault_rate));
+  config.set("faults.tile_fault_rate",
+             std::to_string(faults.tile_fault_rate));
+  config.set("faults.transient_link_rate",
+             std::to_string(faults.transient_link_rate));
+  config.set("faults.transient_duration_cycles",
+             std::to_string(faults.transient_duration_cycles));
+  config.set("faults.flit_drop_probability",
+             std::to_string(faults.flit_drop_probability));
+  config.set("faults.horizon_cycles",
+             std::to_string(faults.horizon_cycles));
 
   flow.noc.energy.to_config(config);
 

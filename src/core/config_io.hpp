@@ -51,6 +51,25 @@
 //     low_utilization: 0.25
 //     high_utilization: 0.75
 //     slack_fraction: 0.5
+//
+// Fault injection binds under `faults:` (into the flow's NoC config; the
+// all-zero defaults keep the model inert) and the AER retry protocol under
+// `retry:` (into the co-sim config):
+//
+//   faults:
+//     seed: 0
+//     link_fault_rate: 0.0        # per-link permanent-failure probability
+//     router_fault_rate: 0.0
+//     tile_fault_rate: 0.0
+//     transient_link_rate: 0.0
+//     transient_duration_cycles: 1000
+//     flit_drop_probability: 0.0  # per link traversal, in [0, 1)
+//     horizon_cycles: 0           # 0 = co-sim auto-fills its timeline
+//   retry:
+//     enabled: false
+//     max_retries: 3
+//     backoff_windows: 1          # doubles per attempt
+//     timeout_windows: 8
 #pragma once
 
 #include <string>

@@ -40,7 +40,9 @@ RemapEpochReport RuntimeRemapper::observe_phase(
     for (std::uint32_t i = 0; i < n; ++i) {
       const CrossbarId from = inc.crossbar_of(i);
       for (CrossbarId k = 0; k < c; ++k) {
-        if (k == from || inc.occupancy()[k] >= cap) continue;
+        if (k == from || crossbar_dead(k) || inc.occupancy()[k] >= cap) {
+          continue;
+        }
         const std::int64_t d = inc.move_delta(i, k);
         if (d < best_delta) {
           best_delta = d;
@@ -63,6 +65,9 @@ RemapEpochReport RuntimeRemapper::observe_phase(
         const CrossbarId ca = inc.crossbar_of(a);
         const CrossbarId cb = inc.crossbar_of(b);
         if (ca == cb) continue;
+        // Never swap a neuron onto a failed crossbar (stranded neurons sit
+        // on dead hardware; swapping a live partner in would silence it).
+        if (crossbar_dead(ca) || crossbar_dead(cb)) continue;
         const std::int64_t d1 = inc.move_delta(a, cb);
         inc.apply_move(a, cb);
         const std::int64_t d2 = inc.move_delta(b, ca);
@@ -106,6 +111,65 @@ RemapEpochReport RuntimeRemapper::observe_phase(
   util::log_info("remap epoch ", epochs_, ": ", report.cost_before, " -> ",
                  report.cost_after, " packets with ", report.migrations,
                  " migrations");
+  return report;
+}
+
+EvacuationReport RuntimeRemapper::evacuate(
+    const std::vector<CrossbarId>& dead, const snn::SnnGraph& traffic_graph) {
+  if (traffic_graph.neuron_count() != partition_.neuron_count()) {
+    throw std::invalid_argument(
+        "RuntimeRemapper: evacuation traffic graph neuron count mismatch");
+  }
+  if (dead_.empty()) dead_.assign(arch_.crossbar_count, 0);
+  for (const CrossbarId k : dead) {
+    if (k >= arch_.crossbar_count) {
+      throw std::invalid_argument(
+          "RuntimeRemapper: dead crossbar id out of range");
+    }
+    dead_[k] = 1;
+  }
+
+  EvacuationReport report;
+  IncrementalAerCost inc(traffic_graph, partition_.assignment(),
+                         arch_.crossbar_count);
+  report.cost_before = inc.cost();
+
+  const std::uint32_t n = traffic_graph.neuron_count();
+  const std::uint32_t c = arch_.crossbar_count;
+  const std::uint32_t cap = arch_.neurons_per_crossbar;
+
+  // Ascending neuron order keeps evacuation deterministic; each neuron takes
+  // the live crossbar with capacity that minimizes the traffic cost (forced:
+  // the best non-negative delta still beats staying on dead hardware).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!crossbar_dead(inc.crossbar_of(i))) continue;
+    CrossbarId best_to = kUnassigned;
+    std::int64_t best_delta = 0;
+    for (CrossbarId k = 0; k < c; ++k) {
+      if (dead_[k] != 0 || inc.occupancy()[k] >= cap) continue;
+      const std::int64_t d = inc.move_delta(i, k);
+      if (best_to == kUnassigned || d < best_delta) {
+        best_delta = d;
+        best_to = k;
+      }
+    }
+    if (best_to == kUnassigned) {
+      ++report.stranded;  // no live capacity anywhere; spikes will be lost
+      continue;
+    }
+    inc.apply_move(i, best_to);
+    ++report.evacuated;
+  }
+  report.cost_after = inc.cost();
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    partition_.assign(i, inc.crossbar_of(i));
+  }
+  partition_.validate(arch_);
+  total_migrations_ += report.evacuated;
+  util::log_info("remap evacuation: ", report.evacuated, " neurons moved, ",
+                 report.stranded, " stranded; ", report.cost_before, " -> ",
+                 report.cost_after, " packets");
   return report;
 }
 

@@ -47,6 +47,16 @@ struct RemapEpochReport {
   }
 };
 
+/// Result of evacuating the neurons of failed crossbars (fault path).
+struct EvacuationReport {
+  std::uint32_t evacuated = 0;  ///< neurons migrated off dead crossbars
+  std::uint32_t stranded = 0;   ///< neurons with no live crossbar capacity
+  std::uint64_t cost_before = 0;  ///< AER packets before evacuation
+  std::uint64_t cost_after = 0;   ///< after (includes knock-on traffic shift)
+
+  bool complete() const noexcept { return stranded == 0; }
+};
+
 /// Stateful remapper: owns the current partition across phases.
 class RuntimeRemapper {
  public:
@@ -55,12 +65,29 @@ class RuntimeRemapper {
                   RemapConfig config);
 
   /// Observes the traffic of a new phase (same neuron count/topology family;
-  /// only spike annotations matter) and migrates within budget.
+  /// only spike annotations matter) and migrates within budget.  Crossbars
+  /// previously declared dead via evacuate() are never chosen as targets.
   RemapEpochReport observe_phase(const snn::SnnGraph& phase_graph);
+
+  /// Declares `dead` crossbars permanently failed and migrates every neuron
+  /// currently mapped onto one of them to the live crossbar (with spare
+  /// capacity) that minimizes the AER-packet cost of `traffic_graph`.
+  /// Evacuation is *forced*: unlike observe_phase it ignores the migration
+  /// budget and min_relative_gain (a neuron on a dead crossbar is silent
+  /// hardware; any live home beats none).  Neurons that fit nowhere are
+  /// reported stranded and keep their (dead) assignment so the partition
+  /// stays structurally valid; callers account their spikes as lost.
+  /// Dead crossbars accumulate across calls.
+  EvacuationReport evacuate(const std::vector<CrossbarId>& dead,
+                            const snn::SnnGraph& traffic_graph);
 
   const Partition& partition() const noexcept { return partition_; }
   std::uint64_t total_migrations() const noexcept { return total_migrations_; }
   std::uint32_t epochs_observed() const noexcept { return epochs_; }
+  /// True iff crossbar `k` has been declared dead by a prior evacuate().
+  bool crossbar_dead(CrossbarId k) const noexcept {
+    return k < dead_.size() && dead_[k] != 0;
+  }
 
  private:
   hw::Architecture arch_;
@@ -69,6 +96,7 @@ class RuntimeRemapper {
   util::Rng rng_;
   std::uint64_t total_migrations_ = 0;
   std::uint32_t epochs_ = 0;
+  std::vector<char> dead_;  ///< per-crossbar dead flag (empty = none dead)
 };
 
 }  // namespace snnmap::core

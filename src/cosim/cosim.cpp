@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 
@@ -35,6 +38,21 @@ CoSimConfig with_lockstep_noc(CoSimConfig config) {
     if (span <= noc::kNoCycleLimit / cpt) {
       config.noc.max_cycles =
           std::max<std::uint64_t>(config.noc.max_cycles, span * cpt);
+    }
+  }
+  // Rate-based fault sampling needs a horizon; in lockstep mode the natural
+  // one is the run's own virtual timeline.  Auto-fill only when the user
+  // set rates but no horizon (an explicit horizon is respected, and a
+  // zero-rate config stays untouched).  NaN/negative rates compare false
+  // here and reach FaultConfig::validate() unchanged.
+  noc::FaultConfig& faults = config.noc.faults;
+  const bool rated =
+      faults.link_fault_rate > 0.0 || faults.router_fault_rate > 0.0 ||
+      faults.tile_fault_rate > 0.0 || faults.transient_link_rate > 0.0;
+  if (cpt != 0 && rated && faults.horizon_cycles == 0) {
+    const std::uint64_t span = snn::simulation_step_count(config.snn) + 2;
+    if (span <= noc::kNoCycleLimit / cpt) {
+      faults.horizon_cycles = span * cpt;
     }
   }
   return config;
@@ -70,8 +88,11 @@ CoSimulator::CoSimulator(snn::Network& network,
                          const core::Placement& placement,
                          noc::Topology topology, CoSimConfig config)
     : config_(with_lockstep_noc(std::move(config))),
+      network_(&network),
       sim_(network, config_.snn),
-      noc_(std::move(topology), config_.noc) {
+      noc_(std::move(topology), config_.noc),
+      partition_(partition),
+      placement_(placement) {
   if (config_.cycles_per_timestep == 0) {
     throw std::invalid_argument(
         "CoSimulator: cycles_per_timestep must be >= 1 (a zero-cycle window "
@@ -106,6 +127,28 @@ CoSimulator::CoSimulator(snn::Network& network,
     throw std::invalid_argument(
         "CoSimulator: dvfs.slack_fraction must be in [0, 1]");
   }
+  // Retry protocol sanity: an enabled protocol with a zero retry budget,
+  // zero backoff, or zero timeout is a misconfiguration, not a policy.
+  const AerRetryConfig& retry = config_.retry;
+  if (retry.enabled) {
+    if (retry.max_retries == 0) {
+      throw std::invalid_argument(
+          "CoSimulator: retry.max_retries must be >= 1 when the retry "
+          "protocol is enabled (use enabled = false to disable retries)");
+    }
+    if (retry.backoff_windows == 0) {
+      throw std::invalid_argument(
+          "CoSimulator: retry.backoff_windows must be >= 1 when the retry "
+          "protocol is enabled (a zero backoff would retransmit inside the "
+          "window the copy is still in flight in)");
+    }
+    if (retry.timeout_windows == 0) {
+      throw std::invalid_argument(
+          "CoSimulator: retry.timeout_windows must be >= 1 when the retry "
+          "protocol is enabled (a zero timeout loses every late copy "
+          "before its first retry)");
+    }
+  }
   const std::uint32_t n = network.neuron_count();
   if (partition.neuron_count() != n) {
     throw std::invalid_argument(
@@ -133,12 +176,37 @@ CoSimulator::CoSimulator(snn::Network& network,
     tile_used[tile] = 1;
   }
 
+  // Remap-on-failure machinery: the remapper is constructed eagerly so a
+  // partition/architecture mismatch fails at construction (not mid-run, at
+  // the first fault), and the network's edge list is cached once for the
+  // observed-traffic graphs each evacuation builds.
+  if (config_.failure_remap.enabled) {
+    remapper_.emplace(config_.failure_remap.arch, partition_,
+                      config_.failure_remap.remap);
+    tile_crossbar_.assign(noc_.topology().tile_count(), core::kUnassigned);
+    for (core::CrossbarId k = 0;
+         k < static_cast<core::CrossbarId>(placement_.size()); ++k) {
+      tile_crossbar_[placement_[k]] = k;
+    }
+    graph_edges_.reserve(network.synapses().size());
+    for (const snn::Synapse& syn : network.synapses()) {
+      graph_edges_.push_back({syn.pre, syn.post, syn.weight});
+    }
+  }
+
+  rebuild_mapping();  // throws on live-STDP plastic cuts
+
+  steps_ = snn::simulation_step_count(config_.snn);
+}
+
+void CoSimulator::rebuild_mapping() {
   // Cut mask + per-neuron transport tables, all in the Network's fan-out
   // order so flush verdicts align with the engine's enumeration.
-  const auto& part = partition.assignment();
-  const auto& synapses = network.synapses();
-  const auto& offsets = network.fanout_offsets();
-  const auto& order = network.fanout_synapses();
+  const std::uint32_t n = network_->neuron_count();
+  const auto& part = partition_.assignment();
+  const auto& synapses = network_->synapses();
+  const auto& offsets = network_->fanout_offsets();
+  const auto& order = network_->fanout_synapses();
   std::vector<std::uint8_t> cut(synapses.size(), 0);
   for (std::size_t s = 0; s < synapses.size(); ++s) {
     cut[s] = part[synapses[s].pre] != part[synapses[s].post] ? 1 : 0;
@@ -146,8 +214,13 @@ CoSimulator::CoSimulator(snn::Network& network,
 
   source_tile_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    source_tile_[i] = placement[part[i]];
+    source_tile_[i] = placement_[part[i]];
   }
+  remote_tile_.clear();
+  remote_post_.clear();
+  remote_weight_.clear();
+  remote_delay_.clear();
+  dest_tiles_.clear();
   remote_offsets_.assign(n + 1, 0);
   dest_offsets_.assign(n + 1, 0);
   std::vector<noc::TileId> tiles_scratch;
@@ -156,7 +229,7 @@ CoSimulator::CoSimulator(snn::Network& network,
     for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
       const snn::Synapse& syn = synapses[order[k]];
       if (!cut[order[k]]) continue;
-      const noc::TileId tile = placement[part[syn.post]];
+      const noc::TileId tile = placement_[part[syn.post]];
       remote_tile_.push_back(tile);
       remote_post_.push_back(syn.post);
       remote_weight_.push_back(syn.weight);
@@ -174,9 +247,7 @@ CoSimulator::CoSimulator(snn::Network& network,
     dest_offsets_[i + 1] = static_cast<std::uint32_t>(dest_tiles_.size());
   }
 
-  sim_.cut_remote_synapses(cut);  // throws on live-STDP plastic cuts
-
-  steps_ = snn::simulation_step_count(config_.snn);
+  sim_.cut_remote_synapses(cut);
 }
 
 CoSimResult CoSimulator::run() {
@@ -213,6 +284,26 @@ CoSimResult CoSimulator::run() {
   std::vector<snn::Simulator::RemoteVerdict> verdicts;
   std::vector<noc::SpikePacketEvent> window_traffic;
   bool warned_halt = false;
+
+  // AER retry state.  The pending map is keyed (source neuron, emission
+  // step, destination tile) — exactly what a delivered copy carries, since
+  // retransmits travel with their *original* emission step — and std::map's
+  // sorted iteration keeps the retransmit schedule deterministic.  Expired
+  // keys park in `expired` so a copy limping in after the source gave up is
+  // recognized as stale rather than misread as a duplicate.
+  ResilienceReport& resil = out.resilience;
+  const AerRetryConfig& retry = config_.retry;
+  const bool retry_on = retry.enabled;
+  const bool remap_on = config_.failure_remap.enabled;
+  struct RetryState {
+    std::uint32_t attempts = 0;
+    std::uint64_t next_retry = 0;  // step index of the next retransmit
+    std::uint64_t expire = 0;      // step index the entry times out at
+  };
+  using RetryKey = std::tuple<snn::NeuronId, std::uint64_t, noc::TileId>;
+  std::map<RetryKey, RetryState> pending;
+  std::set<RetryKey> expired;
+  std::vector<noc::SpikePacketEvent> retrans_traffic;
 
   // DVFS state: the scale the next window will run at, stepped from the
   // previous window's observations (deterministic, so batch fan-out stays
@@ -356,15 +447,36 @@ CoSimResult CoSimulator::run() {
       } else {
         ++fid.deadline_misses;
         ++fid.per_step_misses[d.emit_step];
-        // Late arrival: apply this packet's fan-out records on the
-        // destination crossbar with local synaptic timing from *now*.
-        const std::uint32_t rb = remote_offsets_[d.source_neuron];
-        const std::uint32_t re = remote_offsets_[d.source_neuron + 1];
-        for (std::uint32_t r = rb; r < re; ++r) {
-          if (remote_tile_[r] != d.dest_tile) continue;
-          sim_.inject_remote(remote_post_[r],
-                             static_cast<double>(remote_weight_[r]),
-                             remote_delay_[r]);
+        bool apply = true;
+        if (retry_on) {
+          // First arrival of a (spike, destination) pair settles its retry
+          // entry; anything after that is a duplicate (both the original
+          // and a retransmit made it) or stale (the source already gave up
+          // and the loss was accounted) and must not be applied twice.
+          const RetryKey key{d.source_neuron, d.emit_step, d.dest_tile};
+          const auto it = pending.find(key);
+          if (it != pending.end()) {
+            if (it->second.attempts > 0) ++resil.retry_recoveries;
+            pending.erase(it);
+          } else if (expired.erase(key) != 0) {
+            ++resil.stale_arrivals;
+            apply = false;
+          } else {
+            ++resil.duplicate_arrivals;
+            apply = false;
+          }
+        }
+        if (apply) {
+          // Late arrival: apply this packet's fan-out records on the
+          // destination crossbar with local synaptic timing from *now*.
+          const std::uint32_t rb = remote_offsets_[d.source_neuron];
+          const std::uint32_t re = remote_offsets_[d.source_neuron + 1];
+          for (std::uint32_t r = rb; r < re; ++r) {
+            if (remote_tile_[r] != d.dest_tile) continue;
+            sim_.inject_remote(remote_post_[r],
+                               static_cast<double>(remote_weight_[r]),
+                               remote_delay_[r]);
+          }
         }
       }
     }
@@ -391,9 +503,104 @@ CoSimResult CoSimulator::run() {
     prev_pressure =
         fid.deadline_misses + fid.receive_drops > pressure_before ||
         !noc_.idle();
+
+    // 7. Retry bookkeeping: open an entry per copy of step t that failed
+    //    to land in-window, then sweep the whole book — expiries first
+    //    (the delivery is abandoned and the loss accounted), then due
+    //    retransmits, coalesced per (source, emission step) into one
+    //    multicast packet entering the fabric at the next window.
+    if (retry_on) {
+      for (const snn::NeuronId i : spikes) {
+        const std::uint32_t db = dest_offsets_[i];
+        const std::uint32_t de = dest_offsets_[i + 1];
+        for (std::uint32_t k = db; k < de; ++k) {
+          const noc::TileId tile = dest_tiles_[k];
+          if (in_window.count(key_of(i, tile)) != 0) continue;
+          pending.emplace(
+              RetryKey{i, t, tile},
+              RetryState{0, t + retry.backoff_windows,
+                         t + retry.timeout_windows});
+        }
+      }
+      if (!pending.empty()) {
+        retrans_traffic.clear();
+        for (auto it = pending.begin(); it != pending.end();) {
+          const RetryKey& key = it->first;
+          RetryState& st = it->second;
+          if (t >= st.expire) {
+            ++resil.spikes_lost_timeout;
+            expired.insert(key);
+            it = pending.erase(it);
+            continue;
+          }
+          if (t >= st.next_retry && st.attempts < retry.max_retries) {
+            const snn::NeuronId src = std::get<0>(key);
+            const std::uint64_t estep = std::get<1>(key);
+            if (retrans_traffic.empty() ||
+                retrans_traffic.back().source_neuron != src ||
+                retrans_traffic.back().emit_step != estep) {
+              noc::SpikePacketEvent ev;
+              ev.source_neuron = src;
+              ev.source_tile = source_tile_[src];
+              ev.emit_step = estep;  // original step: always the late path
+              ev.emit_cycle = window_end;
+              retrans_traffic.push_back(std::move(ev));
+              ++resil.retransmit_packets;
+              ++fid.packets_offered;
+              resil.retransmit_energy_pj +=
+                  config_.noc.energy.retransmit_pj;
+            }
+            retrans_traffic.back().dest_tiles.push_back(std::get<2>(key));
+            ++resil.retransmit_copies;
+            ++fid.copies_offered;
+            ++st.attempts;
+            st.next_retry =
+                t + (static_cast<std::uint64_t>(retry.backoff_windows)
+                     << std::min<std::uint32_t>(st.attempts, 20U));
+          }
+          ++it;
+        }
+        if (!retrans_traffic.empty()) {
+          noc_.enqueue(std::move(retrans_traffic));
+          retrans_traffic.clear();
+        }
+      }
+    }
+
+    // 8. Remap-on-failure: a tile (crossbar) that died this window gets
+    //    its neurons evacuated onto live crossbars, scored against the
+    //    traffic observed so far, and the transport tables + engine cut
+    //    mask rebuilt — all between closed steps, so determinism holds.
+    if (remap_on) {
+      const std::vector<noc::TileId> dead = noc_.take_dead_tiles();
+      if (!dead.empty()) {
+        std::vector<core::CrossbarId> dead_xbars;
+        for (const noc::TileId tile : dead) {
+          const core::CrossbarId k = tile_crossbar_[tile];
+          if (k != core::kUnassigned && !remapper_->crossbar_dead(k)) {
+            dead_xbars.push_back(k);
+          }
+        }
+        if (!dead_xbars.empty()) {
+          const snn::SnnGraph observed = snn::SnnGraph::from_parts(
+              static_cast<std::uint32_t>(source_tile_.size()), graph_edges_,
+              sim_.spikes(), sim_.now_ms());
+          const core::EvacuationReport rep =
+              remapper_->evacuate(dead_xbars, observed);
+          ++resil.remap_events;
+          resil.neurons_migrated += rep.evacuated;
+          // evacuate() rescans every neuron still on dead hardware, so its
+          // stranded count is the *current* stranded population, not a delta.
+          resil.neurons_stranded = rep.stranded;
+          partition_ = remapper_->partition();
+          rebuild_mapping();
+        }
+      }
+    }
     window_start = window_end;
   }
 
+  resil.pending_at_end = pending.size();
   out.snn = sim_.result();
   fid.total_spikes = out.snn.total_spikes;
   fid.undelivered = fid.copies_offered - fid.copies_arrived;
@@ -407,6 +614,7 @@ CoSimResult CoSimulator::run() {
       0.0, max_window_energy > 0.0 ? max_window_energy : 1.0, 32);
   for (const double e : fid.per_step_energy_pj) fid.energy_hist.add(e);
   out.noc = noc_.finish().stats;
+  resil.noc_faults = out.noc.fault;
   return out;
 }
 

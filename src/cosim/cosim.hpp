@@ -37,12 +37,16 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/partition.hpp"
 #include "core/placement.hpp"
+#include "core/runtime_remap.hpp"
 #include "cosim/fidelity.hpp"
+#include "hw/architecture.hpp"
 #include "noc/simulator.hpp"
+#include "snn/graph.hpp"
 #include "snn/network.hpp"
 #include "snn/simulator.hpp"
 
@@ -91,6 +95,45 @@ struct DvfsPolicy {
   double slack_fraction = 0.5;
 };
 
+/// AER-boundary retry protocol: the source crossbar keeps a bounded retry
+/// entry per (packet, destination) copy that failed to land within its
+/// emission window, retransmits with exponential backoff, and abandons the
+/// delivery after a timeout (the lost synaptic events are accounted in
+/// ResilienceReport::spikes_lost_timeout).  Retransmits re-enter the fabric
+/// as fresh packets carrying the *original* emission step, so an arrival is
+/// always matched back to the spike it carries; the receiver discards
+/// duplicates (original + retry both arriving) and stale copies (arriving
+/// after the source gave up).  Disabled by default — the PR 5 lockstep
+/// behavior is bit-identical when `enabled` is false.
+struct AerRetryConfig {
+  bool enabled = false;
+  /// Retransmits attempted per (packet, destination) copy; >= 1 when
+  /// enabled (a retry protocol that never retries is a misconfiguration).
+  std::uint32_t max_retries = 3;
+  /// Windows before the first retransmit; doubles per attempt
+  /// (backoff, 2*backoff, 4*backoff, ...).  Must be >= 1 when enabled.
+  std::uint32_t backoff_windows = 1;
+  /// Windows a retry entry stays open before the delivery is declared
+  /// lost.  Must be >= 1 when enabled.
+  std::uint32_t timeout_windows = 8;
+};
+
+/// Remap-on-failure graceful degradation: when a tile (crossbar) dies
+/// mid-run — a scheduled/rated router or tile fault — the co-simulator
+/// evacuates the dead crossbar's neurons through core::RuntimeRemapper
+/// (forced migration onto live crossbars, chosen by observed-traffic AER
+/// cost), rebuilds the transport tables, and re-cuts the SNN engine, all
+/// between lockstep steps.  Disabled by default.
+struct FailureRemapPolicy {
+  bool enabled = false;
+  /// Crossbar capacity model the evacuation migrates within (crossbar
+  /// count and neurons_per_crossbar must cover the mapped partition).
+  hw::Architecture arch;
+  /// Remapper tuning; evacuation itself ignores the migration budget
+  /// (forced moves), but the seed feeds the remapper's RNG stream.
+  core::RemapConfig remap;
+};
+
 struct CoSimConfig {
   /// SNN step engine settings (dt, duration, seed, synapse model, STDP).
   snn::SimulationConfig snn;
@@ -117,12 +160,17 @@ struct CoSimConfig {
   std::uint32_t injection_jitter_cycles = 0;
   /// Per-window fabric frequency scaling (fixed = the PR 4 behavior).
   DvfsPolicy dvfs;
+  /// AER-boundary retry protocol (off = PR 5 behavior, bit for bit).
+  AerRetryConfig retry;
+  /// Mid-run evacuation of failed crossbars (off = PR 5 behavior).
+  FailureRemapPolicy failure_remap;
 };
 
 /// Everything one closed-loop run produces.
 struct CoSimResult {
   snn::SimulationResult snn;  ///< spike trains under congested delivery
   FidelityReport fidelity;
+  ResilienceReport resilience;  ///< fault / retry / remap accounting
   noc::NocStats noc;          ///< conventional interconnect statistics
 };
 
@@ -157,11 +205,24 @@ class CoSimulator {
   std::uint64_t total_steps() const noexcept { return steps_; }
 
  private:
+  /// (Re)derives every transport table from `partition_` + `placement_`
+  /// and re-cuts the SNN engine.  Called once at construction and again
+  /// after each mid-run evacuation (legal between closed steps only).
+  void rebuild_mapping();
+
   CoSimConfig config_;
+  snn::Network* network_;  // outlives the co-simulator (ctor contract)
   snn::Simulator sim_;
   noc::NocSimulator noc_;
   std::uint64_t steps_ = 0;
   bool ran_ = false;
+
+  // Live mapping (mutated by remap-on-failure) + remap machinery.
+  core::Partition partition_;
+  core::Placement placement_;
+  std::vector<core::CrossbarId> tile_crossbar_;  // tile -> crossbar or -1
+  std::vector<snn::GraphEdge> graph_edges_;      // cached for remap traffic
+  std::optional<core::RuntimeRemapper> remapper_;
 
   // Per-neuron mapping tables, all in the Network's fan-out (CSR) order so
   // the verdict stream aligns with the engine's cut-record enumeration.

@@ -69,6 +69,55 @@ struct FidelityReport {
   }
 };
 
+/// Fault-tolerance accounting of one closed-loop run: what the fault model
+/// injected, what the AER retry protocol recovered, and what the
+/// remap-on-failure policy migrated.  All-zero (any() == false) when the
+/// run had no faults, no retry protocol, and no remap policy.
+///
+/// Retransmitted traffic is *also* counted into FidelityReport's
+/// packets_offered / copies_offered (a retry is real transport work), so
+/// `undelivered = copies_offered - copies_arrived` stays a non-negative
+/// invariant; retransmit_packets / retransmit_copies record how much of the
+/// offered volume was retries.
+struct ResilienceReport {
+  noc::FaultStats noc_faults;  ///< fabric-level fault accounting (copy)
+
+  // --- AER-boundary retry protocol ---------------------------------------
+  std::uint64_t retransmit_packets = 0;  ///< retry packets re-injected
+  std::uint64_t retransmit_copies = 0;   ///< destination copies across them
+  /// (packet, destination) pairs that arrived only after >= 1 retransmit.
+  std::uint64_t retry_recoveries = 0;
+  /// Pending (packet, destination) pairs abandoned after timeout_windows —
+  /// these synaptic deliveries are lost for good and the SNN dynamics
+  /// diverge accordingly.
+  std::uint64_t spikes_lost_timeout = 0;
+  /// Copies that arrived after their retry entry had already timed out
+  /// (discarded by the receiver's staleness window, not applied).
+  std::uint64_t stale_arrivals = 0;
+  /// Copies that arrived for an already-satisfied (packet, destination)
+  /// pair — the original and a retransmit both made it (not applied twice).
+  std::uint64_t duplicate_arrivals = 0;
+  std::uint64_t pending_at_end = 0;  ///< retry entries still open at run end
+  /// Source-side retry energy (hw::EnergyModel::retransmit_pj per
+  /// retransmitted packet), separate from the fabric energy the retried
+  /// copies accrue in flight.
+  double retransmit_energy_pj = 0.0;
+
+  // --- remap-on-failure graceful degradation -----------------------------
+  std::uint32_t remap_events = 0;      ///< windows that triggered evacuation
+  std::uint32_t neurons_migrated = 0;  ///< moved off dead crossbars (total)
+  /// Neurons still on dead hardware after the *last* remap event (a state,
+  /// not a per-event sum: each evacuation retries earlier strandings).
+  std::uint32_t neurons_stranded = 0;
+
+  bool any() const noexcept {
+    return noc_faults.any() || retransmit_packets != 0 ||
+           spikes_lost_timeout != 0 || stale_arrivals != 0 ||
+           duplicate_arrivals != 0 || pending_at_end != 0 ||
+           remap_events != 0;
+  }
+};
+
 /// Exact spike-train divergence between two runs of the same network:
 /// multiset intersection of (neuron, spike time) events.  Spike times are
 /// step-grid multiples of dt, so exact double comparison is meaningful.

@@ -22,6 +22,7 @@ void EnergyModel::validate() const {
   check_pj("offchip_link_hop_pj", offchip_link_hop_pj);
   check_pj("router_flit_pj", router_flit_pj);
   check_pj("aer_codec_pj", aer_codec_pj);
+  check_pj("retransmit_pj", retransmit_pj);
 }
 
 EnergyModel EnergyModel::from_config(const util::Config& config) {
@@ -34,6 +35,8 @@ EnergyModel EnergyModel::from_config(const util::Config& config) {
   m.router_flit_pj =
       config.double_or("energy.router_flit_pj", m.router_flit_pj);
   m.aer_codec_pj = config.double_or("energy.aer_codec_pj", m.aer_codec_pj);
+  m.retransmit_pj =
+      config.double_or("energy.retransmit_pj", m.retransmit_pj);
   m.validate();
   return m;
 }
@@ -45,6 +48,7 @@ void EnergyModel::to_config(util::Config& config) const {
              std::to_string(offchip_link_hop_pj));
   config.set("energy.router_flit_pj", std::to_string(router_flit_pj));
   config.set("energy.aer_codec_pj", std::to_string(aer_codec_pj));
+  config.set("energy.retransmit_pj", std::to_string(retransmit_pj));
 }
 
 }  // namespace snnmap::hw

@@ -37,6 +37,11 @@ struct EnergyModel {
   /// Energy to encode one spike into an AER packet at the source crossbar
   /// and decode it at the destination, in pJ (paid once per packet copy).
   double aer_codec_pj = 1.8;
+  /// Energy to queue, re-encode and re-issue one AER retransmission after a
+  /// delivery failure (NACK/timeout bookkeeping plus a fresh encode), in pJ.
+  /// Paid once per retransmitted packet, on top of whatever fabric energy
+  /// the retried copy itself accrues in flight.
+  double retransmit_pj = 3.6;
 
   /// CxQuad-like defaults (identical to the member initializers; spelled out
   /// so call sites can be explicit about the provenance of their numbers).
@@ -51,7 +56,7 @@ struct EnergyModel {
   /// Loads overrides from a parsed config; recognized keys are
   ///   energy.crossbar_event_pj, energy.link_hop_pj,
   ///   energy.offchip_link_hop_pj, energy.router_flit_pj,
-  ///   energy.aer_codec_pj
+  ///   energy.aer_codec_pj, energy.retransmit_pj
   /// Unknown keys are ignored (the file may also configure the NoC).
   /// The result is validate()d: NaN/inf/negative values throw.
   static EnergyModel from_config(const util::Config& config);

@@ -38,6 +38,42 @@ struct DeliveredSpike {
   std::uint64_t latency() const noexcept { return recv_cycle - emit_cycle; }
 };
 
+/// Fault-injection accounting of one run/session (all zero — and the fault
+/// branches never taken — when no FaultConfig is set; see noc/faults.hpp).
+struct FaultStats {
+  std::uint64_t link_faults = 0;       ///< bidirectional link-down transitions
+  std::uint64_t router_faults = 0;     ///< router-down transitions
+  std::uint64_t tile_faults = 0;       ///< direct tile-down transitions
+  std::uint64_t links_restored = 0;    ///< transient link recoveries
+  /// Flits forwarded through a non-primary port because the primary
+  /// candidate was fault-masked (the fault-aware reroute counter).
+  std::uint64_t reroutes = 0;
+  std::uint64_t flits_dropped = 0;   ///< flit copies lost on a lossy wire
+  std::uint64_t copies_dropped = 0;  ///< destination copies those flits held
+  /// Destination copies purged from a dying router's buffers.
+  std::uint64_t copies_killed = 0;
+  /// Destination copies abandoned because no live route exists (pruned at
+  /// injection, at a fault transition, or when a flit reaches a router
+  /// with every candidate port dead).
+  std::uint64_t copies_unroutable = 0;
+  /// Destination copies of packets whose *source* tile/router was dead at
+  /// injection time (the spike never entered the fabric).
+  std::uint64_t copies_blocked_at_source = 0;
+  /// Packet events that contributed no flit at all (dead source, or every
+  /// destination unroutable).
+  std::uint64_t packets_blocked = 0;
+
+  /// Destination copies the fabric lost to faults, by every mechanism.
+  std::uint64_t copies_lost() const noexcept {
+    return copies_dropped + copies_killed + copies_unroutable +
+           copies_blocked_at_source;
+  }
+  bool any() const noexcept {
+    return link_faults != 0 || router_faults != 0 || tile_faults != 0 ||
+           reroutes != 0 || flits_dropped != 0 || copies_lost() != 0;
+  }
+};
+
 /// Conventional interconnect statistics (latency/energy/throughput, Sec. II).
 struct NocStats {
   std::uint64_t packets_injected = 0;   ///< traffic events offered
@@ -56,6 +92,8 @@ struct NocStats {
   /// Flit traversals per directed link, keyed (from_router << 32) | to.
   /// Exposes hotspots; summarized by link_utilization_*() below.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> link_flits;
+  /// Fault-injection accounting (all zero on fault-free runs).
+  FaultStats fault;
 
   /// AER packets per millisecond observed at decoders.
   double throughput_aer_per_ms(std::uint32_t cycles_per_ms) const noexcept;

@@ -135,6 +135,21 @@ class Router {
   bool all_queues_empty() const noexcept { return buffered_ == 0; }
   std::size_t buffered_flits() const noexcept { return buffered_; }
 
+  /// Discards every buffered flit (all input FIFOs and the injection
+  /// queue).  Fault path only: a dying router's buffered traffic is lost —
+  /// the caller accounts the destination copies (via for_each_flit) before
+  /// clearing.
+  void clear_queues() noexcept {
+    for (std::uint32_t p = 0; p < port_count_; ++p) {
+      ring_head_[p] = 0;
+      ring_size_[p] = 0;
+    }
+    inject_.clear();
+    inject_head_ = 0;
+    occupied_ = 0;
+    buffered_ = 0;
+  }
+
   /// Invokes fn(Flit&) for every buffered flit (arena compaction hook).
   template <typename Fn>
   void for_each_flit(Fn&& fn) {

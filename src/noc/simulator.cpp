@@ -36,6 +36,7 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
         "never simulate any traffic)");
   }
   config_.energy.validate();  // NaN/inf/negative pJ would poison every stat
+  config_.faults.validate();  // degenerate rates / missing horizon throw here
   // Flat per-port geometry: for global port index port_base_[r] + o,
   // neighbor_ holds the adjacent router and reverse_port_ the input-port
   // index at that neighbor through which flits sent from r arrive.
@@ -122,6 +123,102 @@ void NocSimulator::begin() {
   win_offchip_link_hops_ = 0;
   win_router_traversals_ = 0;
   win_link_flits_.assign(port_base_[n], 0);
+  // Rebuild the fault timeline from scratch: the schedule is a pure
+  // function of (topology, config.faults), so every session replays the
+  // identical fault sequence.  Default config -> inert model, and no fault
+  // branch below is ever taken.
+  if (config_.faults.any()) {
+    fault_model_ = FaultModel(topology_, config_.faults);
+    faults_active_ = fault_model_.active();
+  } else {
+    faults_active_ = false;
+  }
+  dead_tiles_pending_.clear();
+}
+
+std::vector<TileId> NocSimulator::take_dead_tiles() {
+  std::vector<TileId> out;
+  out.swap(dead_tiles_pending_);
+  return out;
+}
+
+std::uint32_t NocSimulator::first_live_port(RouterId r, RouterId dst) const {
+  const Topology::RouteEntry e = topology_.route_entry(r, dst);
+  const std::uint32_t base = port_base_[r];
+  for (std::uint32_t c = 0; c < e.count; ++c) {
+    if (port_live(base + e.port[c])) return e.port[c];
+  }
+  PortId fallback[2];
+  const std::uint32_t n = topology_.fault_fallback_candidates(r, dst,
+                                                              fallback);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    if (port_live(base + fallback[c])) return fallback[c];
+  }
+  return kUnroutable;
+}
+
+void NocSimulator::purge_router(RouterId r) {
+  Router& router = routers_[r];
+  if (router.buffered_flits() != 0) {
+    std::size_t killed_flits = 0;
+    std::uint64_t killed_copies = 0;
+    router.for_each_flit([&](Flit& f) {
+      ++killed_flits;
+      killed_copies += f.dest_count;
+    });
+    stats_.fault.copies_killed += killed_copies;
+    arena_live_ -= killed_copies;
+    in_flight_ -= killed_flits;
+    router.clear_queues();
+  }
+  active_[r >> 6] &= ~(1ULL << (r & 63));
+}
+
+void NocSimulator::sweep_unroutable() {
+  // Re-prune every buffered flit against the new masks: destinations that
+  // died (tile or its router) or lost their last live candidate port from
+  // the flit's *current* router are abandoned here, so no flit can sit in
+  // a FIFO forever waiting for an output that will never be legal again.
+  const std::uint32_t n = topology_.router_count();
+  for (RouterId r = 0; r < n; ++r) {
+    Router& router = routers_[r];
+    if (router.buffered_flits() == 0) continue;
+    router.for_each_flit([&](Flit& f) {
+      if (f.dest_count == 0) return;
+      TileId* dests = arena_.data() + f.dest_begin;
+      std::uint32_t kept = 0;
+      for (std::uint32_t d = 0; d < f.dest_count; ++d) {
+        const TileId dest = dests[d];
+        const RouterId dst_router = tile_router_[dest];
+        const bool alive =
+            fault_model_.tile_live(dest) &&
+            fault_model_.router_live(dst_router) &&
+            (dst_router == r ||
+             first_live_port(r, dst_router) != kUnroutable);
+        if (alive) {
+          dests[kept++] = dest;
+        } else {
+          ++stats_.fault.copies_unroutable;
+          --arena_live_;
+        }
+      }
+      f.dest_count = kept;
+    });
+  }
+}
+
+void NocSimulator::apply_fault_transitions() {
+  if (fault_model_.next_transition_cycle() > now_) return;
+  FaultTransitions tr;
+  fault_model_.advance_to(now_, tr);
+  stats_.fault.link_faults += tr.link_downs;
+  stats_.fault.router_faults += tr.router_downs;
+  stats_.fault.tile_faults += tr.tile_downs;
+  stats_.fault.links_restored += tr.link_ups;
+  for (const RouterId r : tr.died_routers) purge_router(r);
+  dead_tiles_pending_.insert(dead_tiles_pending_.end(),
+                             tr.died_tiles.begin(), tr.died_tiles.end());
+  if (tr.changed) sweep_unroutable();
 }
 
 void NocSimulator::enqueue(std::vector<SpikePacketEvent> traffic) {
@@ -211,18 +308,52 @@ void NocSimulator::inject_due() {
       }
     }
     const RouterId src_router = tile_router_[ev.source_tile];
+    const TileId* dests = ev.dest_tiles.data();
+    auto dest_count = static_cast<std::uint32_t>(ev.dest_tiles.size());
+    if (faults_active_) {
+      // A dead source tile (or its router) never transmits: the spike is
+      // blocked at the encoder, not lost in the fabric.
+      if (!fault_model_.tile_live(ev.source_tile) ||
+          !fault_model_.router_live(src_router)) {
+        stats_.fault.copies_blocked_at_source += dest_count;
+        ++stats_.fault.packets_blocked;
+        ++next_event_;
+        continue;
+      }
+      // Destinations that are already dead or unreachable are pruned at
+      // the encoder so their copies never occupy fabric buffers.
+      live_dests_.clear();
+      for (std::uint32_t d = 0; d < dest_count; ++d) {
+        const RouterId dst_router = tile_router_[dests[d]];
+        const bool alive =
+            fault_model_.tile_live(dests[d]) &&
+            fault_model_.router_live(dst_router) &&
+            (dst_router == src_router ||
+             first_live_port(src_router, dst_router) != kUnroutable);
+        if (alive) {
+          live_dests_.push_back(dests[d]);
+        } else {
+          ++stats_.fault.copies_unroutable;
+        }
+      }
+      if (live_dests_.empty()) {
+        ++stats_.fault.packets_blocked;
+        ++next_event_;
+        continue;
+      }
+      dests = live_dests_.data();
+      dest_count = static_cast<std::uint32_t>(live_dests_.size());
+    }
     Router& src = routers_[src_router];
     ++stats_.packets_injected;
     if (config_.multicast) {
-      src.push(src.port_count(),
-               make_flit(ev, ev.dest_tiles.data(),
-                         static_cast<std::uint32_t>(ev.dest_tiles.size())));
+      src.push(src.port_count(), make_flit(ev, dests, dest_count));
       ++stats_.flits_injected;  // one AER encode per flit copy
       ++in_flight_;
     } else {
       // Source-replicated unicast: one independent copy per destination.
-      for (const TileId dest : ev.dest_tiles) {
-        src.push(src.port_count(), make_flit(ev, &dest, 1));
+      for (std::uint32_t d = 0; d < dest_count; ++d) {
+        src.push(src.port_count(), make_flit(ev, &dests[d], 1));
         ++stats_.flits_injected;
         ++in_flight_;
       }
@@ -329,8 +460,22 @@ void NocSimulator::simulate_cycle() {
           const auto charge_ejection = [&] {
             ++stats_.router_traversals;  // decode pairs with copies_delivered
           };
-          // Stages `copy` through this output and charges the hop.
+          // Stages `copy` through this output and charges the hop.  Under
+          // a lossy wire (FaultConfig::flit_drop_probability) the copy may
+          // vanish in transit: the wire energy is spent (link hop counted)
+          // but nothing arrives — no staging, no switch traversal at the
+          // far end.
           const auto forward = [&](Flit copy) {
+            if (faults_active_ && fault_model_.drop_probability() > 0.0 &&
+                fault_model_.draw_drop()) {
+              ++stats_.link_hops;
+              if (offchip) ++stats_.offchip_link_hops;
+              ++link_flits_[base + out];
+              ++stats_.fault.flits_dropped;
+              stats_.fault.copies_dropped += copy.dest_count;
+              arena_live_ -= copy.dest_count;
+              return;
+            }
             copy.ready_cycle =
                 now + 1 +
                 (offchip ? std::uint64_t{config_.offchip_link_latency} : 0);
@@ -361,30 +506,65 @@ void NocSimulator::simulate_cycle() {
               if (local) continue;
               const Topology::RouteEntry e =
                   topology_.route_entry(r, dst_router);
-              std::uint32_t chosen = e.port[0];
-              if (e.count > 1) {
-                // Selection strategy: pick among the turn model's legal
-                // candidates.
+              // Candidate set the selection strategy picks from: the turn
+              // model's ports verbatim on the fault-free path, the live
+              // subset (plus topology fault fallbacks when every primary
+              // candidate is masked) under active faults.
+              const std::uint8_t* cand = e.port;
+              std::uint32_t cand_count = e.count;
+              std::uint8_t live[5];
+              bool rerouted = false;
+              if (faults_active_) {
+                cand_count = 0;
+                for (std::uint32_t c = 0; c < e.count; ++c) {
+                  if (port_live(base + e.port[c])) {
+                    live[cand_count++] = e.port[c];
+                  }
+                }
+                if (cand_count == 0) {
+                  PortId fb[2];
+                  const std::uint32_t nf =
+                      topology_.fault_fallback_candidates(r, dst_router, fb);
+                  for (std::uint32_t c = 0; c < nf; ++c) {
+                    if (port_live(base + fb[c])) {
+                      live[cand_count++] = static_cast<std::uint8_t>(fb[c]);
+                    }
+                  }
+                }
+                if (cand_count == 0) {
+                  // Every road out is dead: the copy is abandoned here
+                  // (counted, never wedged) and the flit pops below.
+                  ++stats_.fault.copies_unroutable;
+                  --arena_live_;
+                  head.dest_count = 0;
+                  continue;
+                }
+                cand = live;
+                rerouted = !port_live(base + e.port[0]);
+              }
+              std::uint32_t chosen = cand[0];
+              if (cand_count > 1) {
+                // Selection strategy: pick among the legal candidates.
                 if (config_.selection ==
                     SelectionStrategy::kFirstCandidate) {
-                  for (std::uint32_t c = 0; c < e.count; ++c) {
-                    const std::uint32_t cand = base + e.port[c];
+                  for (std::uint32_t c = 0; c < cand_count; ++c) {
+                    const std::uint32_t g = base + cand[c];
                     const std::uint32_t cand_slot =
-                        port_base_[neighbor_[cand]] + reverse_port_[cand];
-                    if (routers_[neighbor_[cand]].can_accept(
-                            reverse_port_[cand], staged_count_[cand_slot])) {
-                      chosen = e.port[c];
+                        port_base_[neighbor_[g]] + reverse_port_[g];
+                    if (routers_[neighbor_[g]].can_accept(
+                            reverse_port_[g], staged_count_[cand_slot])) {
+                      chosen = cand[c];
                       break;
                     }
                   }
                 } else {  // kBufferLevel: most free downstream (ties: 1st)
                   std::size_t best_free = 0;
-                  for (std::uint32_t c = 0; c < e.count; ++c) {
-                    const std::uint32_t cand = base + e.port[c];
-                    const std::uint32_t cand_port = reverse_port_[cand];
+                  for (std::uint32_t c = 0; c < cand_count; ++c) {
+                    const std::uint32_t g = base + cand[c];
+                    const std::uint32_t cand_port = reverse_port_[g];
                     const std::size_t used =
-                        routers_[neighbor_[cand]].queue_size(cand_port) +
-                        staged_count_[port_base_[neighbor_[cand]] +
+                        routers_[neighbor_[g]].queue_size(cand_port) +
+                        staged_count_[port_base_[neighbor_[g]] +
                                       cand_port];
                     const std::size_t free =
                         used >= config_.buffer_depth
@@ -392,12 +572,13 @@ void NocSimulator::simulate_cycle() {
                             : config_.buffer_depth - used;
                     if (free > best_free) {
                       best_free = free;
-                      chosen = e.port[c];
+                      chosen = cand[c];
                     }
                   }
                 }
               }
               if (chosen != out) continue;
+              if (rerouted) ++stats_.fault.reroutes;
               forward(head);  // range ownership moves to the copy
             }
             head.dest_count = 0;
@@ -412,18 +593,53 @@ void NocSimulator::simulate_cycle() {
           // partition is a pure table scan.
           match_.clear();
           keep_.clear();
+          std::size_t dropped = 0;
+          std::uint64_t rerouted_dests = 0;
           const TileId* dests = arena_.data() + head.dest_begin;
           for (std::uint32_t d = 0; d < head.dest_count; ++d) {
             const TileId dest = dests[d];
             const RouterId dst_router = tile_router_[dest];
-            const bool served =
-                dst_router == r
-                    ? local
-                    : !local &&
-                          topology_.route_entry(r, dst_router).port[0] == out;
+            bool served;
+            if (dst_router == r) {
+              served = local;
+            } else if (local) {
+              served = false;
+            } else if (!faults_active_) {
+              served = topology_.route_entry(r, dst_router).port[0] == out;
+            } else {
+              // Fault-aware serve port: first live candidate (with
+              // topology fallback).  Unroutable dests leave the flit —
+              // counted once, here, never rescanned.
+              const std::uint32_t p = first_live_port(r, dst_router);
+              if (p == kUnroutable) {
+                ++dropped;
+                continue;
+              }
+              served = p == out;
+              if (served &&
+                  !port_live(base +
+                             topology_.route_entry(r, dst_router).port[0])) {
+                ++rerouted_dests;
+              }
+            }
             (served ? match_ : keep_).push_back(dest);
           }
-          if (match_.empty()) continue;
+          if (dropped != 0) {
+            stats_.fault.copies_unroutable += dropped;
+            arena_live_ -= dropped;
+          }
+          if (match_.empty()) {
+            if (dropped != 0) {
+              // Commit the shrunken dest set even though nothing was
+              // served through this port, so the dropped dests are not
+              // re-counted by the next output-port scan.
+              std::copy(keep_.begin(), keep_.end(),
+                        arena_.begin() + head.dest_begin);
+              head.dest_count = static_cast<std::uint32_t>(keep_.size());
+            }
+            continue;
+          }
+          stats_.fault.reroutes += rerouted_dests;
 
           if (local) {
             // Deliver every destination attached here (one tile per
@@ -433,7 +649,7 @@ void NocSimulator::simulate_cycle() {
             arena_live_ -= match_.size();
           } else {
             Flit copy = head;
-            if (keep_.empty()) {
+            if (keep_.empty() && dropped == 0) {
               // Whole set forwards through one port: transfer the range.
             } else {
               copy.dest_begin = static_cast<std::uint32_t>(arena_.size());
@@ -481,6 +697,10 @@ void NocSimulator::simulate_cycle() {
 std::uint64_t NocSimulator::run_until(std::uint64_t cycle_limit) {
   while (!halted_) {
     if (now_ >= cycle_limit) break;
+    // ---- 0. Apply fault-timeline transitions due at or before `now_`
+    // (before injection, so a tile that dies at cycle c never sources or
+    // sinks cycle-c traffic).
+    if (faults_active_) apply_fault_transitions();
     // ---- 1. Inject all packets emitted this cycle.
     inject_due();
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "hw/energy_model.hpp"
+#include "noc/faults.hpp"
 #include "noc/metrics.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
@@ -77,6 +78,10 @@ struct NocConfig {
   /// log-derived SnnMetrics stay zero).  Use for large traces where only
   /// the conventional metrics matter.
   bool collect_delivered = true;
+  /// Seeded fault injection (see noc/faults.hpp).  Default: inert — no
+  /// fault branch in the cycle loop is ever taken and every fault-free
+  /// golden stream is preserved bit for bit.
+  FaultConfig faults;
 };
 
 struct NocRunResult {
@@ -187,6 +192,13 @@ class NocSimulator {
   const Topology& topology() const noexcept { return topology_; }
   const NocConfig& config() const noexcept { return config_; }
 
+  /// The session's live fault state (inert when no faults are configured).
+  const FaultModel& fault_model() const noexcept { return fault_model_; }
+  /// Moves out the tiles that went permanently silent (tile fault, or
+  /// their router died) since the last call — the co-simulator's
+  /// remap-on-failure trigger.  Empty on fault-free sessions.
+  std::vector<TileId> take_dead_tiles();
+
  private:
   struct StagedMove {
     RouterId to_router;
@@ -200,6 +212,25 @@ class NocSimulator {
   void inject_due();
   void maybe_compact_arena();
   void simulate_cycle();
+
+  // --- fault path (every call site is gated on faults_active_) -----------
+  /// Sentinel returned by first_live_port when no candidate is live.
+  static constexpr std::uint32_t kUnroutable = static_cast<std::uint32_t>(-1);
+  /// True when the link behind global port `g` and the router at its far
+  /// end are both live.
+  bool port_live(std::uint32_t g) const noexcept {
+    return fault_model_.link_live(g) &&
+           fault_model_.router_live(neighbor_[g]);
+  }
+  /// First live next-hop port from `r` toward `dst` (route candidates,
+  /// then the topology's fault fallbacks), or kUnroutable.
+  std::uint32_t first_live_port(RouterId r, RouterId dst) const;
+  /// Applies every fault transition with cycle <= now(): purges dying
+  /// routers' buffers, then re-prunes buffered flits whose destinations
+  /// became dead or unroutable.
+  void apply_fault_transitions();
+  void purge_router(RouterId r);
+  void sweep_unroutable();
 
   Topology topology_;
   NocConfig config_;
@@ -260,6 +291,12 @@ class NocSimulator {
   std::uint64_t win_offchip_link_hops_ = 0;
   std::uint64_t win_router_traversals_ = 0;
   std::vector<std::uint64_t> win_link_flits_;
+  // --- fault state (rebuilt by begin(): the timeline is a pure function
+  // of (topology, config.faults), so every session replays it) -----------
+  FaultModel fault_model_;
+  bool faults_active_ = false;
+  std::vector<TileId> dead_tiles_pending_;  // for take_dead_tiles()
+  std::vector<TileId> live_dests_;          // injection-time filter scratch
 };
 
 }  // namespace snnmap::noc

@@ -110,6 +110,27 @@ std::uint32_t Topology::compute_candidates(RouterId router, RouterId dst,
   throw std::logic_error("Topology: unknown interconnect kind");
 }
 
+std::uint32_t Topology::fault_fallback_candidates(RouterId router,
+                                                  RouterId dst,
+                                                  PortId out[2]) const {
+  if (kind_ != hw::InterconnectKind::kMesh || router == dst) return 0;
+  const std::uint32_t w = mesh_width_;
+  const auto x = static_cast<std::int32_t>(router % w);
+  const auto y = static_cast<std::int32_t>(router / w);
+  const std::int32_t dx = static_cast<std::int32_t>(dst % w) - x;
+  const std::int32_t dy = static_cast<std::int32_t>(dst / w) - y;
+  const auto port_toward = [&](RouterId next) -> PortId {
+    for (PortId p = 0; p < neighbors_[router].size(); ++p) {
+      if (neighbors_[router][p] == next) return p;
+    }
+    throw std::logic_error("Topology: next hop is not a neighbor");
+  };
+  std::uint32_t count = 0;
+  if (dx != 0) out[count++] = port_toward(dx > 0 ? router + 1 : router - 1);
+  if (dy != 0) out[count++] = port_toward(dy > 0 ? router + w : router - w);
+  return count;
+}
+
 std::uint32_t Topology::mesh_candidates(RouterId router, RouterId dst,
                                         PortId out[3]) const {
   const std::uint32_t w = mesh_width_;

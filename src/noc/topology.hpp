@@ -160,6 +160,21 @@ class Topology {
     return e;
   }
 
+  /// Fault-fallback next hops toward `dst`: every *minimal* productive
+  /// port, ignoring the turn model.  The fault-aware simulator consults
+  /// these only after every route_candidates() port is fault-masked — a
+  /// mesh hop blocked on its X leg can still make progress on Y (and vice
+  /// versa) even when the configured algorithm would forbid that turn.
+  /// Mesh only (the other kinds either already enumerate every minimal
+  /// replica — dragonfly, fat-tree — or have a unique minimal path whose
+  /// loss is unroutable — tree, ring); returns 0 elsewhere and for
+  /// router == dst.  `out` must hold 2.  Deadlock-freedom note: this can
+  /// break the turn model's guarantee, which is acceptable under faults —
+  /// the simulator counts unroutable/undrained outcomes instead of
+  /// wedging, and max_cycles bounds any pathological cycle.
+  std::uint32_t fault_fallback_candidates(RouterId router, RouterId dst,
+                                          PortId out[2]) const;
+
   /// Mesh only; throws std::logic_error on other topologies.  Rebuilds the
   /// route cache if one was built (candidate sets depend on the algorithm).
   void set_mesh_routing(MeshRouting routing);

@@ -342,28 +342,36 @@ void Simulator::step_deferred() {
 }
 
 void Simulator::cut_remote_synapses(const std::vector<std::uint8_t>& cut) {
-  if (step_count_ != 0 || in_deferred_step_) {
+  // Legal before the first step *and* between closed steps (the fault path
+  // re-cuts after a mid-run remap); only an open deferred step — whose
+  // verdict stream was sized by the old mask — forbids it.
+  if (in_deferred_step_) {
     throw std::logic_error(
-        "Simulator: cut_remote_synapses must run before the first step");
+        "Simulator: cut_remote_synapses with a deferred step open (the "
+        "pending verdict stream was enumerated under the old cut mask; "
+        "flush_deferred first)");
   }
   if (cut.size() != network_.synapses().size()) {
     throw std::invalid_argument(
         "Simulator: cut mask size must match the synapse count");
   }
-  cut_count_.assign(neuron_count_, 0);
-  fan_has_cut_.assign(neuron_count_, 0);
+  // Validate the whole mask before mutating anything, so a rejected re-cut
+  // leaves the previous mask fully intact.
   for (std::size_t k = 0; k < csr_cut_.size(); ++k) {
-    const bool is_cut = cut[csr_synapse_[k]] != 0;
     // The plastic flag is inert while STDP is off (delivery takes the
     // non-plastic paths and weights never change), so cutting such a
     // synapse is safe; only live STDP bookkeeping forbids it.
-    if (is_cut && csr_plastic_[k] && config_.enable_stdp) {
+    if (cut[csr_synapse_[k]] != 0 && csr_plastic_[k] && config_.enable_stdp) {
       throw std::invalid_argument(
           "Simulator: a plastic synapse cannot be remote-cut while STDP is "
           "enabled (its weight would live on the remote crossbar, outside "
           "the local STDP bookkeeping)");
     }
-    csr_cut_[k] = is_cut ? 1 : 0;
+  }
+  cut_count_.assign(neuron_count_, 0);
+  fan_has_cut_.assign(neuron_count_, 0);
+  for (std::size_t k = 0; k < csr_cut_.size(); ++k) {
+    csr_cut_[k] = cut[csr_synapse_[k]] != 0 ? 1 : 0;
   }
   for (NeuronId pre = 0; pre < neuron_count_; ++pre) {
     std::uint32_t count = 0;

@@ -109,7 +109,9 @@ class Simulator {
   // deferred, ships the step's spikes over the NoC, and then flushes the
   // step with a per-cut-record verdict:
   //
-  //   sim.cut_remote_synapses(mask);            // once, before any step
+  //   sim.cut_remote_synapses(mask);            // before any step (and
+  //                                             // again after a mid-run
+  //                                             // remap, between steps)
   //   loop: sim.step_deferred();
   //         ... advance the NoC one window; apply late arrivals through
   //             sim.inject_remote(...) ...
@@ -129,8 +131,10 @@ class Simulator {
   };
 
   /// Marks synapses (by Network synapse index) whose deliveries the
-  /// co-simulator carries over the interconnect.  Must be called before the
-  /// first step; throws std::invalid_argument on a size mismatch or when a
+  /// co-simulator carries over the interconnect.  Callable before the first
+  /// step and again between closed steps (the fault path re-cuts after a
+  /// mid-run remap); throws std::logic_error with a deferred step open,
+  /// and std::invalid_argument on a size mismatch or when a
   /// marked synapse is plastic while STDP is enabled (a cut synapse's
   /// weight lives on the remote crossbar, out of reach of the local
   /// pair-based STDP bookkeeping; with STDP off the flag is inert and the

@@ -266,6 +266,83 @@ TEST(ConfigIo, SaveLoadSaveIsByteStable) {
   EXPECT_EQ(&flow_back.energy(), &flow_back.noc.energy);
 }
 
+TEST(ConfigIo, FaultKeysOverlayDefaults) {
+  const auto cfg = util::Config::parse(
+      "faults:\n"
+      "  seed: 77\n"
+      "  link_fault_rate: 0.125\n"
+      "  tile_fault_rate: 0.0625\n"
+      "  transient_link_rate: 0.25\n"
+      "  transient_duration_cycles: 512\n"
+      "  flit_drop_probability: 0.03125\n"
+      "  horizon_cycles: 40000\n"
+      "retry:\n"
+      "  enabled: true\n"
+      "  max_retries: 5\n"
+      "  backoff_windows: 2\n"
+      "  timeout_windows: 16\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_EQ(flow.noc.faults.seed, 77u);
+  EXPECT_EQ(flow.noc.faults.link_fault_rate, 0.125);
+  EXPECT_EQ(flow.noc.faults.router_fault_rate, 0.0);  // absent: default
+  EXPECT_EQ(flow.noc.faults.tile_fault_rate, 0.0625);
+  EXPECT_EQ(flow.noc.faults.transient_link_rate, 0.25);
+  EXPECT_EQ(flow.noc.faults.transient_duration_cycles, 512u);
+  EXPECT_EQ(flow.noc.faults.flit_drop_probability, 0.03125);
+  EXPECT_EQ(flow.noc.faults.horizon_cycles, 40000u);
+  EXPECT_TRUE(flow.noc.faults.any());
+
+  const auto cosim = cosim_from_config(cfg);
+  EXPECT_TRUE(cosim.retry.enabled);
+  EXPECT_EQ(cosim.retry.max_retries, 5u);
+  EXPECT_EQ(cosim.retry.backoff_windows, 2u);
+  EXPECT_EQ(cosim.retry.timeout_windows, 16u);
+
+  // An empty document keeps the inert defaults.
+  const auto plain = mapping_flow_from_config(util::Config::parse(""));
+  EXPECT_FALSE(plain.noc.faults.any());
+  EXPECT_FALSE(cosim_from_config(util::Config::parse("")).retry.enabled);
+}
+
+TEST(ConfigIo, FaultAndRetryKeysAreByteStable) {
+  // The faults: and retry: sections must survive save -> load -> save with
+  // an identical byte stream, like every other section.
+  MappingFlowConfig flow;
+  flow.noc.faults.seed = 9;
+  flow.noc.faults.link_fault_rate = 0.375;
+  flow.noc.faults.router_fault_rate = 0.125;
+  flow.noc.faults.transient_link_rate = 0.5;
+  flow.noc.faults.transient_duration_cycles = 2048;
+  flow.noc.faults.flit_drop_probability = 0.015625;
+  flow.noc.faults.horizon_cycles = 100000;
+  cosim::CoSimConfig cosim;
+  cosim.retry.enabled = true;
+  cosim.retry.max_retries = 7;
+  cosim.retry.backoff_windows = 3;
+  cosim.retry.timeout_windows = 24;
+
+  util::Config first;
+  mapping_flow_to_config(flow, first);
+  cosim_to_config(cosim, first);
+  const std::string saved = first.dump();
+
+  const auto loaded = util::Config::parse(saved);
+  const auto flow_back = mapping_flow_from_config(loaded);
+  const auto cosim_back = cosim_from_config(loaded);
+  util::Config second;
+  mapping_flow_to_config(flow_back, second);
+  cosim_to_config(cosim_back, second);
+  EXPECT_EQ(saved, second.dump());
+
+  EXPECT_EQ(flow_back.noc.faults.seed, 9u);
+  EXPECT_EQ(flow_back.noc.faults.link_fault_rate, 0.375);
+  EXPECT_EQ(flow_back.noc.faults.flit_drop_probability, 0.015625);
+  EXPECT_EQ(flow_back.noc.faults.horizon_cycles, 100000u);
+  EXPECT_TRUE(cosim_back.retry.enabled);
+  EXPECT_EQ(cosim_back.retry.max_retries, 7u);
+  EXPECT_EQ(cosim_back.retry.timeout_windows, 24u);
+}
+
 TEST(ConfigIo, AnnealingAndGeneticKeys) {
   const auto cfg = util::Config::parse(
       "annealing:\n"

@@ -321,6 +321,29 @@ void expect_same_cosim_results(const std::vector<CoSimOutcome>& a,
     EXPECT_EQ(a[i].divergence.matched, b[i].divergence.matched) << i;
     EXPECT_EQ(a[i].divergence.only_ideal, b[i].divergence.only_ideal) << i;
     EXPECT_EQ(a[i].divergence.only_cosim, b[i].divergence.only_cosim) << i;
+    // The resilience path is seeded per scenario; its counters are part of
+    // the same bit-identical contract (all zero on fault-free scenarios).
+    EXPECT_EQ(a[i].result.resilience.noc_faults.flits_dropped,
+              b[i].result.resilience.noc_faults.flits_dropped)
+        << i;
+    EXPECT_EQ(a[i].result.resilience.noc_faults.copies_lost(),
+              b[i].result.resilience.noc_faults.copies_lost())
+        << i;
+    EXPECT_EQ(a[i].result.resilience.retransmit_packets,
+              b[i].result.resilience.retransmit_packets)
+        << i;
+    EXPECT_EQ(a[i].result.resilience.retry_recoveries,
+              b[i].result.resilience.retry_recoveries)
+        << i;
+    EXPECT_EQ(a[i].result.resilience.spikes_lost_timeout,
+              b[i].result.resilience.spikes_lost_timeout)
+        << i;
+    EXPECT_EQ(a[i].result.resilience.neurons_migrated,
+              b[i].result.resilience.neurons_migrated)
+        << i;
+    EXPECT_EQ(a[i].result.resilience.retransmit_energy_pj,
+              b[i].result.resilience.retransmit_energy_pj)
+        << i;
   }
 }
 
@@ -359,6 +382,94 @@ TEST(Determinism, BatchCoSimIndependentOfSubmissionOrder) {
   auto backward = evaluator.run_all(std::move(reversed_scenarios));
   std::reverse(backward.begin(), backward.end());
   expect_same_cosim_results(forward, backward);
+}
+
+/// Faulted variants of the co-sim batch: seeded random faults, flit drops,
+/// the AER retry protocol, and one scheduled permanent tile fault — the
+/// full resilience path under parallel batch evaluation.
+std::vector<CoSimScenario> batch_faulted_scenarios() {
+  std::vector<CoSimScenario> scenarios = batch_cosim_scenarios();
+  for (std::size_t v = 0; v < scenarios.size(); ++v) {
+    noc::FaultConfig& faults = scenarios[v].config.noc.faults;
+    faults.seed = 40 + v;
+    faults.flit_drop_probability = v % 2 == 0 ? 0.1 : 0.0;
+    if (v % 3 == 0) {
+      faults.link_fault_rate = 0.3;
+      faults.transient_link_rate = 0.3;
+      faults.transient_duration_cycles = 64;
+      // horizon_cycles stays 0: the co-simulator auto-fills its timeline.
+    }
+    if (v == 4) {
+      noc::ScheduledFault f;
+      f.kind = noc::ScheduledFault::Kind::kTile;
+      f.tile = 1;
+      f.start_cycle = 50 * scenarios[v].config.cycles_per_timestep;
+      faults.scheduled.push_back(f);
+    }
+    if (v % 2 == 1) {
+      scenarios[v].config.retry.enabled = true;
+      scenarios[v].config.retry.max_retries = 4;
+    }
+  }
+  return scenarios;
+}
+
+TEST(Determinism, FaultedBatchCoSimSerialAndParallelMatchBitForBit) {
+  BatchCoSimEvaluator serial(1);
+  BatchCoSimEvaluator parallel(4);
+  expect_same_cosim_results(serial.run_all(batch_faulted_scenarios()),
+                            parallel.run_all(batch_faulted_scenarios()));
+}
+
+TEST(Determinism, FaultedBatchCoSimIndependentOfSubmissionOrder) {
+  auto reversed_scenarios = batch_faulted_scenarios();
+  std::reverse(reversed_scenarios.begin(), reversed_scenarios.end());
+  BatchCoSimEvaluator evaluator(4);
+  const auto forward = evaluator.run_all(batch_faulted_scenarios());
+  auto backward = evaluator.run_all(std::move(reversed_scenarios));
+  std::reverse(backward.begin(), backward.end());
+  expect_same_cosim_results(forward, backward);
+}
+
+TEST(Determinism, FaultSweepMatchesStandaloneRuns) {
+  // run_fault_sweep overlays each FaultConfig onto the base scenario; every
+  // slot must be bit-identical to a standalone run with the same overlay,
+  // and the all-default entry is the fault-free baseline.
+  auto scenarios = batch_cosim_scenarios();
+  CoSimScenario& base = scenarios[0];
+
+  std::vector<noc::FaultConfig> sweep(3);
+  sweep[1].seed = 11;
+  sweep[1].flit_drop_probability = 0.15;
+  sweep[2].seed = 11;
+  sweep[2].link_fault_rate = 0.4;
+  sweep[2].transient_link_rate = 0.4;
+  sweep[2].transient_duration_cycles = 128;
+
+  BatchCoSimEvaluator evaluator(4);
+  const auto results = evaluator.run_fault_sweep(base, sweep);
+  ASSERT_EQ(results.size(), sweep.size());
+  EXPECT_FALSE(results[0].result.resilience.any());
+  EXPECT_GT(results[1].result.resilience.noc_faults.flits_dropped, 0u);
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    CoSimScenario sc = base;
+    sc.config.noc.faults = sweep[i];
+    snn::Network net = sc.build();
+    cosim::CoSimulator sim(net, sc.partition, sc.placement,
+                           std::move(sc.topology), sc.config);
+    const auto standalone = sim.run();
+    EXPECT_EQ(results[i].result.snn.spikes, standalone.snn.spikes) << i;
+    EXPECT_EQ(results[i].result.resilience.noc_faults.flits_dropped,
+              standalone.resilience.noc_faults.flits_dropped)
+        << i;
+    EXPECT_EQ(results[i].result.resilience.noc_faults.copies_lost(),
+              standalone.resilience.noc_faults.copies_lost())
+        << i;
+    EXPECT_EQ(results[i].result.fidelity.fabric_energy_pj,
+              standalone.fidelity.fabric_energy_pj)
+        << i;
+  }
 }
 
 TEST(Determinism, PsoThreadCountZeroMatchesExplicitCounts) {

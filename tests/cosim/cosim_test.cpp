@@ -419,13 +419,18 @@ TEST(DeferredSeam, GuardsMisuse) {
       sim.deferred_remote_records() + 1,
       snn::Simulator::RemoteVerdict::kDeliver);
   EXPECT_THROW(sim.flush_deferred(extra), std::invalid_argument);
-  // Cutting after stepping is rejected.
-  sim.flush_deferred(std::vector<snn::Simulator::RemoteVerdict>(
-      sim.deferred_remote_records(), snn::Simulator::RemoteVerdict::kDeliver));
+  // Cutting with a deferred step open is rejected (the pending verdict
+  // stream was enumerated under the old mask)...
   EXPECT_THROW(
       sim.cut_remote_synapses(
           std::vector<std::uint8_t>(net.synapses().size(), 0)),
       std::logic_error);
+  // ...but re-cutting between closed steps is legal (the remap-on-failure
+  // path re-cuts mid-run after an evacuation).
+  sim.flush_deferred(std::vector<snn::Simulator::RemoteVerdict>(
+      sim.deferred_remote_records(), snn::Simulator::RemoteVerdict::kDeliver));
+  EXPECT_NO_THROW(sim.cut_remote_synapses(
+      std::vector<std::uint8_t>(net.synapses().size(), 0)));
 }
 
 }  // namespace

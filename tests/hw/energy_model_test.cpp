@@ -51,12 +51,13 @@ TEST(EnergyModel, ValidateRejectsNanInfAndNegative) {
                                -std::numeric_limits<double>::infinity(),
                                -0.001};
   for (const double bad : bad_values) {
-    for (int field = 0; field < 5; ++field) {
+    for (int field = 0; field < 6; ++field) {
       EnergyModel m;
       (field == 0   ? m.crossbar_event_pj
        : field == 1 ? m.link_hop_pj
        : field == 2 ? m.router_flit_pj
        : field == 3 ? m.offchip_link_hop_pj
+       : field == 4 ? m.retransmit_pj
                     : m.aer_codec_pj) = bad;
       EXPECT_THROW(m.validate(), std::invalid_argument)
           << "field " << field << " value " << bad;
@@ -118,12 +119,25 @@ TEST(EnergyModel, ToConfigRoundTrips) {
   m.link_hop_pj = 12.25;
   m.crossbar_event_pj = 3.5;
   m.offchip_link_hop_pj = 52.5;
+  m.retransmit_pj = 4.75;
   util::Config cfg;
   m.to_config(cfg);
   const EnergyModel back = EnergyModel::from_config(cfg);
   EXPECT_NEAR(back.link_hop_pj, 12.25, 1e-9);
   EXPECT_NEAR(back.crossbar_event_pj, 3.5, 1e-9);
   EXPECT_NEAR(back.offchip_link_hop_pj, 52.5, 1e-9);
+  EXPECT_NEAR(back.retransmit_pj, 4.75, 1e-9);
+}
+
+TEST(EnergyModel, RetransmitKeyOverlaysFromConfig) {
+  const EnergyModel d;
+  EXPECT_GT(d.retransmit_pj, 0.0);  // retries are never free by default
+  util::Config cfg = util::Config::parse(
+      "energy:\n"
+      "  retransmit_pj: 1.5\n");
+  const EnergyModel m = EnergyModel::from_config(cfg);
+  EXPECT_EQ(m.retransmit_pj, 1.5);
+  EXPECT_EQ(m.link_hop_pj, d.link_hop_pj);  // untouched
 }
 
 }  // namespace

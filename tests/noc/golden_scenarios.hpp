@@ -165,6 +165,24 @@ inline std::vector<Scenario> scenarios() {
                   config(2, false, kLevel),
                   patterns::multicast_traffic(808, 8, 900, 3, 3)});
 
+  // Faulted fabric (captured post-PR-7): seeded random link/tile faults,
+  // transient outages, and lossy wires over XY-mesh multicast traffic.  The
+  // digest fields are fault-free quantities, so this scenario pins the
+  // fault-aware reroute/prune path without touching the older fixtures.
+  {
+    NocConfig faulted = config(4, true, kFirst);
+    faulted.faults.seed = 909;
+    faulted.faults.link_fault_rate = 0.08;
+    faulted.faults.tile_fault_rate = 0.05;
+    faulted.faults.transient_link_rate = 0.15;
+    faulted.faults.transient_duration_cycles = 400;
+    faulted.faults.flit_drop_probability = 0.02;
+    faulted.faults.horizon_cycles = 4'000;
+    list.push_back({"mesh4x4_xy_multicast_faulted", mesh(MeshRouting::kXY),
+                    std::move(faulted),
+                    patterns::multicast_traffic(909, 16, 1500, 5, 4)});
+  }
+
   return list;
 }
 
