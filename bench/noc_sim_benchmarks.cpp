@@ -152,6 +152,58 @@ void BM_NocSimulator_TreeMulticast(benchmark::State& state) {
 }
 BENCHMARK(BM_NocSimulator_TreeMulticast);
 
+// --- Event-driven engine: bursty low-activity idle-skip -------------------
+//
+// The workload the event engine exists for: short dense multicast bursts
+// separated by long silent gaps, on a two-chip mesh whose boundary SerDes
+// latency parks every cross-chip flit for thousands of cycles.  The cycle
+// engine (engine=0) burns one simulate_cycle() per parked cycle; the event
+// engine (engine=1) charges O(1) per skipped span.  Both produce
+// bit-identical results (pinned by tests/noc/session_chunking_test.cpp);
+// compare the cycles_per_sec counter between the two legs — the acceptance
+// bar for the event engine is >= 10x on this scenario.
+
+NocWorkload idle_skip_workload(noc::NocEngine engine) {
+  noc::Topology topology = noc::Topology::mesh(4, 4);
+  topology.assign_chips(2);
+  noc::NocConfig config;
+  config.engine = engine;
+  config.offchip_link_latency = 4000;
+  util::Rng rng(21);
+  std::vector<noc::SpikePacketEvent> traffic;
+  std::uint32_t neuron = 0;
+  for (std::uint64_t burst = 0; burst < 256; ++burst) {
+    const std::uint64_t at = burst * 8192;  // ~8k-cycle near-silent gaps
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      noc::SpikePacketEvent ev;
+      ev.emit_cycle = at + p;
+      ev.emit_step = burst;
+      ev.source_neuron = neuron++;
+      // Cross-chip multicast: tiles 0-7 are chip 0, 8-15 chip 1.
+      ev.source_tile = static_cast<noc::TileId>(rng.below(8));
+      ev.dest_tiles = {static_cast<noc::TileId>(8 + rng.below(8)),
+                       static_cast<noc::TileId>(rng.below(8))};
+      if (ev.dest_tiles[1] == ev.source_tile) ev.dest_tiles[1] = 7;
+      if (ev.dest_tiles[1] == ev.source_tile) ev.dest_tiles[1] = 6;
+      traffic.push_back(std::move(ev));
+    }
+  }
+  return {std::move(topology), config, std::move(traffic)};
+}
+
+void BM_NocIdleSkip(benchmark::State& state) {
+  static const NocWorkload cycle_workload =
+      idle_skip_workload(noc::NocEngine::kCycle);
+  static const NocWorkload event_workload =
+      idle_skip_workload(noc::NocEngine::kEvent);
+  run_workload(state,
+               state.range(0) == 0 ? cycle_workload : event_workload);
+}
+BENCHMARK(BM_NocIdleSkip)
+    ->ArgNames({"engine"})  // 0=cycle 1=event
+    ->Arg(0)
+    ->Arg(1);
+
 // --- Routing-function vs cached-table lookups -----------------------------
 //
 // The simulator resolves every output port through Topology::route_entry,

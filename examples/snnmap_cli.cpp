@@ -3,6 +3,7 @@
 //   snnmap_cli <app> [--config file.yaml] [--partitioner pso|pacman|...]
 //              [--crossbar-size N]
 //              [--interconnect tree|mesh|ring|dragonfly|fattree]
+//              [--noc-engine cycle|event]
 //              [--chips N] [--seed S] [--csv out.csv] [--verbose]
 //
 // <app> is a Table I name (HW, IS, HD, HE, or the full names) or a synthetic
@@ -40,6 +41,8 @@ void usage() {
          "  --interconnect KIND   tree | mesh | ring | dragonfly | fattree\n"
          "  --chips N             split the fabric across N chips "
          "(boundary links pay off-chip energy/latency)\n"
+         "  --noc-engine KIND     cycle | event (default event) — NoC "
+         "scheduling core; bit-identical results, event skips idle spans\n"
          "  --seed S              workload + optimizer seed\n"
          "  --threads N           fitness-evaluation workers (0 = all "
          "cores, 1 = serial; same result either way)\n"
@@ -118,6 +121,7 @@ int main(int argc, char** argv) {
   std::uint32_t chips = 0;  // 0 = keep the config's chip count
   std::string partitioner_override;
   std::string interconnect_override;
+  std::string noc_engine_override;
   bool dump_config = false;
   bool analyze = false;
   bool cosim = false;
@@ -155,6 +159,8 @@ int main(int argc, char** argv) {
           parse_uint("--crossbar-size", need_value("--crossbar-size")));
     } else if (arg == "--interconnect") {
       interconnect_override = need_value("--interconnect");
+    } else if (arg == "--noc-engine") {
+      noc_engine_override = need_value("--noc-engine");
     } else if (arg == "--chips") {
       chips = static_cast<std::uint32_t>(
           parse_uint("--chips", need_value("--chips")));
@@ -233,6 +239,9 @@ int main(int argc, char** argv) {
     if (!interconnect_override.empty()) {
       flow.arch.interconnect =
           hw::interconnect_from_string(interconnect_override);
+    }
+    if (!noc_engine_override.empty()) {
+      flow.noc.engine = noc::noc_engine_from_string(noc_engine_override);
     }
 
     // Fault rates without an explicit horizon rely on the co-simulator's

@@ -53,6 +53,12 @@ run_suite() {
     --benchmark_out="$out" \
     --benchmark_out_format=json \
     "$@"
+  # A suite that ran but produced no (or an empty) JSON would silently hold
+  # the trajectory at its previous value; fail loudly instead.
+  if [[ ! -s "$out" ]]; then
+    echo "$binary did not produce $out" >&2
+    exit 1
+  fi
   echo "wrote $out"
 }
 
@@ -61,3 +67,13 @@ run_suite snn_sim_benchmarks "$SNN_OUT" "$@"
 run_suite cosim_benchmarks "$COSIM_OUT" "$@"
 run_suite energy_benchmarks "$ENERGY_OUT" "$@"
 run_suite fault_benchmarks "$FAULTS_OUT" "$@"
+
+# Belt-and-braces: every configured output must exist and be non-empty, so
+# adding a suite above without its run_suite line (how BENCH_faults.json
+# went missing) can never pass again.
+for out in "$NOC_OUT" "$SNN_OUT" "$COSIM_OUT" "$ENERGY_OUT" "$FAULTS_OUT"; do
+  if [[ ! -s "$out" ]]; then
+    echo "configured benchmark output $out was not produced" >&2
+    exit 1
+  fi
+done

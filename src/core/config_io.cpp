@@ -63,6 +63,9 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
   if (const auto routing = config.get_string("noc.mesh_routing")) {
     flow.mesh_routing = noc::mesh_routing_from_string(*routing);
   }
+  if (const auto engine = config.get_string("noc.engine")) {
+    flow.noc.engine = noc::noc_engine_from_string(*engine);
+  }
   flow.noc.max_cycles = static_cast<std::uint64_t>(
       config.int_or("noc.max_cycles",
                     static_cast<std::int64_t>(flow.noc.max_cycles)));
@@ -235,6 +238,7 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
   config.set("noc.multicast", flow.noc.multicast ? "true" : "false");
   config.set("noc.selection", noc::to_string(flow.noc.selection));
   config.set("noc.mesh_routing", noc::to_string(flow.mesh_routing));
+  config.set("noc.engine", noc::to_string(flow.noc.engine));
   config.set("noc.max_cycles", std::to_string(flow.noc.max_cycles));
   config.set("noc.collect_delivered",
              flow.noc.collect_delivered ? "true" : "false");

@@ -62,15 +62,27 @@ struct FaultStats {
   /// Packet events that contributed no flit at all (dead source, or every
   /// destination unroutable).
   std::uint64_t packets_blocked = 0;
+  /// Destination copies a max_cycles halt left undelivered: still buffered
+  /// in the fabric, or held by queued events that were never injected
+  /// (traffic due at or beyond max_cycles is not injected — see
+  /// NocConfig::max_cycles).  Zero on drained runs.  Not a fault mechanism
+  /// (any() ignores it; fault-free halts strand copies too), but part of
+  /// copies_lost() so the conservation identity
+  ///   copies_delivered + copies_lost() == copies offered
+  /// holds for halted sessions exactly as for drained ones.
+  std::uint64_t copies_stranded = 0;
 
-  /// Destination copies the fabric lost to faults, by every mechanism.
+  /// Destination copies that did not (and will never) reach a decoder, by
+  /// every mechanism — fault losses plus halt stranding.
   std::uint64_t copies_lost() const noexcept {
     return copies_dropped + copies_killed + copies_unroutable +
-           copies_blocked_at_source;
+           copies_blocked_at_source + copies_stranded;
   }
   bool any() const noexcept {
     return link_faults != 0 || router_faults != 0 || tile_faults != 0 ||
-           reroutes != 0 || flits_dropped != 0 || copies_lost() != 0;
+           reroutes != 0 || flits_dropped != 0 || copies_dropped != 0 ||
+           copies_killed != 0 || copies_unroutable != 0 ||
+           copies_blocked_at_source != 0;
   }
 };
 

@@ -23,6 +23,21 @@ const char* to_string(SelectionStrategy selection) noexcept {
   return "?";
 }
 
+const char* to_string(NocEngine engine) noexcept {
+  switch (engine) {
+    case NocEngine::kCycle: return "cycle";
+    case NocEngine::kEvent: return "event";
+  }
+  return "?";
+}
+
+NocEngine noc_engine_from_string(const std::string& name) {
+  if (name == "cycle") return NocEngine::kCycle;
+  if (name == "event") return NocEngine::kEvent;
+  throw std::invalid_argument("NocEngine: unknown engine \"" + name +
+                              "\" (expected \"cycle\" or \"event\")");
+}
+
 NocSimulator::NocSimulator(Topology topology, NocConfig config)
     : topology_(std::move(topology)), config_(config) {
   if (config_.buffer_depth == 0) {
@@ -37,6 +52,7 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
   }
   config_.energy.validate();  // NaN/inf/negative pJ would poison every stat
   config_.faults.validate();  // degenerate rates / missing horizon throw here
+  event_driven_ = config_.engine == NocEngine::kEvent;
   // Flat per-port geometry: for global port index port_base_[r] + o,
   // neighbor_ holds the adjacent router and reverse_port_ the input-port
   // index at that neighbor through which flits sent from r arrive.
@@ -111,6 +127,7 @@ void NocSimulator::begin() {
   now_ = 0;
   in_flight_ = 0;
   halted_ = false;
+  wake_.clear();
   stats_ = NocStats{};
   delivered_.clear();
   busy_cycles_ = 0;
@@ -479,6 +496,13 @@ void NocSimulator::simulate_cycle() {
             copy.ready_cycle =
                 now + 1 +
                 (offchip ? std::uint64_t{config_.offchip_link_latency} : 0);
+            // An off-chip crossing parks the copy past the next cycle; the
+            // event engine must know when it un-parks, or a fabric whose
+            // only pending work is on the SerDes would look like a dead
+            // fixed point and skip past the wake-up.
+            if (event_driven_ && copy.ready_cycle > now + 1) {
+              wake_.schedule(copy.ready_cycle, now);
+            }
             staged_.push_back({nb, nb_port, copy});
             if (staged_count_[nb_slot]++ == 0) {
               staged_touched_.push_back(nb_slot);
@@ -701,34 +725,86 @@ std::uint64_t NocSimulator::run_until(std::uint64_t cycle_limit) {
     // (before injection, so a tile that dies at cycle c never sources or
     // sinks cycle-c traffic).
     if (faults_active_) apply_fault_transitions();
-    // ---- 1. Inject all packets emitted this cycle.
-    inject_due();
-
-    if (in_flight_ == 0) {
-      if (next_event_ >= traffic_.size()) {
-        // Drained and no traffic queued.  A bounded window still accounts
-        // its full span of virtual time; an unbounded run ends "now".
-        if (cycle_limit != kNoCycleLimit) now_ = cycle_limit;
-        break;
-      }
-      // Fast-forward idle gaps between traffic bursts.
-      now_ = std::min(traffic_[next_event_].emit_cycle, cycle_limit);
-      continue;
+    if (idle()) {
+      // Drained and no traffic queued.  A bounded window still accounts
+      // its full span of virtual time; an unbounded run ends "now".
+      if (cycle_limit != kNoCycleLimit) now_ = cycle_limit;
+      break;
     }
+    // ---- 1. Budget check, *before* injection: cycle max_cycles is never
+    // simulated, so traffic due at or beyond it is never injected — the
+    // session halts with it still queued (counted as stranded by finish())
+    // instead of absorbing packets the fabric will never move.  Reaching
+    // this line means !idle(), so the halt fires identically whether the
+    // leftover work is buffered flits or an uninjected tail, at any
+    // chunking of the session into run_until windows.
     if (now_ >= config_.max_cycles) {
       stats_.drained = false;
       halted_ = true;
       util::log_warn("NocSimulator: max_cycles reached with ", in_flight_,
-                     " flits in flight");
+                     " flits in flight and ", traffic_.size() - next_event_,
+                     " events still queued");
       break;
+    }
+    // ---- 2. Inject all packets emitted this cycle.
+    inject_due();
+
+    if (in_flight_ == 0) {
+      if (next_event_ >= traffic_.size()) {
+        if (cycle_limit != kNoCycleLimit) now_ = cycle_limit;
+        break;
+      }
+      // Fast-forward idle gaps between traffic bursts — never past the
+      // budget: traffic due at max_cycles or later halts above, it is not
+      // injected.
+      now_ = std::min({traffic_[next_event_].emit_cycle, cycle_limit,
+                       config_.max_cycles});
+      continue;
     }
 
     maybe_compact_arena();
 
-    // ---- 2/3. One cycle of arbitration + staged-move commits.
+    // ---- 3/4. One cycle of arbitration + staged-move commits.
+    const std::uint64_t before_delivered = stats_.copies_delivered;
+    const std::uint64_t before_hops = stats_.link_hops;
+    const std::uint64_t before_unroutable = stats_.fault.copies_unroutable;
+    const std::size_t before_in_flight = in_flight_;
     simulate_cycle();
     ++now_;
     ++busy_cycles_;
+
+    if (!event_driven_) continue;
+    // ---- 5. Event engine: a cycle that moved nothing proves the fabric
+    // state is a fixed point of simulate_cycle — every ready head is
+    // backpressured or arbitration-blocked by state that only changes when
+    // something moves, round-robin pointers advance only on serves, and the
+    // fault RNG draws only on forwards.  Every counter below is bumped by
+    // each kind of movement (deliveries and forwards via copies_delivered /
+    // link_hops — dropped-on-the-wire flits included —, abandoned copies
+    // via copies_unroutable, pops via in_flight_), so equality means the
+    // next state change can only come from outside the fabric: a parked
+    // off-chip flit un-parking (wake_), a traffic emission, or a fault
+    // transition.  Jump straight to the earliest one.  The skipped span
+    // still counts as busy — the cycle oracle simulates (and the windowed
+    // energy/DVFS accounting observes) those stalled cycles as busy ones.
+    const bool progress = stats_.copies_delivered != before_delivered ||
+                          stats_.link_hops != before_hops ||
+                          stats_.fault.copies_unroutable !=
+                              before_unroutable ||
+                          in_flight_ != before_in_flight;
+    if (progress) continue;
+    std::uint64_t wake = wake_.next_at_or_after(now_);
+    if (next_event_ < traffic_.size()) {
+      wake = std::min(wake, traffic_[next_event_].emit_cycle);
+    }
+    if (faults_active_) {
+      wake = std::min(wake, fault_model_.next_transition_cycle());
+    }
+    wake = std::min({wake, cycle_limit, config_.max_cycles});
+    if (wake > now_) {
+      busy_cycles_ += wake - now_;
+      now_ = wake;
+    }
   }
   return now_;
 }
@@ -818,6 +894,15 @@ NocRunResult NocSimulator::finish() {
   // completed.  A bounded window that left flits in flight (or queued
   // events uninjected) did not drain, max_cycles halt or not.
   stats_.drained = !halted_ && idle();
+  // Undelivered leftovers — live destination copies still buffered in the
+  // fabric plus the dest sets of never-injected queued events — close the
+  // conservation identity copies_delivered + copies_lost() == offered for
+  // non-drained sessions.  Exactly zero on drained ones.
+  std::uint64_t stranded = arena_live_;
+  for (std::size_t i = next_event_; i < traffic_.size(); ++i) {
+    stranded += traffic_[i].dest_tiles.size();
+  }
+  stats_.fault.copies_stranded = stranded;
   stats_.link_flits.clear();
   const std::uint32_t n = topology_.router_count();
   for (RouterId r = 0; r < n; ++r) {

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "noc/metrics.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
+#include "noc/wakeup.hpp"
 
 namespace snnmap::noc {
 
@@ -61,6 +63,29 @@ enum class SelectionStrategy : std::uint8_t {
 
 const char* to_string(SelectionStrategy selection) noexcept;
 
+/// Which scheduling core run_until() uses to advance the fabric.  Both
+/// engines are bit-identical on every observable — delivered streams,
+/// statistics, windowed energy (including busy_cycles), fault timelines —
+/// at any session chunking; tests/noc/session_chunking_test.cpp and the
+/// golden fixtures pin that equivalence.
+enum class NocEngine : std::uint8_t {
+  /// The golden oracle: one simulate_cycle() per busy cycle, even when the
+  /// whole fabric is provably stalled.
+  kCycle,
+  /// Wake-up-driven: a cycle whose arbitration pass moves nothing proves
+  /// the fabric state is a fixed point, so now_ jumps straight to the
+  /// earliest registered wake-up (parked flit ready_cycle, next traffic
+  /// emission, next fault transition) — O(1) per skipped span.  Bursty
+  /// low-activity traffic (dense emission windows, near-silent gaps,
+  /// off-chip SerDes parking) runs order-of-magnitude faster
+  /// (BM_NocIdleSkip in BENCH_noc.json).
+  kEvent,
+};
+
+const char* to_string(NocEngine engine) noexcept;
+/// Parses "cycle" / "event"; throws std::invalid_argument otherwise.
+NocEngine noc_engine_from_string(const std::string& name);
+
 struct NocConfig {
   std::uint32_t buffer_depth = 4;  ///< flits per inter-router input FIFO
   bool multicast = true;           ///< false = source-replicated unicasts
@@ -70,8 +95,19 @@ struct NocConfig {
   /// top of the one-cycle on-chip handoff; 0 makes chip crossings as fast
   /// as on-die hops.  Irrelevant on single-chip topologies.
   std::uint32_t offchip_link_latency = 2;
+  /// Scheduling core (see NocEngine).  The event engine is the default —
+  /// it is bit-identical to the cycle oracle and strictly faster on sparse
+  /// traffic; set kCycle to force the per-cycle loop (the oracle the golden
+  /// fixtures were captured on).
+  NocEngine engine = NocEngine::kEvent;
   /// Safety bound; the run reports drained=false if traffic does not
-  /// complete within this many cycles.
+  /// complete within this many cycles.  Contract: cycle max_cycles is never
+  /// simulated and traffic with emit_cycle >= max_cycles is never injected,
+  /// so a session halts (halted(), drained=false) as soon as the budget is
+  /// exhausted with traffic still in flight *or still queued* — identically
+  /// for one-shot, windowed, and batch sessions at any chunking.  Idle
+  /// virtual time is not bounded: a drained session may fast-forward a
+  /// bounded window's span past max_cycles without halting.
   std::uint64_t max_cycles = 20'000'000;
   /// Streaming-stats mode: when false, the run aggregates NocStats online
   /// but does not materialize a DeliveredSpike per delivered copy (and the
@@ -273,6 +309,13 @@ class NocSimulator {
   std::uint64_t now_ = 0;
   std::size_t in_flight_ = 0;
   bool halted_ = false;
+  // --- event engine (NocEngine::kEvent; see noc/wakeup.hpp) --------------
+  // Parked-flit wake-ups (ready_cycle > now + 1, i.e. off-chip SerDes
+  // crossings).  Traffic emissions and fault transitions are not queued
+  // here — run_until reads them straight from traffic_/fault_model_ when it
+  // computes a skip target.
+  WakeupQueue wake_;
+  bool event_driven_ = false;  // config_.engine == kEvent, hoisted
   NocStats stats_;
   std::vector<DeliveredSpike> delivered_;
   // --- windowed energy accounting (close_energy_window) ------------------

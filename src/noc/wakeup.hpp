@@ -1,0 +1,78 @@
+// Wake-up event queue for the event-driven NoC engine (NocEngine::kEvent).
+//
+// The cycle-accurate loop pays one simulate_cycle() per busy cycle even when
+// nothing in the fabric can move — every in-flight flit parked on its
+// ready_cycle (off-chip SerDes latency), or every ready head blocked by
+// backpressure.  The event engine detects such fixed-point cycles and jumps
+// now_ directly to the earliest cycle at which the fabric state can change:
+// the soonest parked-flit wake-up registered here, the next traffic
+// emission, or the next fault-timeline transition (netsim-style event
+// scheduling, collapsed to cycle stamps because the simulator re-arbitrates
+// the whole active worklist at every productive cycle anyway).
+//
+// Entries may be stale: a parked flit can be purged by a dying router or
+// pruned as unroutable before its wake-up arrives.  Staleness is harmless —
+// an early wake-up costs one progress-free probe cycle, after which the
+// engine consults the queue again — so entries are discarded lazily instead
+// of being tracked per flit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace snnmap::noc {
+
+/// Min-heap of future wake-up cycles with lazy staleness removal.  Pushes
+/// are O(log n); consulting the queue discards every entry behind the
+/// requested cycle.  Amortized-O(1) pruning keeps the heap bounded by the
+/// number of still-future entries even on long runs that never stall (and
+/// therefore never consult it).
+class WakeupQueue {
+ public:
+  /// Returned by next_at_or_after() when nothing future is scheduled.
+  static constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
+
+  void clear() noexcept {
+    heap_.clear();
+    prune_trigger_ = kMinPruneTrigger;
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Registers a possible state change at `cycle`.  `now` bounds the
+  /// amortized prune: once the heap outgrows its trigger, every entry
+  /// already at or behind `now` (stale by definition — it can never justify
+  /// a future skip) is dropped in one O(n) pass.
+  void schedule(std::uint64_t cycle, std::uint64_t now) {
+    if (heap_.size() >= prune_trigger_) {
+      std::erase_if(heap_, [now](std::uint64_t c) { return c <= now; });
+      std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      prune_trigger_ = std::max(kMinPruneTrigger, heap_.size() * 2);
+    }
+    heap_.push_back(cycle);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  /// Earliest scheduled cycle >= `cycle`, discarding every earlier (stale)
+  /// entry on the way; kNever when none remain.  Entries equal to `cycle`
+  /// are *kept and returned*: a flit becoming ready at the current cycle is
+  /// the very next chance of progress, not history.
+  std::uint64_t next_at_or_after(std::uint64_t cycle) noexcept {
+    while (!heap_.empty() && heap_.front() < cycle) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
+    }
+    return heap_.empty() ? kNever : heap_.front();
+  }
+
+ private:
+  static constexpr std::size_t kMinPruneTrigger = 64;
+
+  std::vector<std::uint64_t> heap_;  // binary min-heap of cycle stamps
+  std::size_t prune_trigger_ = kMinPruneTrigger;
+};
+
+}  // namespace snnmap::noc

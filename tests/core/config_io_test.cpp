@@ -123,6 +123,24 @@ TEST(ConfigIo, RoutingAndSelectionKeys) {
   EXPECT_THROW(mapping_flow_from_config(bad), std::invalid_argument);
 }
 
+TEST(ConfigIo, NocEngineKeyRoundTrips) {
+  // Unset key keeps the default (event); both names parse; junk throws.
+  EXPECT_EQ(mapping_flow_from_config(util::Config{}).noc.engine,
+            noc::NocEngine::kEvent);
+  const auto cfg = util::Config::parse("noc:\n  engine: cycle\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_EQ(flow.noc.engine, noc::NocEngine::kCycle);
+
+  util::Config out;
+  mapping_flow_to_config(flow, out);
+  EXPECT_EQ(out.get_string("noc.engine"), "cycle");
+  EXPECT_EQ(mapping_flow_from_config(out).noc.engine,
+            noc::NocEngine::kCycle);
+
+  const auto bad = util::Config::parse("noc:\n  engine: warp\n");
+  EXPECT_THROW(mapping_flow_from_config(bad), std::invalid_argument);
+}
+
 TEST(ConfigIo, BadInterconnectNameThrows) {
   const auto cfg = util::Config::parse("arch:\n  interconnect: torus\n");
   try {

@@ -280,5 +280,39 @@ TEST(CoSimDvfs, BatchDvfsSweepMatchesStandaloneRuns) {
             outcomes[0].result.fidelity.fabric_energy_pj);
 }
 
+TEST(CoSimWindowEnergy, EventEngineBitIdenticalThroughClosedLoop) {
+  // The NoC engine knob flows through CoSimConfig::noc into the lockstep
+  // loop.  A generous cycle budget makes most of every window a stall span
+  // the event engine skips while the cycle oracle grinds through it — yet
+  // the windows' busy_cycles (and therefore the utilization-threshold DVFS
+  // trajectory), the per-step energy attribution, and the spike dynamics
+  // must be bit-identical: the closed loop cannot observe which scheduling
+  // core ran the fabric.
+  for (const auto& scenario : snn::golden::scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    CoSimConfig config;
+    config.cycles_per_timestep = 1u << 14;
+    config.dvfs.kind = DvfsPolicyKind::kUtilizationThreshold;
+    config.noc.engine = noc::NocEngine::kCycle;
+    const CoSimResult oracle = run_golden(scenario, config);
+    config.noc.engine = noc::NocEngine::kEvent;
+    const CoSimResult evt = run_golden(scenario, config);
+
+    EXPECT_EQ(evt.fidelity.per_step_cycles, oracle.fidelity.per_step_cycles);
+    EXPECT_EQ(evt.fidelity.freq_scale.count(),
+              oracle.fidelity.freq_scale.count());
+    EXPECT_EQ(evt.fidelity.freq_scale.mean(),
+              oracle.fidelity.freq_scale.mean());
+    EXPECT_EQ(evt.fidelity.fabric_energy_pj,
+              oracle.fidelity.fabric_energy_pj);
+    EXPECT_EQ(evt.fidelity.per_step_energy_pj,
+              oracle.fidelity.per_step_energy_pj);
+    EXPECT_EQ(evt.noc.copies_delivered, oracle.noc.copies_delivered);
+    EXPECT_EQ(evt.noc.duration_cycles, oracle.noc.duration_cycles);
+    EXPECT_EQ(evt.noc.link_hops, oracle.noc.link_hops);
+    EXPECT_EQ(evt.snn.spikes, oracle.snn.spikes);
+  }
+}
+
 }  // namespace
 }  // namespace snnmap::cosim

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "core/batch_eval.hpp"
 #include "noc/simulator.hpp"
 
 namespace snnmap::noc {
@@ -437,6 +439,88 @@ TEST(NocSimulatorFaults, DyingRouterPurgesItsBuffers) {
   EXPECT_TRUE(result.stats.drained);
   EXPECT_EQ(result.stats.copies_delivered + result.stats.fault.copies_lost(),
             30u);
+}
+
+TEST(NocSimulatorFaults, MaxCyclesHaltMidFlightConservesCopiesEverywhere) {
+  // A faulted, congested run cut off by max_cycles mixes every loss
+  // mechanism at once — copies dropped on lossy wires, killed in a dying
+  // router, pruned as unroutable, blocked at a dead source, stranded in
+  // flight at the halt, and stranded in the never-injected queue tail.
+  // Every session shape (one-shot, windowed, batch-evaluated) and both
+  // scheduling cores must report drained = false and satisfy the
+  // conservation identity delivered + copies_lost() == offered exactly.
+  const auto make_config = [](NocEngine engine) {
+    NocConfig config;
+    config.engine = engine;
+    config.buffer_depth = 1;
+    config.max_cycles = 60;
+    config.faults.seed = 5;
+    config.faults.flit_drop_probability = 0.1;
+    config.faults.scheduled.push_back(router_fault(5, 30));
+    config.faults.scheduled.push_back(tile_fault(3, 20));
+    return config;
+  };
+  const auto make_traffic = [] {
+    std::vector<SpikePacketEvent> t;
+    std::uint64_t offered = 0;
+    // Saturating multicast bursts toward one corner, plus a tail emitted
+    // at/past max_cycles that the contract says is never injected.
+    for (std::uint32_t i = 0; i < 120; ++i) {
+      t.push_back(event(i / 4, i % 16, static_cast<TileId>(i % 16),
+                        {static_cast<TileId>((i + 1) % 16),
+                         static_cast<TileId>((i + 5) % 16)}));
+    }
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      t.push_back(event(60 + i * 10, i, 0, {15}));
+    }
+    for (const auto& ev : t) offered += ev.dest_tiles.size();
+    return std::pair{std::move(t), offered};
+  };
+  const auto [traffic, offered] = make_traffic();
+  const auto check = [offered = offered](const NocRunResult& result,
+                                         const char* shape) {
+    SCOPED_TRACE(shape);
+    EXPECT_FALSE(result.stats.drained);
+    EXPECT_EQ(result.stats.duration_cycles, 60u);
+    EXPECT_GT(result.stats.fault.copies_stranded, 0u);
+    EXPECT_EQ(result.stats.copies_delivered +
+                  result.stats.fault.copies_lost(),
+              offered);
+  };
+  for (const NocEngine engine : {NocEngine::kCycle, NocEngine::kEvent}) {
+    SCOPED_TRACE(to_string(engine));
+    const NocConfig config = make_config(engine);
+
+    NocSimulator one_shot(Topology::mesh(4, 4), config);
+    const auto whole = one_shot.run(traffic);
+    check(whole, "one-shot");
+
+    NocSimulator session(Topology::mesh(4, 4), config);
+    session.begin();
+    session.enqueue(traffic);
+    for (std::uint64_t end = 7; !session.halted() && end < 200; end += 7) {
+      session.run_until(end);
+      session.close_energy_window();
+    }
+    EXPECT_TRUE(session.halted());
+    const auto windowed = session.finish();
+    check(windowed, "windowed");
+
+    core::BatchNocEvaluator evaluator(2);
+    std::vector<core::NocScenario> scenarios;
+    scenarios.push_back({Topology::mesh(4, 4), config, traffic});
+    const auto batch = evaluator.run_all(std::move(scenarios));
+    ASSERT_EQ(batch.size(), 1u);
+    check(batch[0], "batch");
+
+    // All three shapes agree on the full loss breakdown, not just the sum.
+    EXPECT_EQ(windowed.stats.fault.copies_stranded,
+              whole.stats.fault.copies_stranded);
+    EXPECT_EQ(batch[0].stats.fault.copies_stranded,
+              whole.stats.fault.copies_stranded);
+    EXPECT_EQ(windowed.stats.copies_delivered, whole.stats.copies_delivered);
+    EXPECT_EQ(batch[0].stats.copies_delivered, whole.stats.copies_delivered);
+  }
 }
 
 }  // namespace

@@ -43,20 +43,26 @@ TEST(NocGolden, EveryScenarioHasAFixture) {
 }
 
 TEST(NocGolden, BitIdenticalToSeedSimulator) {
-  for (auto& scenario : golden::scenarios()) {
-    SCOPED_TRACE(scenario.name);
-    const GoldenFixture* fixture = find_fixture(scenario.name);
-    ASSERT_NE(fixture, nullptr);
-    NocSimulator sim(std::move(scenario.topology), scenario.config);
-    const golden::Digest d = golden::digest_of(sim.run(scenario.traffic));
-    // Scalars first: a drift here localizes the failure far better than a
-    // hash mismatch.
-    EXPECT_EQ(d.copies_delivered, fixture->copies_delivered);
-    EXPECT_EQ(d.duration_cycles, fixture->duration_cycles);
-    EXPECT_EQ(d.link_hops, fixture->link_hops);
-    EXPECT_EQ(d.delivered_hash, fixture->delivered_hash);
-    EXPECT_EQ(d.stats_hash, fixture->stats_hash);
-    EXPECT_EQ(d.snn_hash, fixture->snn_hash);
+  // Both scheduling cores replay every fixture: the cycle loop is the
+  // oracle the fixtures were captured on, and the event engine must be
+  // indistinguishable from it on every digest field.
+  for (const NocEngine engine : {NocEngine::kCycle, NocEngine::kEvent}) {
+    for (auto& scenario : golden::scenarios()) {
+      SCOPED_TRACE(std::string(scenario.name) + " / " + to_string(engine));
+      const GoldenFixture* fixture = find_fixture(scenario.name);
+      ASSERT_NE(fixture, nullptr);
+      scenario.config.engine = engine;
+      NocSimulator sim(scenario.topology, scenario.config);
+      const golden::Digest d = golden::digest_of(sim.run(scenario.traffic));
+      // Scalars first: a drift here localizes the failure far better than a
+      // hash mismatch.
+      EXPECT_EQ(d.copies_delivered, fixture->copies_delivered);
+      EXPECT_EQ(d.duration_cycles, fixture->duration_cycles);
+      EXPECT_EQ(d.link_hops, fixture->link_hops);
+      EXPECT_EQ(d.delivered_hash, fixture->delivered_hash);
+      EXPECT_EQ(d.stats_hash, fixture->stats_hash);
+      EXPECT_EQ(d.snn_hash, fixture->snn_hash);
+    }
   }
 }
 
@@ -67,9 +73,13 @@ TEST(NocGolden, WindowedEnergySumsBitIdenticalToOneShotRun) {
   // close must reproduce the one-shot run() global energy bit for bit —
   // the window report's integer activity totals are exactly the session
   // counters, and both sides price them through the same
-  // hw::EnergyModel::activity_energy_pj call.
+  // hw::EnergyModel::activity_energy_pj call.  Checked on both scheduling
+  // cores: the event engine's skipped stall spans must land in the same
+  // windows' busy_cycles the cycle oracle simulates one by one.
+  for (const NocEngine engine : {NocEngine::kCycle, NocEngine::kEvent}) {
   for (auto& scenario : golden::scenarios()) {
-    SCOPED_TRACE(scenario.name);
+    SCOPED_TRACE(std::string(scenario.name) + " / " + to_string(engine));
+    scenario.config.engine = engine;
     NocSimulator one_shot(scenario.topology, scenario.config);
     const auto expected = one_shot.run(scenario.traffic);
 
@@ -115,6 +125,7 @@ TEST(NocGolden, WindowedEnergySumsBitIdenticalToOneShotRun) {
     ASSERT_EQ(expected.window_energy.windows.size(), 1u);
     EXPECT_EQ(expected.window_energy.total_energy_pj,
               expected.stats.global_energy_pj);
+  }
   }
 }
 

@@ -539,6 +539,99 @@ TEST(NocSimulator, EnergyValidationRejectsBadModel) {
                std::invalid_argument);
 }
 
+TEST(NocSimulator, MaxCyclesBoundaryNeverInjectsLateTraffic) {
+  // Contract (NocConfig::max_cycles): cycle max_cycles is never simulated,
+  // so traffic due at or beyond it is never injected — the session halts
+  // with it still queued.  Previously such events were injected during the
+  // idle fast-forward (the halt check only ran with flits in flight), so
+  // one-shot runs padded packets_injected with packets the fabric never
+  // moved, and the halt cycle depended on the emission schedule.
+  const auto traffic = [] {
+    return std::vector<SpikePacketEvent>{
+        event(50, 1, 0, {3}),    // inside the budget: delivered
+        event(100, 2, 0, {3}),   // exactly at the boundary: never injected
+        event(150, 3, 0, {3}),   // beyond it: never injected
+    };
+  };
+  for (const NocEngine engine : {NocEngine::kCycle, NocEngine::kEvent}) {
+    SCOPED_TRACE(to_string(engine));
+    NocConfig config;
+    config.max_cycles = 100;
+    config.engine = engine;
+    NocSimulator one_shot(Topology::mesh(2, 2), config);
+    const auto result = one_shot.run(traffic());
+    EXPECT_FALSE(result.stats.drained);
+    EXPECT_EQ(result.stats.duration_cycles, 100u);
+    EXPECT_EQ(result.stats.packets_injected, 1u);
+    EXPECT_EQ(result.stats.copies_delivered, 1u);
+    // The never-injected copies are stranded, closing the conservation
+    // identity delivered + lost == offered for the halted run.
+    EXPECT_EQ(result.stats.fault.copies_stranded, 2u);
+    EXPECT_EQ(result.stats.copies_delivered +
+                  result.stats.fault.copies_lost(),
+              3u);
+    // Stranding is bookkeeping, not a fault: the run is still fault-free.
+    EXPECT_FALSE(result.stats.fault.any());
+
+    // A session chopped into windows across the boundary agrees exactly.
+    NocSimulator session(Topology::mesh(2, 2), config);
+    session.begin();
+    session.enqueue(traffic());
+    for (std::uint64_t end = 30; end <= 180 && !session.halted();
+         end += 30) {
+      session.run_until(end);
+    }
+    EXPECT_TRUE(session.halted());
+    const auto windowed = session.finish();
+    EXPECT_FALSE(windowed.stats.drained);
+    EXPECT_EQ(windowed.stats.duration_cycles, 100u);
+    EXPECT_EQ(windowed.stats.packets_injected, 1u);
+    EXPECT_EQ(windowed.stats.copies_delivered, 1u);
+    EXPECT_EQ(windowed.stats.fault.copies_stranded, 2u);
+  }
+}
+
+TEST(NocSimulator, EventEngineMatchesCycleEngineAcrossOffchipParking) {
+  // Two-chip mesh with a SerDes latency far longer than any on-chip path:
+  // between bursts the only pending work sits parked on the boundary
+  // links, which is exactly the fixed-point state the event engine skips
+  // through its wake-up queue.  Everything observable must still match the
+  // cycle oracle bit for bit — including busy_cycles, which counts the
+  // skipped stall spans as if they had been simulated.
+  std::vector<SpikePacketEvent> traffic;
+  std::uint32_t neuron = 0;
+  for (std::uint64_t burst = 0; burst < 8; ++burst) {
+    const std::uint64_t at = burst * 5'000;
+    traffic.push_back(event(at, neuron++, 0, {7, 4}));
+    traffic.push_back(event(at + 1, neuron++, 5, {2}));
+  }
+  const auto run_with = [&](NocEngine engine) {
+    Topology t = Topology::mesh(4, 2);
+    t.assign_chips(2);
+    NocConfig config;
+    config.engine = engine;
+    config.offchip_link_latency = 700;
+    NocSimulator sim(std::move(t), config);
+    return sim.run(traffic);
+  };
+  const auto oracle = run_with(NocEngine::kCycle);
+  const auto evt = run_with(NocEngine::kEvent);
+  ASSERT_TRUE(oracle.stats.drained);
+  EXPECT_TRUE(evt.stats.drained);
+  EXPECT_EQ(evt.stats.duration_cycles, oracle.stats.duration_cycles);
+  EXPECT_EQ(evt.stats.copies_delivered, oracle.stats.copies_delivered);
+  EXPECT_EQ(evt.stats.link_hops, oracle.stats.link_hops);
+  EXPECT_EQ(evt.stats.offchip_link_hops, oracle.stats.offchip_link_hops);
+  EXPECT_EQ(evt.stats.global_energy_pj, oracle.stats.global_energy_pj);
+  EXPECT_EQ(evt.window_energy.busy_cycles, oracle.window_energy.busy_cycles);
+  ASSERT_EQ(evt.delivered.size(), oracle.delivered.size());
+  for (std::size_t i = 0; i < oracle.delivered.size(); ++i) {
+    EXPECT_EQ(evt.delivered[i].dest_tile, oracle.delivered[i].dest_tile);
+    EXPECT_EQ(evt.delivered[i].recv_cycle, oracle.delivered[i].recv_cycle);
+    EXPECT_EQ(evt.delivered[i].sequence, oracle.delivered[i].sequence);
+  }
+}
+
 TEST(NocSimulatorSession, BeginResetsEverything) {
   NocSimulator sim(Topology::mesh(2, 2), NocConfig{});
   sim.run({event(0, 1, 0, {3})});  // first full run
