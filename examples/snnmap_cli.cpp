@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -24,6 +25,8 @@
 #include "core/framework.hpp"
 #include "cosim/cosim.hpp"
 #include "cosim/fidelity.hpp"
+#include "obs/export.hpp"
+#include "obs/stats_json.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -61,6 +64,14 @@ void usage() {
          "  --retry               enable the AER retransmit protocol\n"
          "  --remap-on-failure    evacuate dead crossbars mid-run "
          "(graceful degradation)\n"
+         "  --trace FILE          write a Chrome/Perfetto trace-event JSON "
+         "of the co-sim run (implies --cosim)\n"
+         "  --trace-csv FILE      write the same trace as CSV "
+         "(implies --cosim)\n"
+         "  --monitor             enable the per-link congestion monitor "
+         "and report persistently hot links (implies --cosim)\n"
+         "  --stats-json FILE     dump run statistics as JSON (NoC stats; "
+         "plus fidelity / resilience / metrics under --cosim)\n"
          "  --analyze             print per-crossbar load / traffic "
          "analysis\n"
          "  --dump-config         print the effective configuration and "
@@ -135,6 +146,10 @@ int main(int argc, char** argv) {
   double fault_drop_prob = -1.0;
   bool retry = false;
   bool remap_on_failure = false;
+  std::string trace_path;
+  std::string trace_csv_path;
+  std::string stats_json_path;
+  bool monitor = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -214,6 +229,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--remap-on-failure") {
       remap_on_failure = true;
       cosim = true;
+    } else if (arg == "--trace") {
+      trace_path = need_value("--trace");
+      cosim = true;
+    } else if (arg == "--trace-csv") {
+      trace_csv_path = need_value("--trace-csv");
+      cosim = true;
+    } else if (arg == "--monitor") {
+      monitor = true;
+      cosim = true;
+    } else if (arg == "--stats-json") {
+      stats_json_path = need_value("--stats-json");
     } else if (arg == "--analyze") {
       analyze = true;
     } else if (arg == "--verbose") {
@@ -361,6 +387,10 @@ int main(int argc, char** argv) {
           fc.flit_drop_probability = 0.001;
         }
       }
+      if (!trace_path.empty() || !trace_csv_path.empty()) {
+        cc.noc.trace.enabled = true;
+      }
+      if (monitor) cc.noc.monitor.enabled = true;
       if (retry) cc.retry.enabled = true;
       if (remap_on_failure) {
         cc.failure_remap.enabled = true;
@@ -391,6 +421,18 @@ int main(int argc, char** argv) {
           noc::Topology::for_architecture(flow.arch);
       if (flow.arch.interconnect == hw::InterconnectKind::kMesh) {
         cosim_topology.set_mesh_routing(flow.mesh_routing);
+      }
+      // Track layout for the trace exporters (one Perfetto process per
+      // chip, one thread per router) — captured before the topology moves
+      // into the scenario.
+      obs::TraceTrackInfo tracks;
+      tracks.router_chip.resize(cosim_topology.router_count());
+      for (noc::RouterId r = 0; r < cosim_topology.router_count(); ++r) {
+        tracks.router_chip[r] = cosim_topology.chip_of_router(r);
+      }
+      tracks.tile_router.resize(cosim_topology.tile_count());
+      for (noc::TileId tl = 0; tl < cosim_topology.tile_count(); ++tl) {
+        tracks.tile_router[tl] = cosim_topology.router_of_tile(tl);
       }
       std::cerr << "co-simulating (" << cc.cycles_per_timestep
                 << " NoC cycles per timestep)...\n";
@@ -481,6 +523,66 @@ int main(int argc, char** argv) {
                                 std::to_string(rs.neurons_stranded)});
         std::cout << '\n' << resilience.to_ascii();
       }
+
+      if (monitor) {
+        const obs::CongestionReport& cong = cs.fidelity.congestion;
+        util::Table hot({"hot link", "ewma flits/cycle", "hot windows"});
+        for (const obs::HotLink& h : cong.hot) {
+          hot.add_row({std::to_string(h.from_router) + " -> " +
+                           std::to_string(h.to_router),
+                       util::format_double(h.ewma_occupancy, 3),
+                       std::to_string(h.hot_streak)});
+        }
+        std::cout << '\n'
+                  << "congestion: " << cong.links_tracked
+                  << " links monitored over " << cong.windows_observed
+                  << " windows, " << cong.hot_links
+                  << " persistently hot (peak EWMA "
+                  << util::format_double(cong.max_ewma_occupancy, 3)
+                  << " flits/cycle)\n";
+        if (!cong.hot.empty()) std::cout << hot.to_ascii();
+      }
+
+      if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) throw std::runtime_error("cannot write " + trace_path);
+        obs::write_chrome_trace(out, cs.trace, tracks);
+        std::cout << "wrote " << trace_path << " (" << cs.trace.size()
+                  << " of " << cs.trace_recorded
+                  << " recorded events, digest "
+                  << cs.trace_digest << ")\n";
+      }
+      if (!trace_csv_path.empty()) {
+        std::ofstream out(trace_csv_path);
+        if (!out) throw std::runtime_error("cannot write " + trace_csv_path);
+        obs::write_trace_csv(out, cs.trace);
+        std::cout << "wrote " << trace_csv_path << '\n';
+      }
+      if (!stats_json_path.empty()) {
+        std::ofstream out(stats_json_path);
+        if (!out) {
+          throw std::runtime_error("cannot write " + stats_json_path);
+        }
+        out << "{\"noc\":";
+        obs::write_json(out, cs.noc);
+        out << ",\"fidelity\":";
+        obs::write_json(out, cs.fidelity);
+        out << ",\"resilience\":";
+        obs::write_json(out, cs.resilience);
+        out << ",\"metrics\":";
+        obs::write_json(out, cs.metrics);
+        out << "}\n";
+        std::cout << "wrote " << stats_json_path << '\n';
+        stats_json_path.clear();  // the open-loop dump below is superseded
+      }
+    }
+    if (!stats_json_path.empty()) {
+      std::ofstream out(stats_json_path);
+      if (!out) throw std::runtime_error("cannot write " + stats_json_path);
+      out << "{\"noc\":";
+      obs::write_json(out, report.noc_stats);
+      out << "}\n";
+      std::cout << "wrote " << stats_json_path << '\n';
     }
     if (analyze) {
       std::cout << '\n'

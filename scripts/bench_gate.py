@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over the committed BENCH_*.json trajectories.
+
+Compares a freshly-measured set of Google Benchmark JSON files against the
+committed copies at the repo root and fails (exit 1) when any throughput
+counter regresses by more than the tolerance (default 15%).
+
+    scripts/bench_gate.py --fresh-dir DIR [--fresh-dir DIR2 ...]
+                          [--committed-dir DIR] [--tolerance 0.15]
+                          [--file BENCH_noc.json ...]
+
+Passing --fresh-dir more than once merges the measurement attempts,
+keeping the best (largest) value per counter: on a shared VM whose
+effective clock swings between runs, a counter only regresses if *every*
+attempt is slow — a genuinely slower binary still fails all attempts.
+
+Gated quantities, per benchmark entry (matched by its full "name", so every
+Arg/DenseRange leg is gated independently):
+
+  * items_per_second            — the suite's primary throughput number
+  * every counter ending in `_per_sec` — the named rate counters
+    (cycles_per_sec, delivered_per_sec, events_per_sec, ...)
+
+All gated quantities are rates (bigger is better); non-rate counters
+(copies_lost, trace_recorded, ...) are diagnostics and never gated.  A
+benchmark present in the committed file but missing from the fresh run
+fails the gate: a silently dropped leg must not pass as "no regression".
+Counters new in the fresh run (absent from the committed baseline) pass —
+they become gated once the baseline is re-recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_FILES = [
+    "BENCH_noc.json",
+    "BENCH_snn.json",
+    "BENCH_cosim.json",
+    "BENCH_energy.json",
+    "BENCH_faults.json",
+    "BENCH_obs.json",
+]
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    """Map benchmark name -> entry for a Google Benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out: dict[str, dict] = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions);
+        # the plain rows carry the per-run rates we gate.
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def gated_rates(entry: dict) -> dict[str, float]:
+    """The bigger-is-better rate counters of one benchmark entry."""
+    rates: dict[str, float] = {}
+    if isinstance(entry.get("items_per_second"), (int, float)):
+        rates["items_per_second"] = float(entry["items_per_second"])
+    for key, value in entry.items():
+        if key.endswith("_per_sec") and isinstance(value, (int, float)):
+            rates[key] = float(value)
+    return rates
+
+
+def best_fresh_rates(fresh_paths: list[str]) -> dict[str, dict[str, float]]:
+    """name -> counter -> best value across every existing fresh file."""
+    best: dict[str, dict[str, float]] = {}
+    for path in fresh_paths:
+        if not os.path.exists(path):
+            continue
+        for name, entry in load_benchmarks(path).items():
+            rates = best.setdefault(name, {})
+            for counter, value in gated_rates(entry).items():
+                if value > rates.get(counter, float("-inf")):
+                    rates[counter] = value
+    return best
+
+
+def check_file(committed_path: str, fresh_paths: list[str],
+               tolerance: float) -> list[str]:
+    """Return a list of failure messages for one BENCH_*.json baseline."""
+    failures: list[str] = []
+    committed = load_benchmarks(committed_path)
+    if not any(os.path.exists(p) for p in fresh_paths):
+        return [f"{os.path.basename(committed_path)}: fresh results missing"]
+    fresh = best_fresh_rates(fresh_paths)
+    base = os.path.basename(committed_path)
+    for name, old_entry in sorted(committed.items()):
+        new_rates = fresh.get(name)
+        if new_rates is None:
+            failures.append(f"{base}: {name}: missing from fresh run")
+            continue
+        for counter, old_value in sorted(gated_rates(old_entry).items()):
+            if old_value <= 0:
+                continue
+            new_value = new_rates.get(counter)
+            if new_value is None:
+                failures.append(
+                    f"{base}: {name}: counter {counter} missing from "
+                    f"fresh run")
+                continue
+            ratio = new_value / old_value
+            verdict = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+            print(f"{base}: {name}: {counter}: {old_value:.4g} -> "
+                  f"{new_value:.4g} ({ratio:.1%} of baseline, {verdict})")
+            if verdict != "ok":
+                failures.append(
+                    f"{base}: {name}: {counter} regressed to {ratio:.1%} "
+                    f"of baseline ({old_value:.4g} -> {new_value:.4g})")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh-dir", action="append", required=True,
+                        help="directory holding the freshly-measured "
+                             "BENCH_*.json files (repeatable: multiple "
+                             "attempts merge best-per-counter)")
+    parser.add_argument("--committed-dir", default=".",
+                        help="directory holding the committed baselines "
+                             "(default: repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slowdown before failing "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--file", action="append", default=None,
+                        help="gate only these BENCH_*.json basenames "
+                             "(repeatable; default: all known suites)")
+    args = parser.parse_args()
+
+    files = args.file if args.file else DEFAULT_FILES
+    failures: list[str] = []
+    checked = 0
+    for basename in files:
+        committed_path = os.path.join(args.committed_dir, basename)
+        if not os.path.exists(committed_path):
+            # A suite with no committed baseline yet cannot be gated; say so
+            # instead of silently shrinking coverage.
+            print(f"{basename}: no committed baseline, skipping")
+            continue
+        checked += 1
+        failures.extend(
+            check_file(committed_path,
+                       [os.path.join(d, basename) for d in args.fresh_dir],
+                       args.tolerance))
+
+    if checked == 0:
+        print("bench gate: no committed baselines found — nothing gated",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} regression(s), "
+              f"tolerance {args.tolerance:.0%}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed ({checked} file(s), "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

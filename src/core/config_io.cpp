@@ -97,6 +97,21 @@ MappingFlowConfig mapping_flow_from_config(const util::Config& config) {
       config.int_or("faults.horizon_cycles",
                     static_cast<std::int64_t>(faults.horizon_cycles)));
 
+  // -- observability (tracing + congestion monitor; defaults are inert)
+  obs::TraceConfig& trace = flow.noc.trace;
+  trace.enabled = config.bool_or("trace.enabled", trace.enabled);
+  trace.ring_capacity = static_cast<std::uint32_t>(
+      config.int_or("trace.ring_capacity", trace.ring_capacity));
+  obs::MonitorConfig& monitor = flow.noc.monitor;
+  monitor.enabled = config.bool_or("monitor.enabled", monitor.enabled);
+  monitor.ewma_alpha =
+      config.double_or("monitor.ewma_alpha", monitor.ewma_alpha);
+  monitor.hot_occupancy =
+      config.double_or("monitor.hot_occupancy", monitor.hot_occupancy);
+  monitor.persistence_windows = static_cast<std::uint32_t>(
+      config.int_or("monitor.persistence_windows",
+                    monitor.persistence_windows));
+
   // -- energy (single source of truth: the NoC config's model, which the
   //    cost model and simulators all reference)
   flow.noc.energy = hw::EnergyModel::from_config(config);
@@ -261,6 +276,18 @@ void mapping_flow_to_config(const MappingFlowConfig& flow,
              std::to_string(faults.flit_drop_probability));
   config.set("faults.horizon_cycles",
              std::to_string(faults.horizon_cycles));
+
+  config.set("trace.enabled", flow.noc.trace.enabled ? "true" : "false");
+  config.set("trace.ring_capacity",
+             std::to_string(flow.noc.trace.ring_capacity));
+  config.set("monitor.enabled",
+             flow.noc.monitor.enabled ? "true" : "false");
+  config.set("monitor.ewma_alpha",
+             std::to_string(flow.noc.monitor.ewma_alpha));
+  config.set("monitor.hot_occupancy",
+             std::to_string(flow.noc.monitor.hot_occupancy));
+  config.set("monitor.persistence_windows",
+             std::to_string(flow.noc.monitor.persistence_windows));
 
   flow.noc.energy.to_config(config);
 

@@ -70,6 +70,19 @@
 //     max_retries: 3
 //     backoff_windows: 1          # doubles per attempt
 //     timeout_windows: 8
+//
+// Observability binds under `trace:` and `monitor:` (into the flow's NoC
+// config; both default off — the default config records nothing and the
+// golden spike streams are untouched):
+//
+//   trace:
+//     enabled: false
+//     ring_capacity: 65536        # most-recent events kept for export
+//   monitor:
+//     enabled: false
+//     ewma_alpha: 0.25            # per-window EWMA smoothing, in (0, 1]
+//     hot_occupancy: 0.5          # flits/cycle EWMA marking a link hot
+//     persistence_windows: 3      # consecutive hot windows = persistently hot
 #pragma once
 
 #include <string>

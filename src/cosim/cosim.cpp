@@ -277,6 +277,12 @@ CoSimResult CoSimulator::run() {
       64);
 
   noc_.begin();
+  // Protocol-level trace events (DVFS decisions, AER retries, remap
+  // triggers) interleave with the fabric's flit-lifecycle stream on the
+  // shared cycle clock; begin() configured the tracer, so `trace_on` is the
+  // session's hoisted gate exactly like the NocSimulator's own.
+  obs::Tracer& tracer = noc_.tracer();
+  const bool trace_on = tracer.enabled();
   std::vector<std::uint64_t> emit_counter(source_tile_.size(), 0);
   std::vector<std::uint32_t> window_accepts(noc_.topology().tile_count(), 0);
   std::vector<noc::TileId> touched_tiles;
@@ -352,6 +358,10 @@ CoSimResult CoSimulator::run() {
       window_cycles = std::max<std::uint32_t>(window_cycles, jitter + 1);
     }
     const std::uint64_t window_end = window_start + window_cycles;
+    if (trace_on && dvfs.kind != DvfsPolicyKind::kFixed) {
+      tracer.record(window_start, obs::TraceEventType::kDvfsDecision,
+                    window_cycles, nominal, t);
+    }
 
     // 1. Integrate step t with deliveries deferred.
     sim_.step_deferred();
@@ -554,6 +564,10 @@ CoSimResult CoSimulator::run() {
             ++resil.retransmit_copies;
             ++fid.copies_offered;
             ++st.attempts;
+            if (trace_on) {
+              tracer.record(window_end, obs::TraceEventType::kAerRetry, src,
+                            std::get<2>(key), st.attempts);
+            }
             st.next_retry =
                 t + (static_cast<std::uint64_t>(retry.backoff_windows)
                      << std::min<std::uint32_t>(st.attempts, 20U));
@@ -589,6 +603,11 @@ CoSimResult CoSimulator::run() {
               remapper_->evacuate(dead_xbars, observed);
           ++resil.remap_events;
           resil.neurons_migrated += rep.evacuated;
+          if (trace_on) {
+            tracer.record(window_end, obs::TraceEventType::kRemapTrigger,
+                          static_cast<std::uint32_t>(dead_xbars.size()),
+                          rep.evacuated, rep.stranded);
+          }
           // evacuate() rescans every neuron still on dead hardware, so its
           // stranded count is the *current* stranded population, not a delta.
           resil.neurons_stranded = rep.stranded;
@@ -613,7 +632,13 @@ CoSimResult CoSimulator::run() {
   fid.energy_hist = util::Histogram(
       0.0, max_window_energy > 0.0 ? max_window_energy : 1.0, 32);
   for (const double e : fid.per_step_energy_pj) fid.energy_hist.add(e);
-  out.noc = noc_.finish().stats;
+  noc::NocRunResult nr = noc_.finish();
+  out.noc = std::move(nr.stats);
+  fid.congestion = std::move(nr.congestion);
+  out.trace = std::move(nr.trace);
+  out.trace_digest = nr.trace_digest;
+  out.trace_recorded = nr.trace_recorded;
+  out.metrics = std::move(nr.metrics);
   resil.noc_faults = out.noc.fault;
   return out;
 }

@@ -172,6 +172,16 @@ struct CoSimResult {
   FidelityReport fidelity;
   ResilienceReport resilience;  ///< fault / retry / remap accounting
   noc::NocStats noc;          ///< conventional interconnect statistics
+  /// Observability capture (all empty/zero with the default NocConfig:
+  /// tracing off, monitor off).  The trace stream interleaves the fabric's
+  /// flit-lifecycle events with the co-simulator's protocol events (DVFS
+  /// window decisions, AER retries, remap triggers) on the shared cycle
+  /// clock; `trace_digest` covers every recorded event even after ring
+  /// eviction.
+  std::vector<obs::TraceEvent> trace;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_recorded = 0;
+  obs::MetricsSnapshot metrics;
 };
 
 /// One closed-loop co-simulation instance over a mapped network.

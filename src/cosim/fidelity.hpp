@@ -9,6 +9,7 @@
 #include "core/partition.hpp"
 #include "core/placement.hpp"
 #include "noc/metrics.hpp"
+#include "obs/congestion.hpp"
 #include "snn/graph.hpp"
 #include "snn/spike_train.hpp"
 #include "util/stats.hpp"
@@ -55,6 +56,12 @@ struct FidelityReport {
   util::Accumulator window_energy_pj;  ///< over per_step_energy_pj samples
   util::Accumulator freq_scale;        ///< realized per-window f/f_nominal
   util::Histogram energy_hist{0.0, 1.0, 1};  ///< per-window energy, rebuilt
+
+  /// Per-link congestion summary over the lockstep windows (one monitor
+  /// window per step; `monitored == false` when NocConfig::monitor is
+  /// disabled).  The persistently-hot link list is the input the ROADMAP's
+  /// UGAL / mid-run-remap closed loop consumes.
+  obs::CongestionReport congestion;
 
   /// Copies that failed to arrive within their window, over everything
   /// offered (misses + drops + undelivered; 0 when nothing was offered).

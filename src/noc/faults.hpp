@@ -145,7 +145,6 @@ class FaultModel {
   /// Total transitions in the timeline (applied or not).
   std::size_t event_count() const noexcept { return events_.size(); }
 
- private:
   enum class Change : std::uint8_t {
     kLinkDown,
     kLinkUp,
@@ -154,6 +153,20 @@ class FaultModel {
     kTileDown,
     kTileUp,
   };
+
+  /// Read-only visit of the whole scheduled timeline, in order, applied or
+  /// not: f(cycle, change, a, b) — kLink*: a/b are the two directed global
+  /// port indices of the bidirectional link; kRouter*/kTile*: a is the
+  /// router/tile id.  The observability tracer records the fault schedule
+  /// from this at session begin (scheduled cycles are chunking-invariant;
+  /// the cycle an idle fabric happens to *apply* a batch of transitions at
+  /// is not).
+  template <typename F>
+  void for_each_event(F&& f) const {
+    for (const Event& e : events_) f(e.cycle, e.change, e.a, e.b);
+  }
+
+ private:
   struct Event {
     std::uint64_t cycle = 0;
     Change change = Change::kLinkDown;

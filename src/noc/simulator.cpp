@@ -52,6 +52,8 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
   }
   config_.energy.validate();  // NaN/inf/negative pJ would poison every stat
   config_.faults.validate();  // degenerate rates / missing horizon throw here
+  config_.trace.validate();   // enabled zero-capacity ring throws here
+  config_.monitor.validate();  // NaN alpha / negative threshold throw here
   event_driven_ = config_.engine == NocEngine::kEvent;
   // Flat per-port geometry: for global port index port_base_[r] + o,
   // neighbor_ holds the adjacent router and reverse_port_ the input-port
@@ -103,6 +105,29 @@ NocSimulator::NocSimulator(Topology topology, NocConfig config)
   for (TileId t = 0; t < topology_.tile_count(); ++t) {
     tile_router_[t] = topology_.router_of_tile(t);
   }
+  // Observability instruments are registered once; begin() only zeroes
+  // their values.  Names follow the dotted-lowercase convention (README
+  // "Observability").
+  mid_.packets = metrics_.counter("noc.packets_injected");
+  mid_.flits = metrics_.counter("noc.flits_injected");
+  mid_.delivered = metrics_.counter("noc.copies_delivered");
+  mid_.link_hops = metrics_.counter("noc.link_hops");
+  mid_.offchip = metrics_.counter("noc.offchip_link_hops");
+  mid_.router_traversals = metrics_.counter("noc.router_traversals");
+  mid_.busy = metrics_.counter("noc.busy_cycles");
+  mid_.reroutes = metrics_.counter("noc.fault.reroutes");
+  mid_.flits_dropped = metrics_.counter("noc.fault.flits_dropped");
+  mid_.copies_lost = metrics_.counter("noc.fault.copies_lost");
+  mid_.link_max_flits = metrics_.gauge("noc.link.max_flits");
+  mid_.links_used = metrics_.gauge("noc.link.used");
+  mid_.windows = metrics_.gauge("noc.windows");
+  mid_.trace_recorded = metrics_.gauge("noc.trace.recorded");
+  mid_.trace_evicted = metrics_.gauge("noc.trace.evicted");
+  mid_.window_peak = metrics_.histogram(
+      "noc.window.peak_link_flits",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384});
+  mid_.window_utilization = metrics_.histogram(
+      "noc.window.utilization_pct", {10, 20, 30, 40, 50, 60, 70, 80, 90});
   begin();
 }
 
@@ -151,6 +176,60 @@ void NocSimulator::begin() {
     faults_active_ = false;
   }
   dead_tiles_pending_.clear();
+  // Observability session reset.  The tracer restarts its stream and
+  // digest; the fault *schedule* is recorded up front because it is a pure
+  // function of (topology, config.faults) — whereas the cycle an idle
+  // fabric applies a transition batch at varies with session chunking.
+  tracer_.configure(config_.trace);
+  trace_active_ = tracer_.enabled();
+  if (trace_active_ && faults_active_) trace_fault_schedule();
+  metrics_.reset_values();
+  if (config_.monitor.enabled) {
+    monitor_.emplace(port_base_[n], config_.monitor);
+    monitor_scratch_.assign(port_base_[n], 0);
+  } else {
+    monitor_.reset();
+  }
+}
+
+RouterId NocSimulator::router_of_port(std::uint32_t g) const {
+  const auto it =
+      std::upper_bound(port_base_.begin(), port_base_.end(), g);
+  return static_cast<RouterId>(it - port_base_.begin() - 1);
+}
+
+void NocSimulator::trace_fault_schedule() {
+  using Change = FaultModel::Change;
+  using Type = obs::TraceEventType;
+  fault_model_.for_each_event([&](std::uint64_t cycle, Change change,
+                                  std::uint32_t a, std::uint32_t b) {
+    (void)b;  // the reverse direction of a bidirectional link
+    switch (change) {
+      case Change::kLinkDown:
+      case Change::kLinkUp: {
+        const RouterId r = router_of_port(a);
+        tracer_.record(cycle,
+                       change == Change::kLinkDown ? Type::kFaultLinkDown
+                                                   : Type::kFaultLinkUp,
+                       r, a - port_base_[r], 0);
+        break;
+      }
+      case Change::kRouterDown:
+      case Change::kRouterUp:
+        tracer_.record(cycle,
+                       change == Change::kRouterDown ? Type::kFaultRouterDown
+                                                     : Type::kFaultRouterUp,
+                       a, 0, 0);
+        break;
+      case Change::kTileDown:
+      case Change::kTileUp:
+        tracer_.record(cycle,
+                       change == Change::kTileDown ? Type::kFaultTileDown
+                                                   : Type::kFaultTileUp,
+                       a, 0, 0);
+        break;
+    }
+  });
 }
 
 std::vector<TileId> NocSimulator::take_dead_tiles() {
@@ -367,12 +446,20 @@ void NocSimulator::inject_due() {
       src.push(src.port_count(), make_flit(ev, dests, dest_count));
       ++stats_.flits_injected;  // one AER encode per flit copy
       ++in_flight_;
+      if (trace_active_) {
+        tracer_.record(now_, obs::TraceEventType::kFlitInject, src_router,
+                       dest_count, ev.source_neuron);
+      }
     } else {
       // Source-replicated unicast: one independent copy per destination.
       for (std::uint32_t d = 0; d < dest_count; ++d) {
         src.push(src.port_count(), make_flit(ev, &dests[d], 1));
         ++stats_.flits_injected;
         ++in_flight_;
+        if (trace_active_) {
+          tracer_.record(now_, obs::TraceEventType::kFlitInject, src_router,
+                         1, ev.source_neuron);
+        }
       }
     }
     ++sequence_of(ev.source_neuron);
@@ -469,6 +556,10 @@ void NocSimulator::simulate_cycle() {
             stats_.latency_cycles.add(static_cast<double>(d.latency()));
             stats_.max_latency_cycles =
                 std::max(stats_.max_latency_cycles, d.latency());
+            if (trace_active_) {
+              tracer_.record(d.recv_cycle, obs::TraceEventType::kFlitDeliver,
+                             r, dest, head.source_neuron);
+            }
           };
           // Ejection and forwarding account pure activity; energy is
           // priced from these exact integer counters at window close /
@@ -491,11 +582,25 @@ void NocSimulator::simulate_cycle() {
               ++stats_.fault.flits_dropped;
               stats_.fault.copies_dropped += copy.dest_count;
               arena_live_ -= copy.dest_count;
+              if (trace_active_) {
+                tracer_.record(now, obs::TraceEventType::kFlitDrop, r, out,
+                               copy.source_neuron);
+              }
               return;
             }
             copy.ready_cycle =
                 now + 1 +
                 (offchip ? std::uint64_t{config_.offchip_link_latency} : 0);
+            if (trace_active_) {
+              tracer_.record(now, obs::TraceEventType::kFlitHop, r, out,
+                             copy.source_neuron);
+              // Park condition is engine-independent (ready past the next
+              // cycle), so the event records identically under kCycle.
+              if (copy.ready_cycle > now + 1) {
+                tracer_.record(now, obs::TraceEventType::kFlitPark, nb,
+                               nb_port, copy.ready_cycle);
+              }
+            }
             // An off-chip crossing parks the copy past the next cycle; the
             // event engine must know when it un-parks, or a fabric whose
             // only pending work is on the SerDes would look like a dead
@@ -832,10 +937,18 @@ WindowEnergySample NocSimulator::close_energy_window() {
   s.link_hops = stats_.link_hops - win_link_hops_;
   s.offchip_link_hops = stats_.offchip_link_hops - win_offchip_link_hops_;
   s.router_traversals = stats_.router_traversals - win_router_traversals_;
+  const bool mon = monitor_.has_value();
   for (std::size_t i = 0; i < link_flits_.size(); ++i) {
     const std::uint64_t delta = link_flits_[i] - win_link_flits_[i];
     s.peak_link_flits = std::max(s.peak_link_flits, delta);
     win_link_flits_[i] = link_flits_[i];
+    if (mon) monitor_scratch_[i] = delta;
+  }
+  if (mon) monitor_->observe_window(monitor_scratch_, s.end_cycle - s.start_cycle);
+  metrics_.observe(mid_.window_peak, s.peak_link_flits);
+  if (s.end_cycle > s.start_cycle) {
+    metrics_.observe(mid_.window_utilization,
+                     s.busy_cycles * 100 / (s.end_cycle - s.start_cycle));
   }
   s.energy_pj = config_.energy.activity_energy_pj(
       static_cast<double>(s.codec_events()),
@@ -916,6 +1029,36 @@ NocRunResult NocSimulator::finish() {
     }
   }
   std::sort(stats_.link_flits.begin(), stats_.link_flits.end());
+  // Publish the session's counters into the metrics registry once, off the
+  // hot path; window histograms were already observed at each close.
+  metrics_.add(mid_.packets, stats_.packets_injected);
+  metrics_.add(mid_.flits, stats_.flits_injected);
+  metrics_.add(mid_.delivered, stats_.copies_delivered);
+  metrics_.add(mid_.link_hops, stats_.link_hops);
+  metrics_.add(mid_.offchip, stats_.offchip_link_hops);
+  metrics_.add(mid_.router_traversals, stats_.router_traversals);
+  metrics_.add(mid_.busy, busy_cycles_);
+  metrics_.add(mid_.reroutes, stats_.fault.reroutes);
+  metrics_.add(mid_.flits_dropped, stats_.fault.flits_dropped);
+  metrics_.add(mid_.copies_lost, stats_.fault.copies_lost());
+  metrics_.set(mid_.link_max_flits, stats_.max_link_flits());
+  metrics_.set(mid_.links_used, stats_.link_flits.size());
+  metrics_.set(mid_.windows, window_report_.windows.size());
+  metrics_.set(mid_.trace_recorded, tracer_.recorded());
+  metrics_.set(mid_.trace_evicted, tracer_.evicted());
+  result.metrics = metrics_.snapshot();
+  if (monitor_) {
+    result.congestion = monitor_->report();
+    for (obs::HotLink& h : result.congestion.hot) {
+      h.from_router = router_of_port(h.link);
+      h.to_router = neighbor_[h.link];
+    }
+  }
+  if (trace_active_) {
+    result.trace = tracer_.events();
+    result.trace_digest = tracer_.digest();
+    result.trace_recorded = tracer_.recorded();
+  }
   result.stats = stats_;
   // finish() is terminal for the session (begin() rebuilds the report), so
   // the per-window sample vector moves out instead of deep-copying.

@@ -30,12 +30,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "hw/energy_model.hpp"
 #include "noc/faults.hpp"
 #include "noc/metrics.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
 #include "noc/wakeup.hpp"
+#include "obs/congestion.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace snnmap::noc {
 
@@ -118,6 +123,15 @@ struct NocConfig {
   /// fault branch in the cycle loop is ever taken and every fault-free
   /// golden stream is preserved bit for bit.
   FaultConfig faults;
+  /// Event tracing (see obs/trace.hpp).  Default: inert — no trace branch
+  /// is ever taken and the recorded stream stays empty; when enabled the
+  /// stream is a pure function of (config, topology, traffic), identical
+  /// across engines and session chunkings.
+  obs::TraceConfig trace;
+  /// Per-link congestion monitoring over energy-window closes (see
+  /// obs/congestion.hpp).  Default: disabled — close_energy_window() is
+  /// unchanged and NocRunResult::congestion stays all-zero.
+  obs::MonitorConfig monitor;
 };
 
 struct NocRunResult {
@@ -132,6 +146,16 @@ struct NocRunResult {
   /// covering the whole trace).  Totals are bit-identical to
   /// stats.global_energy_pj by construction.
   WindowEnergyReport window_energy;
+  /// Ring-retained trace events (empty with tracing disabled) plus the
+  /// full-stream FNV-1a digest and record count — the digest covers every
+  /// recorded event even after ring eviction.
+  std::vector<obs::TraceEvent> trace;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_recorded = 0;
+  /// Congestion summary (`monitored == false` when the monitor is off).
+  obs::CongestionReport congestion;
+  /// Session metrics snapshot (obs::MetricsRegistry; sorted by name).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Sentinel for run_until(): no cycle bound (run to drain / max_cycles).
@@ -230,6 +254,15 @@ class NocSimulator {
 
   /// The session's live fault state (inert when no faults are configured).
   const FaultModel& fault_model() const noexcept { return fault_model_; }
+
+  /// The session's event tracer.  Mutable access lets a lockstep driver
+  /// (cosim::CoSimulator) interleave protocol-level events — AER retries,
+  /// remap triggers, DVFS decisions — into the same deterministic stream.
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+  /// The session's metrics registry (published at window closes and
+  /// finish(); zero cost inside the cycle loop).
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   /// Moves out the tiles that went permanently silent (tile fault, or
   /// their router died) since the last call — the co-simulator's
   /// remap-on-failure trigger.  Empty on fault-free sessions.
@@ -267,6 +300,14 @@ class NocSimulator {
   void apply_fault_transitions();
   void purge_router(RouterId r);
   void sweep_unroutable();
+
+  // --- observability (every record call site is gated on trace_active_) --
+  /// Records the whole fault timeline at session begin with *scheduled*
+  /// cycles (the cycle an idle fabric applies a transition batch at is
+  /// chunking-dependent; the schedule is not).
+  void trace_fault_schedule();
+  /// Router owning global port `g` (inverse of the port_base_ prefix sums).
+  RouterId router_of_port(std::uint32_t g) const;
 
   Topology topology_;
   NocConfig config_;
@@ -340,6 +381,21 @@ class NocSimulator {
   bool faults_active_ = false;
   std::vector<TileId> dead_tiles_pending_;  // for take_dead_tiles()
   std::vector<TileId> live_dests_;          // injection-time filter scratch
+  // --- observability (inert by default: trace_active_ gates every record
+  // call, the monitor is only constructed when enabled, and the metrics
+  // registry is written at window/finish boundaries only) ----------------
+  obs::Tracer tracer_;
+  bool trace_active_ = false;  // config_.trace.enabled, hoisted
+  std::optional<obs::CongestionMonitor> monitor_;
+  std::vector<std::uint64_t> monitor_scratch_;  // per-link window deltas
+  obs::MetricsRegistry metrics_;
+  struct MetricIds {
+    obs::MetricsRegistry::Id packets, flits, delivered, link_hops, offchip,
+        router_traversals, busy, reroutes, flits_dropped, copies_lost,
+        link_max_flits, links_used, windows, trace_recorded, trace_evicted,
+        window_peak, window_utilization;
+  };
+  MetricIds mid_{};
 };
 
 }  // namespace snnmap::noc

@@ -1,0 +1,77 @@
+#include "obs/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnmap::obs {
+
+void MonitorConfig::validate() const {
+  if (!(ewma_alpha > 0.0) || !(ewma_alpha <= 1.0)) {
+    throw std::invalid_argument(
+        "MonitorConfig: ewma_alpha must be in (0, 1] (0 would never update "
+        "the average; NaN compares false here too)");
+  }
+  if (!(hot_occupancy >= 0.0) || !std::isfinite(hot_occupancy)) {
+    throw std::invalid_argument(
+        "MonitorConfig: hot_occupancy must be finite and >= 0 flits/cycle");
+  }
+  if (enabled && persistence_windows == 0) {
+    throw std::invalid_argument(
+        "MonitorConfig: persistence_windows must be >= 1 when the monitor "
+        "is enabled (a zero-window persistence test is always true)");
+  }
+}
+
+CongestionMonitor::CongestionMonitor(std::size_t link_count,
+                                     const MonitorConfig& config)
+    : config_(config),
+      ewma_(link_count, 0.0),
+      streak_(link_count, 0),
+      ever_hot_(link_count, 0) {
+  config_.validate();
+}
+
+void CongestionMonitor::observe_window(
+    const std::vector<std::uint64_t>& deltas, std::uint64_t span_cycles) {
+  if (deltas.size() != ewma_.size()) {
+    throw std::invalid_argument(
+        "CongestionMonitor: delta count does not match the tracked links");
+  }
+  if (span_cycles == 0) return;
+  ++windows_;
+  const double span = static_cast<double>(span_cycles);
+  const double alpha = config_.ewma_alpha;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const double occ = static_cast<double>(deltas[i]) / span;
+    ewma_[i] = alpha * occ + (1.0 - alpha) * ewma_[i];
+    if (occ >= config_.hot_occupancy) {
+      ++streak_[i];
+      ever_hot_[i] = 1;
+    } else {
+      streak_[i] = 0;
+    }
+  }
+}
+
+CongestionReport CongestionMonitor::report() const {
+  CongestionReport r;
+  r.monitored = true;
+  r.windows_observed = windows_;
+  r.links_tracked = static_cast<std::uint32_t>(ewma_.size());
+  for (std::size_t i = 0; i < ewma_.size(); ++i) {
+    r.max_ewma_occupancy = std::max(r.max_ewma_occupancy, ewma_[i]);
+    if (ever_hot_[i]) ++r.links_ever_hot;
+    if (streak_[i] >= config_.persistence_windows) {
+      ++r.hot_links;
+      HotLink h;
+      h.link = static_cast<std::uint32_t>(i);
+      h.ewma_occupancy = ewma_[i];
+      h.hot_streak = streak_[i];
+      r.hot.push_back(h);
+    }
+  }
+  return r;
+}
+
+}  // namespace snnmap::obs

@@ -1,0 +1,103 @@
+// Per-link congestion monitoring over the NoC's energy-window boundaries.
+//
+// The monitor consumes the per-directed-link flit deltas the simulator
+// already computes at every close_energy_window() call, maintains an EWMA
+// occupancy (flits per cycle of window span) per link, and tracks how many
+// *consecutive* windows each link stayed above the hot-occupancy
+// threshold.  A link whose streak reaches `persistence_windows` is
+// persistently hot — exactly the signal the ROADMAP's UGAL/remap closed
+// loop needs (treat "persistently hot" like "dead": mask the link and let
+// the fault-fallback routing steer around it).
+//
+// Cost model: O(links) per window close, zero per cycle; with the default
+// (disabled) config the simulator never constructs a monitor and the
+// window-close loop is unchanged.  All state is a deterministic function
+// of the simulated activity; window *placement* is the caller's chunking,
+// so reports are comparable only across runs with the same window schedule
+// (the cosim closes one window per lockstep step, which is such a
+// schedule).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snnmap::obs {
+
+/// Congestion-monitor settings.  Default: disabled, nothing tracked.
+struct MonitorConfig {
+  bool enabled = false;
+  /// EWMA smoothing factor in (0, 1]: 1 = last window only.
+  double ewma_alpha = 0.25;
+  /// Occupancy (flits per cycle of window span) at or above which a link
+  /// counts as hot for the window; must be finite and >= 0.
+  double hot_occupancy = 0.5;
+  /// Consecutive hot windows before a link is reported persistently hot;
+  /// must be >= 1 when enabled.
+  std::uint32_t persistence_windows = 3;
+
+  /// Throws std::invalid_argument on NaN / out-of-range values (parity
+  /// with FaultConfig::validate()).
+  void validate() const;
+};
+
+/// One persistently-hot directed link.  `link` is the simulator's global
+/// port index; from/to are filled by the owner (NocSimulator) which knows
+/// the port geometry.
+struct HotLink {
+  std::uint32_t link = 0;
+  std::uint32_t from_router = 0;
+  std::uint32_t to_router = 0;
+  double ewma_occupancy = 0.0;
+  std::uint32_t hot_streak = 0;  ///< consecutive hot windows, incl. current
+};
+
+/// Congestion summary of one session (embedded in NocRunResult and, for
+/// closed-loop runs, cosim::FidelityReport).
+struct CongestionReport {
+  bool monitored = false;  ///< false = monitor disabled, everything zero
+  std::uint64_t windows_observed = 0;
+  std::uint32_t links_tracked = 0;
+  /// Links hot in >= 1 window / persistently hot at session end.
+  std::uint32_t links_ever_hot = 0;
+  std::uint32_t hot_links = 0;
+  double max_ewma_occupancy = 0.0;
+  /// Persistently-hot links, sorted by link index.
+  std::vector<HotLink> hot;
+};
+
+class CongestionMonitor {
+ public:
+  /// `config` is validated here (the NocSimulator constructor also
+  /// validates up front so a bad config fails before any session runs).
+  CongestionMonitor(std::size_t link_count, const MonitorConfig& config);
+
+  /// Folds one closed window into the EWMAs: `deltas[i]` is link i's flit
+  /// count within the window, `span_cycles` the window's virtual-time
+  /// span.  Zero-span windows (back-to-back closes) are ignored — there is
+  /// no occupancy to measure.
+  void observe_window(const std::vector<std::uint64_t>& deltas,
+                      std::uint64_t span_cycles);
+
+  std::uint64_t windows_observed() const noexcept { return windows_; }
+  double ewma(std::size_t link) const { return ewma_.at(link); }
+  std::uint32_t hot_streak(std::size_t link) const {
+    return streak_.at(link);
+  }
+  bool persistently_hot(std::size_t link) const {
+    return streak_.at(link) >= config_.persistence_windows;
+  }
+
+  /// Builds the summary (from/to router fields left zero — the owner
+  /// annotates them from its port geometry).
+  CongestionReport report() const;
+
+ private:
+  MonitorConfig config_;
+  std::vector<double> ewma_;
+  std::vector<std::uint32_t> streak_;
+  std::vector<std::uint8_t> ever_hot_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace snnmap::obs

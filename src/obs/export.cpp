@@ -1,0 +1,164 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+
+namespace snnmap::obs {
+namespace {
+
+/// Synthetic pid offset for the protocol-level ("cosim") track set — one
+/// past every real chip id so the lanes sort after the fabric.
+constexpr std::uint32_t kCosimPidOffset = 1;
+
+bool is_protocol_event(TraceEventType t) noexcept {
+  return t == TraceEventType::kAerRetry ||
+         t == TraceEventType::kRemapTrigger ||
+         t == TraceEventType::kDvfsDecision;
+}
+
+bool is_tile_event(TraceEventType t) noexcept {
+  return t == TraceEventType::kFaultTileDown ||
+         t == TraceEventType::kFaultTileUp;
+}
+
+/// Per-type names for the a / b / c payload words (nullptr = omit).
+struct ArgKeys {
+  const char* a;
+  const char* b;
+  const char* c;
+};
+
+ArgKeys arg_keys(TraceEventType t) noexcept {
+  switch (t) {
+    case TraceEventType::kFlitInject:
+      return {"router", "copies", "neuron"};
+    case TraceEventType::kFlitHop:
+    case TraceEventType::kFlitDrop:
+      return {"router", "port", "neuron"};
+    case TraceEventType::kFlitPark:
+      return {"router", "port", "ready_cycle"};
+    case TraceEventType::kFlitDeliver:
+      return {"router", "tile", "neuron"};
+    case TraceEventType::kFaultLinkDown:
+    case TraceEventType::kFaultLinkUp:
+      return {"router", "port", nullptr};
+    case TraceEventType::kFaultRouterDown:
+    case TraceEventType::kFaultRouterUp:
+      return {"router", nullptr, nullptr};
+    case TraceEventType::kFaultTileDown:
+    case TraceEventType::kFaultTileUp:
+      return {"tile", nullptr, nullptr};
+    case TraceEventType::kAerRetry:
+      return {"neuron", "tile", "attempt"};
+    case TraceEventType::kRemapTrigger:
+      return {"dead_crossbars", "migrated", "stranded"};
+    case TraceEventType::kDvfsDecision:
+      return {"window_cycles", "nominal_cycles", "step"};
+  }
+  return {"a", "b", "c"};
+}
+
+struct Track {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+Track track_of(const TraceEvent& e, const TraceTrackInfo& info,
+               std::uint32_t cosim_pid) {
+  if (is_protocol_event(e.type)) {
+    return {cosim_pid, static_cast<std::uint32_t>(e.type)};
+  }
+  std::uint32_t router = e.a;
+  if (is_tile_event(e.type)) {
+    router = e.a < info.tile_router.size() ? info.tile_router[e.a] : 0;
+  }
+  const std::uint32_t chip =
+      router < info.router_chip.size() ? info.router_chip[router] : 0;
+  return {chip, router};
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const TraceTrackInfo& info) {
+  std::uint32_t max_chip = 0;
+  for (const std::uint32_t chip : info.router_chip) {
+    max_chip = std::max(max_chip, chip);
+  }
+  const std::uint32_t cosim_pid = max_chip + kCosimPidOffset;
+
+  // One metadata record per used process / track so Perfetto labels the
+  // lanes; collected first so they lead the stream.
+  std::set<std::uint32_t> pids;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TraceEventType> tids;
+  for (const TraceEvent& e : events) {
+    const Track t = track_of(e, info, cosim_pid);
+    pids.insert(t.pid);
+    tids.emplace(std::make_pair(t.pid, t.tid), e.type);
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const std::uint32_t pid : pids) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    if (pid == cosim_pid) {
+      os << "cosim";
+    } else {
+      os << "chip " << pid;
+    }
+    os << "\"}}";
+  }
+  for (const auto& [key, type] : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"";
+    if (key.first == cosim_pid) {
+      os << to_string(type);
+    } else {
+      os << "router " << key.second;
+    }
+    os << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    const Track t = track_of(e, info, cosim_pid);
+    const ArgKeys keys = arg_keys(e.type);
+    sep();
+    os << "{\"name\":\"" << to_string(e.type)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
+       << ",\"pid\":" << t.pid << ",\"tid\":" << t.tid << ",\"args\":{";
+    bool first_arg = true;
+    const auto arg = [&](const char* key, std::uint64_t value) {
+      if (key == nullptr) return;
+      if (!first_arg) os << ",";
+      first_arg = false;
+      os << "\"" << key << "\":" << value;
+    };
+    arg(keys.a, e.a);
+    arg(keys.b, e.b);
+    arg(keys.c, e.c);
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void write_trace_csv(std::ostream& os,
+                     const std::vector<TraceEvent>& events) {
+  os << "cycle,type,a,b,c\n";
+  for (const TraceEvent& e : events) {
+    os << e.cycle << "," << to_string(e.type) << "," << e.a << "," << e.b
+       << "," << e.c << "\n";
+  }
+}
+
+}  // namespace snnmap::obs

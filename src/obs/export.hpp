@@ -1,0 +1,43 @@
+// Trace exporters: Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) and flat CSV.
+//
+// The Chrome export writes one instant event per TraceEvent onto a
+// per-router track: pid = the router's chip, tid = the router (so a
+// multi-chip fabric renders as one process lane per chip with its routers
+// as threads), plus process_name / thread_name metadata records.
+// Protocol-level events (AER retries, remap triggers, DVFS decisions) go
+// onto a dedicated "cosim" process with one track per event type.
+// Timestamps are virtual interconnect cycles written as microseconds —
+// Perfetto needs *a* time unit and cycles are the only real one here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace snnmap::obs {
+
+/// Topology facts the exporter needs to place events on tracks; fill from
+/// noc::Topology (the exporter itself stays independent of the noc layer).
+struct TraceTrackInfo {
+  /// router -> chip id; size = router count.  Empty = single-chip (pid 0).
+  std::vector<std::uint32_t> router_chip;
+  /// tile -> attached router; size = tile count.  Used to place tile-fault
+  /// events on their router's track; empty = tile events land on tid 0.
+  std::vector<std::uint32_t> tile_router;
+};
+
+/// Writes `events` as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}).  Deterministic byte output for a given
+/// (events, info) pair.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const TraceTrackInfo& info);
+
+/// Writes `events` as CSV: header "cycle,type,a,b,c", one row per event,
+/// type spelled via to_string(TraceEventType).
+void write_trace_csv(std::ostream& os, const std::vector<TraceEvent>& events);
+
+}  // namespace snnmap::obs

@@ -1,0 +1,148 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snnmap::obs {
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricSample* MetricsSnapshot::find(
+    const std::string& name) const noexcept {
+  const auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const MetricSample& s, const std::string& n) { return s.name < n; });
+  return it != samples.end() && it->name == name ? &*it : nullptr;
+}
+
+MetricsRegistry::Id MetricsRegistry::intern(const std::string& name,
+                                            MetricKind kind) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name != name) continue;
+    if (entries_[i].kind != kind) {
+      throw std::invalid_argument(
+          "MetricsRegistry: \"" + name + "\" is already registered as a " +
+          to_string(entries_[i].kind) + ", not a " + to_string(kind));
+    }
+    return static_cast<Id>(i);
+  }
+  if (name.empty()) {
+    throw std::invalid_argument("MetricsRegistry: metric name is empty");
+  }
+  Entry e;
+  e.name = name;
+  e.kind = kind;
+  entries_.push_back(std::move(e));
+  return static_cast<Id>(entries_.size() - 1);
+}
+
+MetricsRegistry::Id MetricsRegistry::counter(const std::string& name) {
+  return intern(name, MetricKind::kCounter);
+}
+
+MetricsRegistry::Id MetricsRegistry::gauge(const std::string& name) {
+  return intern(name, MetricKind::kGauge);
+}
+
+MetricsRegistry::Id MetricsRegistry::histogram(
+    const std::string& name, std::vector<std::uint64_t> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("MetricsRegistry: \"" + name +
+                                "\": histogram bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument(
+          "MetricsRegistry: \"" + name +
+          "\": histogram bounds must be strictly increasing");
+    }
+  }
+  const Id id = intern(name, MetricKind::kHistogram);
+  Entry& e = entries_[id];
+  if (e.bounds.empty()) {
+    e.bounds = std::move(bounds);
+    e.counts.assign(e.bounds.size() + 1, 0);
+  } else if (e.bounds != bounds) {
+    throw std::invalid_argument(
+        "MetricsRegistry: \"" + name +
+        "\" is already registered with different histogram bounds");
+  }
+  return id;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::checked(Id id, MetricKind kind,
+                                                 const char* op) {
+  if (id >= entries_.size()) {
+    throw std::out_of_range("MetricsRegistry: unknown metric id");
+  }
+  Entry& e = entries_[id];
+  if (e.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: " + std::string(op) +
+                                "() on \"" + e.name + "\", which is a " +
+                                to_string(e.kind));
+  }
+  return e;
+}
+
+void MetricsRegistry::add(Id id, std::uint64_t delta) {
+  checked(id, MetricKind::kCounter, "add").value += delta;
+}
+
+void MetricsRegistry::set(Id id, std::uint64_t value) {
+  checked(id, MetricKind::kGauge, "set").value = value;
+}
+
+void MetricsRegistry::observe(Id id, std::uint64_t value) {
+  Entry& e = checked(id, MetricKind::kHistogram, "observe");
+  ++e.value;
+  e.sum += value;
+  const auto it = std::lower_bound(e.bounds.begin(), e.bounds.end(), value);
+  ++e.counts[static_cast<std::size_t>(it - e.bounds.begin())];
+}
+
+std::uint64_t MetricsRegistry::value(Id id) const {
+  if (id >= entries_.size()) {
+    throw std::out_of_range("MetricsRegistry: unknown metric id");
+  }
+  return entries_[id].value;
+}
+
+void MetricsRegistry::reset_values() {
+  for (Entry& e : entries_) {
+    e.value = 0;
+    e.sum = 0;
+    std::fill(e.counts.begin(), e.counts.end(), 0);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    s.value = e.value;
+    if (e.kind == MetricKind::kHistogram) {
+      s.hist.bounds = e.bounds;
+      s.hist.counts = e.counts;
+      s.hist.total = e.value;
+      s.hist.sum = e.sum;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace snnmap::obs

@@ -1,0 +1,98 @@
+// Named integer metrics: counters, gauges, and fixed-bucket histograms
+// with a sorted snapshot API.
+//
+// The registry is deliberately kept off the simulators' cycle hot path:
+// NocSimulator registers its instruments once at construction and
+// *publishes* into them at window boundaries (close_energy_window) and at
+// finish() — O(instruments) per boundary, zero cost per cycle.  Everything
+// is plain integers, so a snapshot is a pure function of the simulated
+// activity and bit-identical across engines, chunkings, and batch threads.
+//
+// Naming convention (README "Observability"): dotted lowercase paths,
+// subsystem first — e.g. "noc.flits_injected", "noc.window.peak_link_flits".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnmap::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind) noexcept;
+
+/// Point-in-time copy of one histogram: counts[i] holds observations with
+/// value <= bounds[i] (first matching bucket); counts.back() is the
+/// implicit +inf overflow bucket, so counts.size() == bounds.size() + 1.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;  ///< observations
+  std::uint64_t sum = 0;    ///< sum of observed values
+};
+
+/// One instrument in a snapshot.  `value` is the counter/gauge value
+/// (histograms report total observations there; the full distribution is
+/// in `hist`).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;
+  HistogramSnapshot hist;  ///< empty unless kind == kHistogram
+};
+
+/// All instruments at one point in time, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// The sample named `name`, or nullptr.  O(log n).
+  const MetricSample* find(const std::string& name) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+
+  /// Register (or look up) an instrument.  Re-registering an existing name
+  /// with a different kind — or a histogram with different bounds — throws
+  /// std::invalid_argument; re-registering identically returns the same id.
+  Id counter(const std::string& name);
+  Id gauge(const std::string& name);
+  /// `bounds` must be non-empty and strictly increasing (bucket upper
+  /// bounds; an implicit +inf bucket catches the rest).
+  Id histogram(const std::string& name, std::vector<std::uint64_t> bounds);
+
+  /// Counter: monotonic accumulate.
+  void add(Id id, std::uint64_t delta = 1);
+  /// Gauge: last-write-wins level.
+  void set(Id id, std::uint64_t value);
+  /// Histogram: bucket one observation.
+  void observe(Id id, std::uint64_t value);
+
+  std::uint64_t value(Id id) const;
+
+  /// Zeroes every value (registrations survive) — session reset.
+  void reset_values();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t value = 0;  // counter/gauge value; histogram observation #
+    std::uint64_t sum = 0;    // histogram only
+    std::vector<std::uint64_t> bounds;  // histogram only
+    std::vector<std::uint64_t> counts;  // histogram only; bounds.size() + 1
+  };
+
+  Id intern(const std::string& name, MetricKind kind);
+  Entry& checked(Id id, MetricKind kind, const char* op);
+
+  std::vector<Entry> entries_;  // id = index, registration order
+};
+
+}  // namespace snnmap::obs

@@ -1,0 +1,65 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace snnmap::obs {
+
+void TraceConfig::validate() const {
+  if (enabled && ring_capacity == 0) {
+    throw std::invalid_argument(
+        "TraceConfig: ring_capacity must be >= 1 when tracing is enabled "
+        "(a zero-slot ring could retain nothing)");
+  }
+}
+
+const char* to_string(TraceEventType type) noexcept {
+  switch (type) {
+    case TraceEventType::kFlitInject: return "flit-inject";
+    case TraceEventType::kFlitHop: return "flit-hop";
+    case TraceEventType::kFlitPark: return "flit-park";
+    case TraceEventType::kFlitDeliver: return "flit-deliver";
+    case TraceEventType::kFlitDrop: return "flit-drop";
+    case TraceEventType::kFaultLinkDown: return "fault-link-down";
+    case TraceEventType::kFaultLinkUp: return "fault-link-up";
+    case TraceEventType::kFaultRouterDown: return "fault-router-down";
+    case TraceEventType::kFaultRouterUp: return "fault-router-up";
+    case TraceEventType::kFaultTileDown: return "fault-tile-down";
+    case TraceEventType::kFaultTileUp: return "fault-tile-up";
+    case TraceEventType::kAerRetry: return "aer-retry";
+    case TraceEventType::kRemapTrigger: return "remap-trigger";
+    case TraceEventType::kDvfsDecision: return "dvfs-decision";
+  }
+  return "?";
+}
+
+void Tracer::configure(const TraceConfig& config) {
+  config.validate();
+  reset();
+  enabled_ = config.enabled;
+  capacity_ = config.enabled ? config.ring_capacity : 0;
+}
+
+void Tracer::reset() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  digest_ = 0xcbf29ce484222325ULL;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, the oldest retained event sits at head_ (the next eviction
+  // slot); before that the ring is a plain append-only vector.
+  if (ring_.size() == capacity_ && head_ != 0) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+}  // namespace snnmap::obs

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 namespace snnmap::core {
 namespace {
 
@@ -359,6 +362,82 @@ TEST(ConfigIo, FaultAndRetryKeysAreByteStable) {
   EXPECT_TRUE(cosim_back.retry.enabled);
   EXPECT_EQ(cosim_back.retry.max_retries, 7u);
   EXPECT_EQ(cosim_back.retry.timeout_windows, 24u);
+}
+
+TEST(ConfigIo, TraceAndMonitorKeysOverlayDefaults) {
+  const auto cfg = util::Config::parse(
+      "trace:\n"
+      "  enabled: true\n"
+      "  ring_capacity: 1024\n"
+      "monitor:\n"
+      "  enabled: true\n"
+      "  ewma_alpha: 0.5\n"
+      "  hot_occupancy: 0.75\n"
+      "  persistence_windows: 5\n");
+  const auto flow = mapping_flow_from_config(cfg);
+  EXPECT_TRUE(flow.noc.trace.enabled);
+  EXPECT_EQ(flow.noc.trace.ring_capacity, 1024u);
+  EXPECT_TRUE(flow.noc.monitor.enabled);
+  EXPECT_EQ(flow.noc.monitor.ewma_alpha, 0.5);
+  EXPECT_EQ(flow.noc.monitor.hot_occupancy, 0.75);
+  EXPECT_EQ(flow.noc.monitor.persistence_windows, 5u);
+
+  // An empty document keeps the inert defaults: nothing traces, nothing
+  // is monitored.
+  const auto plain = mapping_flow_from_config(util::Config::parse(""));
+  EXPECT_FALSE(plain.noc.trace.enabled);
+  EXPECT_FALSE(plain.noc.monitor.enabled);
+}
+
+TEST(ConfigIo, TraceAndMonitorKeysAreByteStable) {
+  MappingFlowConfig flow;
+  flow.noc.trace.enabled = true;
+  flow.noc.trace.ring_capacity = 4096;
+  flow.noc.monitor.enabled = true;
+  flow.noc.monitor.ewma_alpha = 0.125;
+  flow.noc.monitor.hot_occupancy = 0.25;
+  flow.noc.monitor.persistence_windows = 4;
+
+  util::Config first;
+  mapping_flow_to_config(flow, first);
+  const std::string saved = first.dump();
+
+  const auto loaded = util::Config::parse(saved);
+  const auto flow_back = mapping_flow_from_config(loaded);
+  util::Config second;
+  mapping_flow_to_config(flow_back, second);
+  EXPECT_EQ(saved, second.dump());
+
+  EXPECT_TRUE(flow_back.noc.trace.enabled);
+  EXPECT_EQ(flow_back.noc.trace.ring_capacity, 4096u);
+  EXPECT_EQ(flow_back.noc.monitor.ewma_alpha, 0.125);
+  EXPECT_EQ(flow_back.noc.monitor.persistence_windows, 4u);
+}
+
+TEST(ConfigIo, DegenerateTraceAndMonitorConfigsThrowAtSimulatorBuild) {
+  // Validation parity: config_io binds the raw values; the simulator
+  // constructor rejects degenerate ones exactly like faults/energy.
+  {
+    noc::NocConfig bad;
+    bad.trace.enabled = true;
+    bad.trace.ring_capacity = 0;
+    EXPECT_THROW(noc::NocSimulator(noc::Topology::ring(2), bad),
+                 std::invalid_argument);
+  }
+  {
+    noc::NocConfig bad;
+    bad.monitor.enabled = true;
+    bad.monitor.ewma_alpha = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(noc::NocSimulator(noc::Topology::ring(2), bad),
+                 std::invalid_argument);
+  }
+  {
+    noc::NocConfig bad;
+    bad.monitor.enabled = true;
+    bad.monitor.hot_occupancy = -1.0;
+    EXPECT_THROW(noc::NocSimulator(noc::Topology::ring(2), bad),
+                 std::invalid_argument);
+  }
 }
 
 TEST(ConfigIo, AnnealingAndGeneticKeys) {

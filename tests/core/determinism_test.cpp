@@ -344,6 +344,17 @@ void expect_same_cosim_results(const std::vector<CoSimOutcome>& a,
     EXPECT_EQ(a[i].result.resilience.retransmit_energy_pj,
               b[i].result.resilience.retransmit_energy_pj)
         << i;
+    // Observability is part of the contract too: the trace digest covers
+    // every recorded event (zero when tracing is off) and the congestion
+    // monitor's EWMAs are pure functions of the windowed activity.
+    EXPECT_EQ(a[i].result.trace_digest, b[i].result.trace_digest) << i;
+    EXPECT_EQ(a[i].result.trace_recorded, b[i].result.trace_recorded) << i;
+    EXPECT_EQ(a[i].result.fidelity.congestion.hot_links,
+              b[i].result.fidelity.congestion.hot_links)
+        << i;
+    EXPECT_EQ(a[i].result.fidelity.congestion.max_ewma_occupancy,
+              b[i].result.fidelity.congestion.max_ewma_occupancy)
+        << i;
   }
 }
 
@@ -419,6 +430,55 @@ TEST(Determinism, FaultedBatchCoSimSerialAndParallelMatchBitForBit) {
   BatchCoSimEvaluator parallel(4);
   expect_same_cosim_results(serial.run_all(batch_faulted_scenarios()),
                             parallel.run_all(batch_faulted_scenarios()));
+}
+
+/// The faulted batch with full observability on: every scenario traces into
+/// a small ring (forcing eviction) and runs the congestion monitor.
+std::vector<CoSimScenario> batch_observed_scenarios() {
+  std::vector<CoSimScenario> scenarios = batch_faulted_scenarios();
+  for (CoSimScenario& sc : scenarios) {
+    sc.config.noc.trace.enabled = true;
+    sc.config.noc.trace.ring_capacity = 256;
+    sc.config.noc.monitor.enabled = true;
+    sc.config.noc.monitor.hot_occupancy = 0.01;
+    sc.config.noc.monitor.persistence_windows = 2;
+  }
+  return scenarios;
+}
+
+TEST(Determinism, ObservedBatchCoSimSerialAndParallelMatchBitForBit) {
+  BatchCoSimEvaluator serial(1);
+  BatchCoSimEvaluator parallel(4);
+  const auto a = serial.run_all(batch_observed_scenarios());
+  const auto b = parallel.run_all(batch_observed_scenarios());
+  expect_same_cosim_results(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Tracing was on: something recorded, and the full streams match even
+    // though the 256-entry ring evicted most of them.
+    EXPECT_GT(a[i].result.trace_recorded, 0u) << i;
+    EXPECT_EQ(a[i].result.trace, b[i].result.trace) << i;
+    ASSERT_TRUE(a[i].result.fidelity.congestion.monitored) << i;
+  }
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbTheCoSim) {
+  // Trace + monitor on must leave the simulation itself bit-identical.
+  BatchCoSimEvaluator evaluator(2);
+  const auto plain = evaluator.run_all(batch_faulted_scenarios());
+  const auto observed = evaluator.run_all(batch_observed_scenarios());
+  ASSERT_EQ(plain.size(), observed.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].result.snn.spikes, observed[i].result.snn.spikes) << i;
+    EXPECT_EQ(plain[i].result.fidelity.copies_accepted,
+              observed[i].result.fidelity.copies_accepted)
+        << i;
+    EXPECT_EQ(plain[i].result.noc.global_energy_pj,
+              observed[i].result.noc.global_energy_pj)
+        << i;
+    EXPECT_EQ(plain[i].result.resilience.noc_faults.flits_dropped,
+              observed[i].result.resilience.noc_faults.flits_dropped)
+        << i;
+  }
 }
 
 TEST(Determinism, FaultedBatchCoSimIndependentOfSubmissionOrder) {

@@ -1,0 +1,118 @@
+#include "obs/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace snnmap::obs {
+namespace {
+
+MonitorConfig enabled_config() {
+  MonitorConfig c;
+  c.enabled = true;
+  c.ewma_alpha = 0.5;
+  c.hot_occupancy = 1.0;
+  c.persistence_windows = 2;
+  return c;
+}
+
+TEST(MonitorConfig, DefaultIsInertAndValid) {
+  const MonitorConfig c;
+  EXPECT_FALSE(c.enabled);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(MonitorConfig, ValidateRejectsDegenerateValues) {
+  MonitorConfig c = enabled_config();
+  c.ewma_alpha = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.ewma_alpha = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.ewma_alpha = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = enabled_config();
+  c.hot_occupancy = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.hot_occupancy = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.hot_occupancy = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = enabled_config();
+  c.persistence_windows = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CongestionMonitor, EwmaConvergesTowardOccupancy) {
+  CongestionMonitor mon(1, enabled_config());
+  // Constant 2 flits/cycle: EWMA with alpha 0.5 walks 1, 1.5, 1.75, ...
+  mon.observe_window({20}, 10);
+  EXPECT_DOUBLE_EQ(mon.ewma(0), 1.0);
+  mon.observe_window({20}, 10);
+  EXPECT_DOUBLE_EQ(mon.ewma(0), 1.5);
+  mon.observe_window({20}, 10);
+  EXPECT_DOUBLE_EQ(mon.ewma(0), 1.75);
+  EXPECT_EQ(mon.windows_observed(), 3u);
+}
+
+TEST(CongestionMonitor, StreakResetsWhenLinkCools) {
+  CongestionMonitor mon(2, enabled_config());
+  // Link 0 hot twice (persistent at 2), link 1 hot once then cold.
+  mon.observe_window({30, 30}, 10);  // both above threshold 1.0
+  EXPECT_EQ(mon.hot_streak(0), 1u);
+  EXPECT_EQ(mon.hot_streak(1), 1u);
+  EXPECT_FALSE(mon.persistently_hot(0));
+  mon.observe_window({30, 0}, 10);
+  EXPECT_EQ(mon.hot_streak(0), 2u);
+  EXPECT_EQ(mon.hot_streak(1), 0u);
+  EXPECT_TRUE(mon.persistently_hot(0));
+  EXPECT_FALSE(mon.persistently_hot(1));
+}
+
+TEST(CongestionMonitor, ZeroSpanWindowsAreIgnored) {
+  CongestionMonitor mon(1, enabled_config());
+  mon.observe_window({100}, 0);
+  EXPECT_EQ(mon.windows_observed(), 0u);
+  EXPECT_DOUBLE_EQ(mon.ewma(0), 0.0);
+}
+
+TEST(CongestionMonitor, SizeMismatchThrows) {
+  CongestionMonitor mon(2, enabled_config());
+  const std::vector<std::uint64_t> wrong{1};
+  EXPECT_THROW(mon.observe_window(wrong, 10), std::invalid_argument);
+}
+
+TEST(CongestionMonitor, ReportSummarizesHotLinks) {
+  CongestionMonitor mon(3, enabled_config());
+  // Link 0: persistently hot.  Link 2: hot once, then cools (ever-hot but
+  // not persistent).  Link 1: never hot.
+  mon.observe_window({50, 0, 50}, 10);
+  mon.observe_window({50, 0, 0}, 10);
+  const CongestionReport rep = mon.report();
+  EXPECT_TRUE(rep.monitored);
+  EXPECT_EQ(rep.windows_observed, 2u);
+  EXPECT_EQ(rep.links_tracked, 3u);
+  EXPECT_EQ(rep.links_ever_hot, 2u);
+  ASSERT_EQ(rep.hot_links, 1u);
+  ASSERT_EQ(rep.hot.size(), 1u);
+  EXPECT_EQ(rep.hot[0].link, 0u);
+  EXPECT_EQ(rep.hot[0].hot_streak, 2u);
+  EXPECT_GT(rep.hot[0].ewma_occupancy, 1.0);
+  EXPECT_GT(rep.max_ewma_occupancy, 0.0);
+  // from/to are the owner's to fill; the monitor leaves them zero.
+  EXPECT_EQ(rep.hot[0].from_router, 0u);
+  EXPECT_EQ(rep.hot[0].to_router, 0u);
+}
+
+TEST(CongestionMonitor, ConstructorValidatesConfig) {
+  MonitorConfig bad = enabled_config();
+  bad.persistence_windows = 0;
+  EXPECT_THROW(CongestionMonitor(1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snnmap::obs

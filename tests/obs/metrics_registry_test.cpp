@@ -1,0 +1,119 @@
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace snnmap::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  MetricsRegistry reg;
+  const auto id = reg.counter("noc.flits_injected");
+  EXPECT_EQ(reg.value(id), 0u);
+  reg.add(id);
+  reg.add(id, 41);
+  EXPECT_EQ(reg.value(id), 42u);
+}
+
+TEST(MetricsRegistry, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  const auto id = reg.gauge("noc.link.max_flits");
+  reg.set(id, 100);
+  reg.set(id, 7);
+  EXPECT_EQ(reg.value(id), 7u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsObservations) {
+  MetricsRegistry reg;
+  const auto id = reg.histogram("noc.window.peak", {10, 100, 1000});
+  reg.observe(id, 5);     // <= 10
+  reg.observe(id, 10);    // <= 10 (inclusive upper bound)
+  reg.observe(id, 50);    // <= 100
+  reg.observe(id, 5000);  // overflow
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("noc.window.peak");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kHistogram);
+  EXPECT_EQ(s->value, 4u);  // observation count
+  ASSERT_EQ(s->hist.counts.size(), 4u);
+  EXPECT_EQ(s->hist.counts[0], 2u);
+  EXPECT_EQ(s->hist.counts[1], 1u);
+  EXPECT_EQ(s->hist.counts[2], 0u);
+  EXPECT_EQ(s->hist.counts[3], 1u);
+  EXPECT_EQ(s->hist.total, 4u);
+  EXPECT_EQ(s->hist.sum, 5u + 10u + 50u + 5000u);
+}
+
+TEST(MetricsRegistry, ReRegistrationReturnsSameId) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("x");
+  const auto b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramBoundsMustBeStrictlyIncreasing) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("h", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {5, 5}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {5, 3}), std::invalid_argument);
+  const auto id = reg.histogram("h", {1, 2, 3});
+  // Re-registering with different bounds is a config clash.
+  EXPECT_THROW(reg.histogram("h", {1, 2}), std::invalid_argument);
+  EXPECT_EQ(reg.histogram("h", {1, 2, 3}), id);
+}
+
+TEST(MetricsRegistry, EmptyNameThrows) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, WrongKindOperationThrows) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto g = reg.gauge("g");
+  EXPECT_THROW(reg.set(c, 1), std::invalid_argument);
+  EXPECT_THROW(reg.add(g, 1), std::invalid_argument);
+  EXPECT_THROW(reg.observe(c, 1), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("c");
+  const auto h = reg.histogram("h", {10});
+  reg.add(c, 5);
+  reg.observe(h, 3);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.value(c), 0u);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->hist.total, 0u);
+  EXPECT_EQ(s->hist.sum, 0u);
+  EXPECT_EQ(s->hist.counts[0], 0u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.gauge("mid");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "alpha");
+  EXPECT_EQ(snap.samples[1].name, "mid");
+  EXPECT_EQ(snap.samples[2].name, "zeta");
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace snnmap::obs

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace snnmap::obs {
+namespace {
+
+TraceConfig enabled_config(std::uint32_t capacity) {
+  TraceConfig c;
+  c.enabled = true;
+  c.ring_capacity = capacity;
+  return c;
+}
+
+TEST(TraceConfig, DefaultIsInertAndValid) {
+  const TraceConfig c;
+  EXPECT_FALSE(c.enabled);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(TraceConfig, EnabledZeroRingThrows) {
+  TraceConfig c;
+  c.enabled = true;
+  c.ring_capacity = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  // Disabled configs may carry any capacity — they never allocate.
+  c.enabled = false;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Tracer, DefaultConstructedIsDisabledAndEmpty) {
+  const Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.evicted(), 0u);
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Tracer, RecordsInOrderBelowCapacity) {
+  Tracer t;
+  t.configure(enabled_config(8));
+  t.record(5, TraceEventType::kFlitInject, 1, 2, 3);
+  t.record(6, TraceEventType::kFlitHop, 4, 5, 6);
+  ASSERT_EQ(t.recorded(), 2u);
+  EXPECT_EQ(t.evicted(), 0u);
+  const std::vector<TraceEvent> events = t.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (TraceEvent{5, TraceEventType::kFlitInject, 1, 2, 3}));
+  EXPECT_EQ(events[1], (TraceEvent{6, TraceEventType::kFlitHop, 4, 5, 6}));
+}
+
+TEST(Tracer, RingEvictsOldestButDigestCoversFullStream) {
+  Tracer small;
+  small.configure(enabled_config(3));
+  Tracer big;
+  big.configure(enabled_config(100));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    small.record(i, TraceEventType::kFlitHop, i, i + 1, i + 2);
+    big.record(i, TraceEventType::kFlitHop, i, i + 1, i + 2);
+  }
+  EXPECT_EQ(small.recorded(), 10u);
+  EXPECT_EQ(small.evicted(), 7u);
+  const std::vector<TraceEvent> events = small.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first unwrap: the survivors are the last three records.
+  EXPECT_EQ(events[0].cycle, 7u);
+  EXPECT_EQ(events[1].cycle, 8u);
+  EXPECT_EQ(events[2].cycle, 9u);
+  // Eviction must not change the digest: it covers the whole stream.
+  EXPECT_EQ(small.digest(), big.digest());
+}
+
+TEST(Tracer, DigestIsOrderAndValueSensitive) {
+  Tracer a;
+  a.configure(enabled_config(16));
+  Tracer b;
+  b.configure(enabled_config(16));
+  a.record(1, TraceEventType::kFlitInject, 1, 2, 3);
+  a.record(2, TraceEventType::kFlitHop, 4, 5, 6);
+  b.record(2, TraceEventType::kFlitHop, 4, 5, 6);
+  b.record(1, TraceEventType::kFlitInject, 1, 2, 3);
+  EXPECT_NE(a.digest(), b.digest());
+
+  Tracer c;
+  c.configure(enabled_config(16));
+  c.record(1, TraceEventType::kFlitInject, 1, 2, 4);  // c differs
+  c.record(2, TraceEventType::kFlitHop, 4, 5, 6);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Tracer, ConfigureResetsStreamAndDigest) {
+  Tracer t;
+  t.configure(enabled_config(4));
+  const std::uint64_t empty_digest = t.digest();
+  t.record(1, TraceEventType::kFlitDrop, 1, 1, 1);
+  EXPECT_NE(t.digest(), empty_digest);
+  t.configure(enabled_config(4));
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.digest(), empty_digest);
+}
+
+TEST(Tracer, ConfigureValidates) {
+  Tracer t;
+  TraceConfig bad;
+  bad.enabled = true;
+  bad.ring_capacity = 0;
+  EXPECT_THROW(t.configure(bad), std::invalid_argument);
+}
+
+TEST(TraceEventType, NamesCoverEveryType) {
+  for (std::size_t i = 0; i < kTraceEventTypeCount; ++i) {
+    const char* name = to_string(static_cast<TraceEventType>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u) << "type " << i;
+  }
+  EXPECT_STREQ(to_string(TraceEventType::kFlitInject), "flit-inject");
+  EXPECT_STREQ(to_string(TraceEventType::kDvfsDecision), "dvfs-decision");
+}
+
+}  // namespace
+}  // namespace snnmap::obs
