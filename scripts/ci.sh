@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verify, three legs:
+# Tier-1 verify: a lint gate plus four build/test legs.
+#   0. Lint      — scripts/lint.sh: snnmap-lint determinism/contract rules
+#                  (always), clang-tidy + clang-format when the toolchain
+#                  has them (each skipped with a notice otherwise).
 #   1. Debug     — assertions and debug-only checks live, warnings-as-errors.
 #   2. Release   — -O3 -DNDEBUG, the configuration the benchmarks and the
 #                  perf acceptance numbers (scripts/bench.sh) are measured in.
 #   3. Sanitize  — Debug + AddressSanitizer + UndefinedBehaviorSanitizer
 #                  (-fno-sanitize-recover, so any finding fails the leg).
-# All legs run the full CTest suite, so optimization-dependent breakage
+#   4. TSan      — Debug + ThreadSanitizer over the concurrency surface:
+#                  the ThreadPool suite plus the batch-evaluator and
+#                  determinism suites that drive it from many threads.
+# Legs 1-3 run the full CTest suite, so optimization-dependent breakage
 # (UB, fragile float expectations) and memory errors surface here and not
-# in a profile run.  Set SKIP_SANITIZE=1 to drop leg 3 (e.g. on toolchains
-# without libasan).
+# in a profile run.  Leg 4 runs the filtered concurrency subset (TSan's
+# 5-15x slowdown makes the full suite impractical).  Skips:
+#   SKIP_LINT=1      drop leg 0
+#   SKIP_SANITIZE=1  drop leg 3 (e.g. on toolchains without libasan)
+#   SKIP_TSAN=1      drop leg 4 (e.g. on toolchains without libtsan)
+# Perf is gated separately: scripts/bench.sh --check compares the Release
+# benchmarks against the committed BENCH_*.json trajectories.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,9 +54,36 @@ run_leg() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
+if [[ "${SKIP_LINT:-0}" != "1" ]]; then
+  echo "=== ci leg: lint ==="
+  scripts/lint.sh
+fi
+
 run_leg Debug "${DEBUG_BUILD_DIR:-build-debug}"
 run_leg Release "${BUILD_DIR:-build}"
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   run_leg Debug "${SANITIZE_BUILD_DIR:-build-asan}" \
     -DSNNMAP_SANITIZE=address,undefined
+fi
+
+# Dedicated block rather than run_leg: benches and examples are off here
+# (TSan rebuild cost buys no coverage there), which would trip run_leg's
+# bench-binary assertion.
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  tsan_dir="${TSAN_BUILD_DIR:-build-tsan}"
+  echo "=== ci leg: Debug (${tsan_dir}) -DSNNMAP_SANITIZE=thread ==="
+  cmake -B "$tsan_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DSNNMAP_WERROR=ON \
+    -DSNNMAP_SANITIZE=thread \
+    -DSNNMAP_BUILD_BENCH=OFF \
+    -DSNNMAP_BUILD_EXAMPLES=OFF
+  cmake --build "$tsan_dir" -j "$JOBS"
+  # The concurrency surface: the pool itself, the evaluators that share it
+  # across worker threads, and the determinism suites that run serial vs
+  # parallel back to back.  --no-tests=error so a filter typo (or a suite
+  # rename) fails loudly instead of green-skipping the leg.
+  ctest --test-dir "$tsan_dir" --output-on-failure -j "$JOBS" \
+    --no-tests=error \
+    -R '^util\.ThreadPool|^core\.Determinism|^core\.Batch(Noc)?Evaluator'
 fi

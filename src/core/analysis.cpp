@@ -30,6 +30,8 @@ MappingAnalysis analyze_mapping(const snn::SnnGraph& graph,
   const auto& offsets = graph.fanout_offsets();
   const auto& targets = graph.fanout_targets();
   std::vector<std::uint64_t> pair_spikes(static_cast<std::size_t>(c) * c, 0);
+  // snnmap-lint: allow(unordered-iteration) -- iterated below for integer
+  // accumulation only; addition over uint64 counters is order-insensitive.
   std::unordered_set<CrossbarId> remote;
   for (std::uint32_t i = 0; i < graph.neuron_count(); ++i) {
     const std::uint64_t spikes = graph.spike_count(i);
@@ -41,6 +43,7 @@ MappingAnalysis analyze_mapping(const snn::SnnGraph& graph,
       if (dest == own) continue;
       remote.insert(dest);
     }
+    // snnmap-lint: allow(unordered-iteration) -- all sinks are uint64 +=.
     for (const CrossbarId dest : remote) {
       pair_spikes[static_cast<std::size_t>(own) * c + dest] += spikes;
       analysis.loads[own].spikes_out += spikes;

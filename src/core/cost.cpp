@@ -1,7 +1,9 @@
 #include "core/cost.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
+#include <vector>
 
 namespace snnmap::core {
 
@@ -146,16 +148,27 @@ double CostModel::analytic_global_energy_pj(
   const auto& offsets = graph_.fanout_offsets();
   const auto& targets = graph_.fanout_targets();
   double total_pj = 0.0;
-  std::unordered_set<CrossbarId> remote;
+  // The per-spike energy below is an FP sum, so its addition order must be
+  // a pure function of graph + partition — never of hash-table layout.
+  // Remote destination sets therefore materialize sorted: the former
+  // unordered_set was cleared (not destroyed) between neurons, and since
+  // clear() keeps the grown bucket count, a big-fanout neuron earlier in
+  // the walk could reshuffle a later neuron's iteration order and shift
+  // its contribution by a ULP — one neuron's energy depended on another's
+  // fanout size (CostModel.AnalyticEnergyIgnoresFanoutOrder pins the
+  // per-neuron additivity that rules this out).
+  std::vector<CrossbarId> remote;
   for (std::uint32_t i = 0; i < graph_.neuron_count(); ++i) {
     const std::uint64_t spikes = graph_.spike_count(i);
     if (spikes == 0) continue;
     remote.clear();
     for (std::uint32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
       const CrossbarId c = part[targets[k]];
-      if (c != part[i]) remote.insert(c);
+      if (c != part[i]) remote.push_back(c);
     }
     if (remote.empty()) continue;
+    std::sort(remote.begin(), remote.end());
+    remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
     const noc::TileId src_tile = placement[part[i]];
     if (multicast) {
       // A multicast packet shares path prefixes: the union of the
@@ -168,6 +181,8 @@ double CostModel::analytic_global_energy_pj(
       // *distinct* router instead double-counted fork routers relative to
       // shared-prefix links and under-counted multi-destination ejections —
       // the analytic/simulated parity test pins the agreement now.)
+      // snnmap-lint: allow(unordered-iteration) -- membership-only dedup
+      // (insert().second); never iterated, so order cannot leak.
       std::unordered_set<std::uint64_t> charged_links;
       double per_spike = energy.aer_codec_pj;  // encode at source
       for (const CrossbarId c : remote) {

@@ -60,6 +60,8 @@ std::vector<noc::SpikePacketEvent> build_traffic(
   const auto& part = partition.assignment();
   const auto& offsets = graph.fanout_offsets();
   const auto& targets = graph.fanout_targets();
+  // snnmap-lint: allow(unordered-iteration) -- iteration only fills
+  // dest_tiles, which is sorted before use; order cannot reach traffic.
   std::unordered_set<CrossbarId> remote;
   for (std::uint32_t i = 0; i < graph.neuron_count(); ++i) {
     const auto& train = graph.spike_train(i);
@@ -72,6 +74,7 @@ std::vector<noc::SpikePacketEvent> build_traffic(
     if (remote.empty()) continue;  // purely local fan-out
     std::vector<noc::TileId> dest_tiles;
     dest_tiles.reserve(remote.size());
+    // snnmap-lint: allow(unordered-iteration) -- sorted two lines below.
     for (const CrossbarId c : remote) dest_tiles.push_back(placement[c]);
     std::sort(dest_tiles.begin(), dest_tiles.end());
     for (std::size_t s = 0; s < train.size(); ++s) {

@@ -286,6 +286,8 @@ CoSimResult CoSimulator::run() {
   std::vector<std::uint64_t> emit_counter(source_tile_.size(), 0);
   std::vector<std::uint32_t> window_accepts(noc_.topology().tile_count(), 0);
   std::vector<noc::TileId> touched_tiles;
+  // snnmap-lint: allow(unordered-iteration) -- membership-only (insert /
+  // count / clear) per-window dedup; never iterated, order cannot leak.
   std::unordered_set<std::uint64_t> in_window;  // (source, tile) delivered
   std::vector<snn::Simulator::RemoteVerdict> verdicts;
   std::vector<noc::SpikePacketEvent> window_traffic;

@@ -198,6 +198,8 @@ RouterId NocSimulator::router_of_port(std::uint32_t g) const {
   return static_cast<RouterId>(it - port_base_.begin() - 1);
 }
 
+// snnmap-lint: allow(hoisted-gate) -- whole function is invoked from
+// begin() under `trace_active_ && faults_active_` only.
 void NocSimulator::trace_fault_schedule() {
   using Change = FaultModel::Change;
   using Type = obs::TraceEventType;
@@ -270,6 +272,8 @@ void NocSimulator::purge_router(RouterId r) {
   active_[r >> 6] &= ~(1ULL << (r & 63));
 }
 
+// snnmap-lint: allow(hoisted-gate) -- invoked from the cycle loop under
+// `faults_active_` only (mask transitions cannot happen while inert).
 void NocSimulator::sweep_unroutable() {
   // Re-prune every buffered flit against the new masks: destinations that
   // died (tile or its router) or lost their last live candidate port from
@@ -303,6 +307,8 @@ void NocSimulator::sweep_unroutable() {
   }
 }
 
+// snnmap-lint: allow(hoisted-gate) -- invoked from the cycle loop and
+// idle fast-forward under `faults_active_` only.
 void NocSimulator::apply_fault_transitions() {
   if (fault_model_.next_transition_cycle() > now_) return;
   FaultTransitions tr;

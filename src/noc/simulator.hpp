@@ -287,6 +287,8 @@ class NocSimulator {
   static constexpr std::uint32_t kUnroutable = static_cast<std::uint32_t>(-1);
   /// True when the link behind global port `g` and the router at its far
   /// end are both live.
+  // snnmap-lint: allow(hoisted-gate) -- helper for the fault path; every
+  // caller is itself gated on faults_active_ (see section comment).
   bool port_live(std::uint32_t g) const noexcept {
     return fault_model_.link_live(g) &&
            fault_model_.router_live(neighbor_[g]);
@@ -327,6 +329,8 @@ class NocSimulator {
   // Per-source-neuron sequence counters: flat array grown on demand for the
   // dense graph-indexed id space, hashed fallback for pathological ids.
   std::vector<std::uint32_t> seq_flat_;
+  // snnmap-lint: allow(unordered-iteration) -- per-key lookup/clear only
+  // (sparse overflow of seq_flat_); never iterated, order cannot leak.
   std::unordered_map<std::uint32_t, std::uint32_t> seq_map_;
   // Pooled destination arena: every in-flight flit's destination set is a
   // (begin, count) range.  Forks append the forked subset and shrink the

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -453,6 +454,100 @@ TEST(ConfigIo, AnnealingAndGeneticKeys) {
   EXPECT_EQ(flow.annealing.cooling, 0.5);
   EXPECT_EQ(flow.genetic.population, 21u);
   EXPECT_EQ(flow.genetic.mutation_rate, 0.125);
+}
+
+// The serialized config schema, pinned key for key.  snnmap-lint's
+// config-key-coverage rule statically cross-checks that every key config_io
+// reads or writes appears in this file; this test closes the loop at
+// runtime: the byte-stable round-trip above covers exactly this key set, so
+// a key added to config_io without extending this list fails here, and a
+// key dropped from to_config breaks the list (and byte-stability) too.
+TEST(ConfigIo, SerializedSchemaIsPinned) {
+  static const char* const kSchema[] = {
+      "annealing.cooling",
+      "annealing.moves",
+      "annealing.restarts",
+      "annealing.swap_probability",
+      "annealing.threads",
+      "arch.chips",
+      "arch.crossbars",
+      "arch.cycles_per_ms",
+      "arch.dragonfly_arity",
+      "arch.dragonfly_global",
+      "arch.dragonfly_groups",
+      "arch.fattree_k",
+      "arch.interconnect",
+      "arch.neurons_per_crossbar",
+      "arch.tree_arity",
+      "cosim.cycles_per_timestep",
+      "cosim.injection_jitter_cycles",
+      "cosim.receive_queue_depth",
+      "dvfs.high_utilization",
+      "dvfs.low_utilization",
+      "dvfs.min_scale",
+      "dvfs.policy",
+      "dvfs.slack_fraction",
+      "energy.aer_codec_pj",
+      "energy.crossbar_event_pj",
+      "energy.link_hop_pj",
+      "energy.offchip_link_hop_pj",
+      "energy.retransmit_pj",
+      "energy.router_flit_pj",
+      "faults.flit_drop_probability",
+      "faults.horizon_cycles",
+      "faults.link_fault_rate",
+      "faults.router_fault_rate",
+      "faults.seed",
+      "faults.tile_fault_rate",
+      "faults.transient_duration_cycles",
+      "faults.transient_link_rate",
+      "flow.comm_aware_placement",
+      "flow.injection_jitter_cycles",
+      "flow.partitioner",
+      "flow.seed",
+      "genetic.generations",
+      "genetic.mutation_rate",
+      "genetic.population",
+      "genetic.threads",
+      "monitor.enabled",
+      "monitor.ewma_alpha",
+      "monitor.hot_occupancy",
+      "monitor.persistence_windows",
+      "noc.buffer_depth",
+      "noc.collect_delivered",
+      "noc.engine",
+      "noc.max_cycles",
+      "noc.mesh_routing",
+      "noc.multicast",
+      "noc.offchip_link_latency",
+      "noc.selection",
+      "pso.inertia",
+      "pso.iterations",
+      "pso.objective",
+      "pso.patience",
+      "pso.phi1",
+      "pso.phi2",
+      "pso.refine_swap_factor",
+      "pso.refine_sweeps",
+      "pso.seed_with_baselines",
+      "pso.swarm_size",
+      "pso.threads",
+      "pso.v_max",
+      "retry.backoff_windows",
+      "retry.enabled",
+      "retry.max_retries",
+      "retry.timeout_windows",
+      "trace.enabled",
+      "trace.ring_capacity",
+  };
+  util::Config serialized;
+  mapping_flow_to_config(MappingFlowConfig{}, serialized);
+  cosim_to_config(cosim::CoSimConfig{}, serialized);
+  const auto keys = serialized.keys();
+  ASSERT_EQ(keys.size(), std::size(kSchema));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], kSchema[i]) << "schema drift at index " << i;
+  }
 }
 
 }  // namespace

@@ -183,6 +183,75 @@ TEST(CostModel, AnalyticUnicastAtLeastMulticast) {
   EXPECT_GE(unicast, multicast);
 }
 
+TEST(CostModel, AnalyticEnergyIgnoresFanoutOrder) {
+  // A neuron's energy contribution must be a pure function of ITS remote
+  // destination set — never of which neurons happened to be processed
+  // before it.  The former `std::unordered_set<CrossbarId>` accumulator
+  // broke that: it was cleared (not destroyed) between neurons, and
+  // libstdc++'s clear() keeps the grown bucket count, so a big-fanout
+  // neuron earlier in the walk changed a later neuron's hash layout and
+  // with it the FP addition order of its per-destination terms (verified:
+  // crossbars {1,4,10,40} on an 8x8 mesh sum to 84.000000000000014 in a
+  // fresh 13-bucket table and 84.0 after a 40-element set widened it to 59
+  // buckets).  The sorted materialization makes each contribution
+  // order-pure, so the total is exactly additive per spiking neuron —
+  // pinned bitwise here, not with EXPECT_NEAR.
+  //
+  // Layout: neuron 0 ("A") fans out to 40 distinct crossbars; neuron 41
+  // ("B") fans out to crossbars {1,4,10,40}, the set above.  Silencing a
+  // neuron (empty spike train) removes its contribution without touching
+  // the edge structure.  The fabric is a multi-chip dragonfly, so B's
+  // multicast tree mixes on-chip and off-chip edge prices and its
+  // `per_spike` sum is genuinely order-sensitive; the multicast branch
+  // folds each neuron into the total with a single `+= per_spike * spikes`,
+  // which is what makes the additivity below exact (not just close) once
+  // per-neuron contributions are order-pure.
+  std::vector<snn::GraphEdge> edges;
+  for (std::uint32_t t = 1; t <= 40; ++t) edges.push_back({0, t, 1.0F});
+  for (std::uint32_t t = 42; t <= 45; ++t) edges.push_back({41, t, 1.0F});
+  std::vector<CrossbarId> assign(46);
+  assign[0] = 61;
+  for (std::uint32_t t = 1; t <= 40; ++t) assign[t] = 20 + t;  // 21..60
+  assign[41] = 0;
+  assign[42] = 1;
+  assign[43] = 4;
+  assign[44] = 10;
+  assign[45] = 40;
+  const auto p = make_partition(assign, 64);
+  // 8 groups (chips) of 8 single-tile routers: tiles 1 and 4 are local to
+  // B's group, tiles 10 and 40 sit behind global (off-chip) channels.
+  auto topo = noc::Topology::dragonfly(8, 8, 1);
+  topo.assign_chips(8);
+  std::vector<noc::TileId> placement(64);
+  for (std::uint32_t c = 0; c < 64; ++c) placement[c] = c;
+  hw::EnergyModel energy;
+  // Values with no short binary representation, so addition order matters
+  // (this exact combination reproduced the ULP split under the old code).
+  energy.link_hop_pj = 0.1;
+  energy.router_flit_pj = 0.3;
+  energy.aer_codec_pj = 0.7;
+  energy.offchip_link_hop_pj = 5.9;
+  const snn::SpikeTrain a_train{1, 2, 3};
+  const snn::SpikeTrain b_train{1, 2, 3, 4, 5, 6, 7};
+  const auto energy_with = [&](bool spike_a, bool spike_b) {
+    std::vector<snn::SpikeTrain> trains(46);
+    if (spike_a) trains[0] = a_train;
+    if (spike_b) trains[41] = b_train;
+    auto graph_edges = edges;
+    const auto g = snn::SnnGraph::from_parts(46, std::move(graph_edges),
+                                             std::move(trains), 100.0);
+    return CostModel(g).analytic_global_energy_pj(p, topo, placement, energy,
+                                                  /*multicast=*/true);
+  };
+  const double e_both = energy_with(true, true);
+  const double e_a = energy_with(true, false);
+  const double e_b = energy_with(false, true);
+  EXPECT_GT(e_a, 0.0);
+  EXPECT_GT(e_b, 0.0);
+  // Bitwise, not EXPECT_NEAR: determinism is the property under test.
+  EXPECT_EQ(e_both, e_a + e_b);
+}
+
 /// Star-burst workload for the analytic/simulated parity checks: every
 /// neuron fans out to several others, so multicast trees share prefixes and
 /// fork — the shape the old `charged_routers` accounting double-charged.

@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Fixture: asserts a phantom binary and misses a declared target.
+for bench in alpha_benchmarks phantom_benchmarks; do
+  test -x "build/bench/$bench"
+done

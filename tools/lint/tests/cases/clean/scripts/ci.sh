@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Fixture: the bench assertion list matches bench/CMakeLists.txt exactly.
+for bench in alpha_benchmarks beta_benchmarks; do
+  test -x "build/bench/$bench"
+done

@@ -1,0 +1,52 @@
+// Fixture: every rule's allowed shape in one translation unit — gated
+// subsystem calls, waived unordered usage, util::Rng-only randomness.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  void step() {
+    // Statement-level gate: the draw only happens on the fault path.
+    if (faults_active_ && fault_model_.draw_drop()) {
+      drops_++;
+    }
+    if (trace_active_) {
+      tracer_.record(now_, 1, 2, 3, 4);
+    }
+  }
+
+  void begin() {
+    // The hoist itself: assigning the gate from the subsystem is legal.
+    faults_active_ = fault_model_.active();
+  }
+
+  // snnmap-lint: allow(hoisted-gate) -- whole helper is only invoked from
+  // step() under the faults_active_ gate.
+  bool port_live(unsigned g) const {
+    return fault_model_.link_live(g) && fault_model_.router_live(g);
+  }
+
+  bool faults_active_ = false;
+  bool trace_active_ = false;
+  FaultModel fault_model_;
+  Tracer tracer_;
+  unsigned long long now_ = 0;
+  unsigned drops_ = 0;
+};
+
+unsigned sum_remote(const Graph& graph) {
+  // snnmap-lint: allow(unordered-iteration) -- membership-only dedup;
+  // never iterated, so order cannot leak.
+  std::unordered_set<unsigned> seen;
+  // snnmap-lint: allow(unordered-iteration) -- per-key lookup only.
+  std::unordered_map<unsigned, unsigned> cache;
+  unsigned total = 0;
+  for (unsigned v : graph.nodes()) {
+    if (seen.insert(v).second) total += cache[v];
+  }
+  return total;
+}
+
+}  // namespace fixture

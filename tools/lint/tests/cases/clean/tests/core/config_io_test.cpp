@@ -1,0 +1,2 @@
+// Fixture: schema coverage — every key config_io touches appears here.
+// "noc.buffer_depth", "faults.link_fault_rate", "energy.link_hop_pj"

@@ -1,0 +1,14 @@
+// Fixture: "energy.uncovered_pj" never appears in the round-trip test.
+#include "hw/energy_model.hpp"
+
+namespace fixture {
+
+void from_config(const Config& config, Model& m) {
+  m.pj = config.double_or("energy.uncovered_pj", m.pj);
+}
+
+void to_config(const Model& m, Config& config) {
+  config.set("energy.uncovered_pj", std::to_string(m.pj));
+}
+
+}  // namespace fixture

@@ -1,0 +1,2 @@
+// Fixture: covers "noc.covered", references the stale "noc.renamed_away",
+// and omits the other three keys config_io touches.

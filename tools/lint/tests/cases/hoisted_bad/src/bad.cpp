@@ -1,0 +1,21 @@
+// Fixture: subsystem calls on the hot path without their hoisted gates.
+namespace fixture {
+
+struct Engine {
+  void step() {
+    if (verbose_) {
+      tracer_.record(now_, 1, 2, 3, 4);  // gated, but on the wrong flag
+    }
+    if (fault_model_.draw_drop()) {  // consults the mask ungated
+      drops_++;
+    }
+  }
+
+  bool verbose_ = false;
+  FaultModel fault_model_;
+  Tracer tracer_;
+  unsigned long long now_ = 0;
+  unsigned drops_ = 0;
+};
+
+}  // namespace fixture

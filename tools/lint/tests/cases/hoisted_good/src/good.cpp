@@ -1,0 +1,43 @@
+// Fixture: every accepted gating shape for hot-path subsystem calls.
+namespace fixture {
+
+struct Engine {
+  void cycle() {
+    // Block gate, call nested two levels deep.
+    if (faults_active_) {
+      for (unsigned p = 0; p < ports_; ++p) {
+        if (!fault_model_.link_live(p)) continue;
+      }
+    }
+    // Gate and call in the same condition expression.
+    if (trace_active_ && now_ > 0) {
+      tracer_.record(now_, 1, 2, 3, 4);
+    }
+    // Local hoisted alias (cosim's `trace_on` shape).
+    const bool trace_on = trace_active_;
+    if (trace_on) {
+      tracer_.record(now_, 5, 6, 7, 8);
+    }
+  }
+
+  void begin() {
+    faults_active_ = fault_model_.active();
+    trace_active_ = tracer_enabled_;
+  }
+
+  // snnmap-lint: allow(hoisted-gate) -- every caller is gated on
+  // faults_active_; the helper keeps the mask checks in one place.
+  bool port_live(unsigned g) const {
+    return fault_model_.link_live(g) && fault_model_.router_live(g);
+  }
+
+  bool faults_active_ = false;
+  bool trace_active_ = false;
+  bool tracer_enabled_ = false;
+  unsigned ports_ = 0;
+  FaultModel fault_model_;
+  Tracer tracer_;
+  unsigned long long now_ = 0;
+};
+
+}  // namespace fixture

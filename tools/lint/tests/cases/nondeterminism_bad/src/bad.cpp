@@ -1,0 +1,28 @@
+// Fixture: every forbidden nondeterminism source, one per line, plus a
+// bare waiver that must NOT silence its line (no justification text).
+#include <random>
+#include <chrono>
+
+namespace fixture {
+
+unsigned draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_int_distribution<unsigned> dist(0, 9);
+  return dist(gen);
+}
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+unsigned legacy() {
+  srand(42);
+  // snnmap-lint: allow(nondeterminism)
+  return static_cast<unsigned>(rand());
+}
+
+const char* ambient() { return getenv("SNNMAP_MODE"); }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: unwaived unordered declarations and iteration walks.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double sum_energy(const Graph& graph) {
+  std::unordered_set<unsigned> remote;
+  std::unordered_map<unsigned, double> weights;
+  double total = 0.0;
+  for (unsigned v : remote) {
+    total += weights[v] * 0.5;
+  }
+  for (auto it = weights.begin(); it != weights.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace fixture
